@@ -1,0 +1,73 @@
+/// \file ablation_partitioning.cpp
+/// \brief Extension experiment (paper §VII future work / §II, Gilbert et
+/// al.): MIS-2 aggregation vs heavy-edge matching as the coarsening inside
+/// a multilevel k-way partitioner. Gilbert et al. found MIS-2 coarsening
+/// outperforms HEM for regular graphs; this bench reports edge cut,
+/// imbalance, and time for both schemes on mesh-like inputs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/rgg.hpp"
+#include "partition/partitioner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  struct Case {
+    const char* name;
+    graph::CrsGraph g;
+  };
+  const double s = args.scale;
+  std::vector<Case> cases;
+  cases.push_back({"grid2d", graph::remove_self_loops(graph::GraphView(graph::laplace2d(
+                                 static_cast<ordinal_t>(600 * std::sqrt(s)),
+                                 static_cast<ordinal_t>(600 * std::sqrt(s)))))});
+  cases.push_back({"grid3d", graph::remove_self_loops(graph::GraphView(graph::laplace3d(
+                                 static_cast<ordinal_t>(70 * std::cbrt(s)),
+                                 static_cast<ordinal_t>(70 * std::cbrt(s)),
+                                 static_cast<ordinal_t>(70 * std::cbrt(s)))))});
+  cases.push_back({"rgg3d", graph::random_geometric_3d(
+                                static_cast<ordinal_t>(400000 * s), 14.0, 3)});
+  cases.push_back({"rgg2d", graph::random_geometric_2d(
+                                static_cast<ordinal_t>(400000 * s), 7.0, 4)});
+
+  const ordinal_t k = 8;
+  std::printf("Extension: multilevel k=%d partitioning, MIS-2 vs HEM coarsening "
+              "(scale=%.2f)\n", k, args.scale);
+  std::printf("%-10s %10s | %12s %9s %8s | %12s %9s %8s | %8s\n", "graph", "|V|", "mis2-cut",
+              "imbal", "time", "hem-cut", "imbal", "time", "cutratio");
+  bench::print_rule(110);
+
+  std::vector<double> ratios;
+  for (const Case& c : cases) {
+    partition::PartitionOptions mis2_opts;
+    mis2_opts.coarsening = partition::CoarseningScheme::Mis2Aggregation;
+    partition::PartitionOptions hem_opts;
+    hem_opts.coarsening = partition::CoarseningScheme::HeavyEdgeMatching;
+
+    Timer tm;
+    const partition::Partition pm = partition::partition_graph(c.g, k, mis2_opts);
+    const double mis2_s = tm.seconds();
+    Timer th;
+    const partition::Partition ph = partition::partition_graph(c.g, k, hem_opts);
+    const double hem_s = th.seconds();
+
+    const double ratio = ph.edge_cut == 0
+                             ? 1.0
+                             : static_cast<double>(pm.edge_cut) / static_cast<double>(ph.edge_cut);
+    ratios.push_back(ratio);
+    std::printf("%-10s %10d | %12lld %8.2f%% %7.2fs | %12lld %8.2f%% %7.2fs | %8.3f\n", c.name,
+                c.g.num_rows, static_cast<long long>(pm.edge_cut), 100 * pm.imbalance, mis2_s,
+                static_cast<long long>(ph.edge_cut), 100 * ph.imbalance, hem_s, ratio);
+  }
+  bench::print_rule(110);
+  std::printf("geomean cut ratio (mis2/hem, <1 means MIS-2 coarsening wins): %.3f\n",
+              bench::geomean(ratios));
+  return 0;
+}

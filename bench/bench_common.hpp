@@ -1,0 +1,76 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared helpers for the per-table/per-figure benchmark binaries.
+///
+/// Every binary accepts:
+///   --scale=<f>   fraction of the paper's |V| to build (default 0.25)
+///   --trials=<n>  timing repetitions (default 5)
+///   --full        paper scale (scale=1.0)
+/// Default settings keep the whole harness to a few minutes on a laptop;
+/// --full reproduces the paper's problem sizes exactly.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "graph/crs.hpp"
+#include "graph/ops.hpp"
+#include "graph/registry.hpp"
+
+namespace parmis::bench {
+
+struct Args {
+  double scale = 0.25;
+  int trials = 5;
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      const char* s = argv[i];
+      if (!std::strncmp(s, "--scale=", 8)) {
+        a.scale = std::atof(s + 8);
+      } else if (!std::strncmp(s, "--trials=", 9)) {
+        a.trials = std::atoi(s + 9);
+      } else if (!std::strcmp(s, "--full")) {
+        a.scale = 1.0;
+      } else {
+        std::fprintf(stderr, "usage: %s [--scale=F] [--trials=N] [--full]\n", argv[0]);
+        std::exit(1);
+      }
+    }
+    return a;
+  }
+};
+
+/// Mean wall seconds of `f()` over `trials` runs after one warmup.
+template <typename F>
+double time_mean_s(int trials, F&& f) {
+  f();  // warmup
+  Timer t;
+  for (int i = 0; i < trials; ++i) f();
+  return t.seconds() / trials;
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double log_sum = 0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Loop-free adjacency of a registry surrogate at the given scale.
+inline graph::CrsGraph build_adjacency(const graph::MatrixSpec& spec, double scale) {
+  const graph::CrsMatrix m = spec.build(scale);
+  return graph::remove_self_loops(graph::GraphView(m));
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace parmis::bench

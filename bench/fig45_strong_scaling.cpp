@@ -1,0 +1,52 @@
+/// \file fig45_strong_scaling.cpp
+/// \brief Reproduces Figs. 4-5: strong-scaling efficiency of MIS-2 over
+/// OpenMP thread counts for the 17 matrices (the paper runs dual-socket
+/// Skylake and ThunderX2; we sweep this host's cores).
+///
+/// Efficiency = t(1 thread) / (t(p threads) * p); ideal is 1. The paper
+/// observes good scaling to all physical cores and a slowdown when
+/// oversubscribing to hardware threads.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mis2.hpp"
+#include "parallel/execution.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  const int max_threads = par::Execution::max_threads();
+  std::vector<int> thread_counts;
+  for (int t = 1; t < max_threads; t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(max_threads);
+
+  std::printf("Figs. 4-5: strong-scaling efficiency of MIS-2 (scale=%.2f, %d trials)\n",
+              args.scale, args.trials);
+  std::printf("%-18s", "matrix");
+  for (int t : thread_counts) std::printf(" %8dT", t);
+  std::printf("\n");
+  bench::print_rule(90);
+
+  std::vector<double> max_speedups;
+  for (const graph::MatrixSpec& spec : graph::table2_matrices()) {
+    const graph::CrsGraph g = bench::build_adjacency(spec, args.scale);
+    double t1 = 0;
+    std::printf("%-18s", spec.name.c_str());
+    for (int t : thread_counts) {
+      par::ScopedExecution scope(par::Backend::OpenMP, t);
+      const double s = bench::time_mean_s(args.trials, [&] { (void)core::mis2(g); });
+      if (t == 1) t1 = s;
+      std::printf(" %9.2f", t1 / (s * t));
+      if (t == max_threads) max_speedups.push_back(t1 / s);
+    }
+    std::printf("\n");
+  }
+  bench::print_rule(90);
+  std::printf("geometric-mean speedup at %d threads: %.1fx\n", max_threads,
+              bench::geomean(max_speedups));
+  std::printf("(paper: 26.9x on 48 Skylake cores, 43.9x on 56 ThunderX2 cores)\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// \file micro_kernels.cpp
+/// \brief google-benchmark microbenchmarks for the primitives the paper's
+/// cost analysis (§IV) charges: prefix sums, worklist compaction, the hash
+/// generators, tuple packing, SpMV/SpGEMM, and small end-to-end MIS-2.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/mis2.hpp"
+#include "core/status_tuple.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/rgg.hpp"
+#include "graph/spgemm.hpp"
+#include "graph/spmv.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "random/hash.hpp"
+
+namespace {
+
+using namespace parmis;
+
+void BM_exclusive_scan(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n), 1);
+  for (auto _ : state) {
+    std::vector<std::int64_t> copy = data;
+    benchmark::DoNotOptimize(par::exclusive_scan_inplace(std::span<std::int64_t>(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_exclusive_scan)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_compact(benchmark::State& state) {
+  const ordinal_t n = static_cast<ordinal_t>(state.range(0));
+  std::vector<ordinal_t> out;
+  for (auto _ : state) {
+    par::compact_into(
+        n, [](ordinal_t i) { return (i & 3) == 0; }, [](ordinal_t i) { return i; }, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_compact)->Arg(1 << 20);
+
+void BM_hash_xorshift_star(benchmark::State& state) {
+  std::uint64_t acc = 0, i = 0;
+  for (auto _ : state) {
+    acc ^= rng::hash_xorshift_star(7, i++);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_hash_xorshift_star);
+
+void BM_tuple_pack(benchmark::State& state) {
+  const core::TupleCodec<> codec(1000000);
+  std::uint64_t i = 0;
+  std::uint32_t acc = 0;
+  for (auto _ : state) {
+    acc ^= codec.pack(rng::xorshift64star(i), static_cast<ordinal_t>(i % 1000000));
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_tuple_pack);
+
+void BM_spmv_laplace3d(benchmark::State& state) {
+  const ordinal_t side = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsMatrix a = graph::laplace3d(side, side, side);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 1.0);
+  std::vector<scalar_t> y(x.size());
+  for (auto _ : state) {
+    graph::spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_entries());
+}
+BENCHMARK(BM_spmv_laplace3d)->Arg(32)->Arg(64);
+
+void BM_spgemm_square(benchmark::State& state) {
+  const ordinal_t side = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsMatrix a = graph::laplace2d(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::spgemm(a, a));
+  }
+}
+BENCHMARK(BM_spgemm_square)->Arg(64)->Arg(128);
+
+void BM_mis2_rgg(benchmark::State& state) {
+  const ordinal_t n = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsGraph g = graph::random_geometric_3d(n, 16.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mis2(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_mis2_rgg)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_mis2_laplace3d(benchmark::State& state) {
+  const ordinal_t side = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsGraph g =
+      graph::remove_self_loops(graph::GraphView(graph::laplace3d(side, side, side)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mis2(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_mis2_laplace3d)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,43 @@
+/// \file table4_quality.cpp
+/// \brief Reproduces Table IV: MIS-2 set sizes across implementations
+/// (higher is better; the claim is *parity*, not superiority).
+///
+/// Columns: Algorithm 1 (KK), the Bell reference (standing in for both
+/// CUSP and ViennaCL, which implement that algorithm), and the serial
+/// natural-order greedy. The paper's observation: all implementations land
+/// within a fraction of a percent of each other.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bell_misk.hpp"
+#include "core/mis2.hpp"
+#include "core/serial_mis2.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  std::printf("Table IV: MIS-2 sizes across implementations (scale=%.2f)\n", args.scale);
+  std::printf("%-18s %10s %12s %12s | %10s %10s\n", "matrix", "KK", "Bell(CUSP)", "greedy",
+              "bell/KK", "greedy/KK");
+  bench::print_rule(85);
+
+  std::vector<double> bell_ratio, greedy_ratio;
+  for (const graph::MatrixSpec& spec : graph::table2_matrices()) {
+    const graph::CrsGraph g = bench::build_adjacency(spec, args.scale);
+    const ordinal_t kk = core::mis2(g).set_size();
+    const ordinal_t bell = core::bell_misk(g, 2).set_size();
+    const ordinal_t greedy = core::serial_mis2(g).set_size();
+    bell_ratio.push_back(static_cast<double>(bell) / kk);
+    greedy_ratio.push_back(static_cast<double>(greedy) / kk);
+    std::printf("%-18s %10d %12d %12d | %10.3f %10.3f\n", spec.name.c_str(), kk, bell, greedy,
+                static_cast<double>(bell) / kk, static_cast<double>(greedy) / kk);
+  }
+  bench::print_rule(85);
+  std::printf("%-18s %10s %12s %12s | %10.3f %10.3f   (geometric mean)\n", "GEOMEAN", "", "", "",
+              bench::geomean(bell_ratio), bench::geomean(greedy_ratio));
+  std::printf("\n(paper: KK / CUSP / ViennaCL sizes agree within ~1%% on every matrix)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file determinism_demo.cpp
+/// \brief Demonstrates the paper's headline property: Algorithm 1 returns
+/// a bit-identical MIS-2 on every backend and thread count, and on every
+/// repetition.
+///
+/// Run: ./determinism_demo [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mis2.hpp"
+#include "graph/rgg.hpp"
+#include "parallel/execution.hpp"
+#include "random/hash.hpp"
+
+namespace {
+
+/// Order-sensitive checksum of the member list.
+std::uint64_t checksum(const std::vector<parmis::ordinal_t>& members) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (parmis::ordinal_t v : members) {
+    h = (h ^ static_cast<std::uint64_t>(v)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const ordinal_t n = argc > 1 ? static_cast<ordinal_t>(std::atoi(argv[1])) : 100000;
+  const graph::CrsGraph g = graph::random_geometric_3d(n, 16.0, 3);
+
+  struct Config {
+    const char* name;
+    par::Backend backend;
+    int threads;
+  };
+  const Config configs[] = {
+      {"serial", par::Backend::Serial, 1},  {"openmp-1", par::Backend::OpenMP, 1},
+      {"openmp-2", par::Backend::OpenMP, 2}, {"openmp-8", par::Backend::OpenMP, 8},
+      {"openmp-max", par::Backend::OpenMP, 0},
+  };
+
+  std::printf("MIS-2 on RGG n=%d across execution configurations:\n", n);
+  std::uint64_t reference = 0;
+  bool all_equal = true;
+  for (const Config& c : configs) {
+    par::ScopedExecution scope(c.backend, c.threads);
+    const core::Mis2Result r = core::mis2(g);
+    const std::uint64_t sum = checksum(r.members);
+    if (reference == 0) reference = sum;
+    all_equal = all_equal && sum == reference;
+    std::printf("  %-10s -> |MIS-2| = %6d, iterations = %2d, checksum = %016llx\n", c.name,
+                r.set_size(), r.iterations, static_cast<unsigned long long>(sum));
+  }
+  std::printf(all_equal ? "all configurations agree bit-for-bit\n"
+                        : "MISMATCH DETECTED (bug!)\n");
+  return all_equal ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+/// \file parmis_tool.cpp
+/// \brief Command-line front end: run the library's algorithms on a Matrix
+/// Market file or a generated problem.
+///
+/// Usage:
+///   parmis_tool <input> <command> [k]
+///
+/// input:
+///   path/to/matrix.mtx          any Matrix Market coordinate file
+///   gen:laplace3d:NX            NX^3 7-point grid
+///   gen:laplace2d:NX            NX^2 5-point grid
+///   gen:elasticity:NX           NX^3 27-point, 3 dof
+///   gen:rgg:N:DEG               3D random geometric graph
+///   reg:NAME                    a Table II surrogate (e.g. reg:Serena)
+///
+/// command: stats | mis2 | aggregate | color-d1 | color-d2 | partition K
+///
+/// The input matrix is symmetrized and stripped of self loops before any
+/// graph algorithm runs, so general matrices are accepted.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/timer.hpp"
+#include "coloring/d1_coloring.hpp"
+#include "coloring/d2_coloring.hpp"
+#include "coloring/verify.hpp"
+#include "core/aggregation.hpp"
+#include "core/mis2.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "graph/matrix_market.hpp"
+#include "graph/ops.hpp"
+#include "graph/registry.hpp"
+#include "graph/rgg.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace parmis;
+
+graph::CrsGraph load_graph(const std::string& spec) {
+  auto field = [&](std::size_t idx) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < idx; ++i) pos = spec.find(':', pos) + 1;
+    const std::size_t end = spec.find(':', pos);
+    return spec.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
+  };
+
+  graph::CrsMatrix m;
+  if (spec.rfind("gen:", 0) == 0) {
+    const std::string kind = field(1);
+    if (kind == "laplace3d") {
+      const ordinal_t nx = std::atoi(field(2).c_str());
+      m = graph::laplace3d(nx, nx, nx);
+    } else if (kind == "laplace2d") {
+      const ordinal_t nx = std::atoi(field(2).c_str());
+      m = graph::laplace2d(nx, nx);
+    } else if (kind == "elasticity") {
+      const ordinal_t nx = std::atoi(field(2).c_str());
+      m = graph::elasticity3d(nx, nx, nx);
+    } else if (kind == "rgg") {
+      const ordinal_t n = std::atoi(field(2).c_str());
+      const double deg = std::atof(field(3).c_str());
+      return graph::random_geometric_3d(n, deg, 1);
+    } else {
+      std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
+      std::exit(1);
+    }
+  } else if (spec.rfind("reg:", 0) == 0) {
+    m = graph::find_matrix(spec.substr(4)).build(1.0);
+  } else {
+    m = graph::read_matrix_market(spec);
+  }
+  return graph::remove_self_loops(graph::symmetrize(graph::GraphView(m)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <input> <stats|mis2|aggregate|color-d1|color-d2|partition K>\n"
+                 "  input: file.mtx | gen:laplace3d:NX | gen:laplace2d:NX |\n"
+                 "         gen:elasticity:NX | gen:rgg:N:DEG | reg:NAME\n",
+                 argv[0]);
+    return 1;
+  }
+  const graph::CrsGraph g = load_graph(argv[1]);
+  const std::string cmd = argv[2];
+
+  const graph::DegreeStats stats = graph::degree_stats(g);
+  std::printf("graph: %d vertices, %lld edges, degree min/avg/max = %d/%.2f/%d\n", g.num_rows,
+              static_cast<long long>(g.num_entries() / 2), stats.min_degree, stats.avg_degree,
+              stats.max_degree);
+  if (cmd == "stats") return 0;
+
+  Timer timer;
+  if (cmd == "mis2") {
+    const core::Mis2Result r = core::mis2(g);
+    std::printf("MIS-2: %d vertices, %d iterations, %.3f s, valid=%s\n", r.set_size(),
+                r.iterations, timer.seconds(), core::verify_mis2(g, r.in_set) ? "yes" : "NO");
+  } else if (cmd == "aggregate") {
+    const core::Aggregation agg = core::aggregate_mis2(g);
+    const core::AggregationStats s = core::aggregation_stats(agg);
+    std::printf("aggregation: %d aggregates (%.1fx), sizes %d..%d avg %.1f, %.3f s, valid=%s\n",
+                s.num_aggregates, static_cast<double>(g.num_rows) / s.num_aggregates,
+                s.min_size, s.max_size, s.avg_size, timer.seconds(),
+                core::verify_aggregation(g, agg) ? "yes" : "NO");
+  } else if (cmd == "color-d1") {
+    const coloring::Coloring c = coloring::parallel_d1_coloring(g);
+    std::printf("distance-1 coloring: %d colors, %d rounds, %.3f s, valid=%s\n", c.num_colors,
+                c.rounds, timer.seconds(), coloring::verify_d1_coloring(g, c) ? "yes" : "NO");
+  } else if (cmd == "color-d2") {
+    const coloring::Coloring c = coloring::parallel_d2_coloring(g);
+    std::printf("distance-2 coloring: %d colors, %d rounds, %.3f s, valid=%s\n", c.num_colors,
+                c.rounds, timer.seconds(), coloring::verify_d2_coloring(g, c) ? "yes" : "NO");
+  } else if (cmd == "partition") {
+    const ordinal_t k = argc > 3 ? static_cast<ordinal_t>(std::atoi(argv[3])) : 8;
+    const partition::Partition p = partition::partition_graph(g, k);
+    std::printf("partition k=%d: edge cut %lld (%.2f%% of edges), imbalance %.2f%%, %.3f s\n", k,
+                static_cast<long long>(p.edge_cut),
+                100.0 * static_cast<double>(p.edge_cut) / std::max<std::int64_t>(1, g.num_entries() / 2),
+                100.0 * p.imbalance, timer.seconds());
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 1;
+  }
+  return 0;
+}

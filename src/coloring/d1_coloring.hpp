@@ -1,0 +1,42 @@
+#pragma once
+/// \file d1_coloring.hpp
+/// \brief Distance-1 graph coloring (substrate for multicolor Gauss-Seidel).
+///
+/// Point multicolor Gauss-Seidel (Deveci et al., IPDPS 2016 — the paper's
+/// [11]) needs the rows of A partitioned into independent color classes;
+/// cluster multicolor GS (Algorithm 4) needs the same on the coarse graph.
+/// Two implementations:
+///  - `greedy_d1_coloring`: serial first-fit, the classic quality baseline;
+///  - `parallel_d1_coloring`: bulk-synchronous speculative coloring with
+///    deterministic conflict resolution (lower vertex id wins), so the
+///    coloring is identical for any thread count.
+
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::coloring {
+
+/// A vertex coloring with compact color ids [0, num_colors).
+struct Coloring {
+  std::vector<ordinal_t> colors;
+  ordinal_t num_colors{0};
+  int rounds{1};  ///< speculative rounds used (1 for serial)
+};
+
+/// CSR partition of vertices by color: vertices of color `c` are
+/// `vertices[offsets[c] .. offsets[c+1])`, each class sorted ascending.
+struct ColorSets {
+  std::vector<offset_t> offsets;
+  std::vector<ordinal_t> vertices;
+};
+
+[[nodiscard]] ColorSets color_sets(const Coloring& coloring);
+
+/// Serial first-fit distance-1 coloring.
+[[nodiscard]] Coloring greedy_d1_coloring(graph::GraphView g);
+
+/// Parallel speculative distance-1 coloring, deterministic.
+[[nodiscard]] Coloring parallel_d1_coloring(graph::GraphView g);
+
+}  // namespace parmis::coloring

@@ -1,0 +1,26 @@
+#pragma once
+/// \file d2_coloring.hpp
+/// \brief Distance-2 graph coloring (substrate for the D2C aggregation
+/// baselines of Table V).
+///
+/// A distance-2 coloring assigns different colors to any two vertices
+/// joined by a path of length <= 2; each color class is therefore a
+/// distance-2 independent set, which is how MueLu's coloring-based
+/// aggregation finds its root candidates ("Serial D2C" / "NB D2C" in the
+/// paper). `greedy_d2_coloring` is the serial scheme (coloring offloaded to
+/// host in the paper); `parallel_d2_coloring` is the on-device parallel
+/// net-based analogue, implemented as bulk-synchronous speculation with
+/// deterministic distance-2 conflict resolution.
+
+#include "coloring/d1_coloring.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::coloring {
+
+/// Serial first-fit distance-2 coloring.
+[[nodiscard]] Coloring greedy_d2_coloring(graph::GraphView g);
+
+/// Parallel speculative distance-2 coloring, deterministic.
+[[nodiscard]] Coloring parallel_d2_coloring(graph::GraphView g);
+
+}  // namespace parmis::coloring

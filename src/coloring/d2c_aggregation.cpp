@@ -1,0 +1,110 @@
+#include "coloring/d2c_aggregation.hpp"
+
+#include <atomic>
+#include <cassert>
+
+#include "coloring/d2_coloring.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+
+namespace parmis::coloring {
+
+core::Aggregation aggregate_d2c(graph::GraphView g, D2cMode mode,
+                                ordinal_t min_root_neighbors) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+
+  const Coloring coloring =
+      mode == D2cMode::Serial ? greedy_d2_coloring(g) : parallel_d2_coloring(g);
+  const ColorSets sets = color_sets(coloring);
+
+  core::Aggregation agg;
+  agg.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
+
+  // Root growth, one color class at a time. Members of a class are
+  // pairwise distance-2 independent, so their neighbor claims can't
+  // collide and this loop is deterministic.
+  for (ordinal_t c = 0; c < coloring.num_colors; ++c) {
+    const offset_t begin = sets.offsets[static_cast<std::size_t>(c)];
+    const offset_t end = sets.offsets[static_cast<std::size_t>(c) + 1];
+
+    // Accept roots: unaggregated vertices of this color with enough
+    // unaggregated neighbors; assign compact ids in vertex order.
+    std::vector<ordinal_t> accepted;
+    par::compact_into(
+        static_cast<ordinal_t>(end - begin),
+        [&](ordinal_t i) {
+          const ordinal_t v = sets.vertices[static_cast<std::size_t>(begin + i)];
+          if (agg.labels[static_cast<std::size_t>(v)] != invalid_ordinal) return false;
+          ordinal_t unagg = 0;
+          for (ordinal_t w : g.row(v)) {
+            if (agg.labels[static_cast<std::size_t>(w)] == invalid_ordinal) ++unagg;
+          }
+          return unagg >= min_root_neighbors;
+        },
+        [&](ordinal_t i) { return sets.vertices[static_cast<std::size_t>(begin + i)]; },
+        accepted);
+
+    const ordinal_t base = agg.num_aggregates;
+    par::parallel_for(static_cast<ordinal_t>(accepted.size()), [&](ordinal_t i) {
+      const ordinal_t r = accepted[static_cast<std::size_t>(i)];
+      const ordinal_t id = base + i;
+      agg.labels[static_cast<std::size_t>(r)] = id;
+      for (ordinal_t w : g.row(r)) {
+        if (agg.labels[static_cast<std::size_t>(w)] == invalid_ordinal) {
+          agg.labels[static_cast<std::size_t>(w)] = id;
+        }
+      }
+    });
+    agg.num_aggregates = base + static_cast<ordinal_t>(accepted.size());
+    agg.roots.insert(agg.roots.end(), accepted.begin(), accepted.end());
+  }
+
+  // Leftover join: first-come atomic claim of any adjacent aggregate,
+  // reading labels live — intentionally nondeterministic under concurrent
+  // execution (this is the property Table V reports). Repeat until all
+  // vertices are aggregated: a leftover may only gain an aggregated
+  // neighbor in a later sweep if its whole neighborhood was leftover.
+  for (;;) {
+    std::atomic<std::int64_t> remaining{0};
+    par::parallel_for(n, [&](ordinal_t v) {
+      std::atomic_ref<ordinal_t> label_v(agg.labels[static_cast<std::size_t>(v)]);
+      if (label_v.load(std::memory_order_relaxed) != invalid_ordinal) return;
+      for (ordinal_t w : g.row(v)) {
+        std::atomic_ref<ordinal_t> label_w(agg.labels[static_cast<std::size_t>(w)]);
+        const ordinal_t a = label_w.load(std::memory_order_relaxed);
+        if (a != invalid_ordinal) {
+          label_v.store(a, std::memory_order_relaxed);
+          return;
+        }
+      }
+      remaining.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (remaining.load() == 0) break;
+    // Guard against a component with no aggregate at all (e.g. a single
+    // isolated vertex): promote the lowest-id leftover to a root.
+    bool promoted = false;
+    for (ordinal_t v = 0; v < n && !promoted; ++v) {
+      if (agg.labels[static_cast<std::size_t>(v)] == invalid_ordinal) {
+        bool any_labeled_neighbor = false;
+        for (ordinal_t w : g.row(v)) {
+          if (agg.labels[static_cast<std::size_t>(w)] != invalid_ordinal) {
+            any_labeled_neighbor = true;
+            break;
+          }
+        }
+        if (!any_labeled_neighbor) {
+          agg.labels[static_cast<std::size_t>(v)] = agg.num_aggregates;
+          agg.roots.push_back(v);
+          ++agg.num_aggregates;
+          promoted = true;
+        }
+      }
+    }
+  }
+
+  return agg;
+}
+
+}  // namespace parmis::coloring

@@ -1,0 +1,35 @@
+#pragma once
+/// \file d2c_aggregation.hpp
+/// \brief Coloring-based aggregation: the "Serial D2C" and "NB D2C"
+/// baselines of Table V.
+///
+/// A distance-2 coloring makes every color class a distance-2 independent
+/// set, so MueLu's coloring-based aggregation walks the colors in order and
+/// lets each still-unaggregated vertex of the current color become a root
+/// (when it has enough unaggregated neighbors, mirroring Algorithm 3's
+/// phase-2 rule). Same-color roots can't share neighbors, so root growth is
+/// conflict-free within a color round.
+///
+/// Leftover vertices join *any* adjacent aggregate with a first-come
+/// atomic claim — the step that makes this scheme nondeterministic in the
+/// paper (no checkmark in Table V's "Det." column); we reproduce that
+/// property faithfully rather than fixing it.
+
+#include "core/aggregation.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::coloring {
+
+/// Which coloring feeds the aggregation.
+enum class D2cMode {
+  Serial,    ///< "Serial D2C": serial greedy coloring, parallel aggregation
+  Parallel,  ///< "NB D2C": parallel (net-based analogue) coloring + aggregation
+};
+
+/// Coloring-based aggregation. `min_root_neighbors` mirrors Algorithm 3's
+/// small-aggregate rejection (default 2).
+[[nodiscard]] core::Aggregation aggregate_d2c(graph::GraphView g,
+                                              D2cMode mode = D2cMode::Parallel,
+                                              ordinal_t min_root_neighbors = 2);
+
+}  // namespace parmis::coloring

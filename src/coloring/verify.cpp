@@ -1,0 +1,48 @@
+#include "coloring/verify.hpp"
+
+#include "parallel/parallel_reduce.hpp"
+
+namespace parmis::coloring {
+
+namespace {
+
+bool colors_in_range(const Coloring& c) {
+  for (ordinal_t col : c.colors) {
+    if (col < 0 || col >= c.num_colors) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool verify_d1_coloring(graph::GraphView g, const Coloring& c) {
+  if (c.colors.size() != static_cast<std::size_t>(g.num_rows)) return false;
+  if (!colors_in_range(c)) return false;
+  const std::int64_t conflicts = par::count_if(g.num_rows, [&](ordinal_t v) {
+    for (ordinal_t w : g.row(v)) {
+      if (c.colors[static_cast<std::size_t>(w)] == c.colors[static_cast<std::size_t>(v)]) {
+        return true;
+      }
+    }
+    return false;
+  });
+  return conflicts == 0;
+}
+
+bool verify_d2_coloring(graph::GraphView g, const Coloring& c) {
+  if (c.colors.size() != static_cast<std::size_t>(g.num_rows)) return false;
+  if (!colors_in_range(c)) return false;
+  const std::int64_t conflicts = par::count_if(g.num_rows, [&](ordinal_t v) {
+    const ordinal_t cv = c.colors[static_cast<std::size_t>(v)];
+    for (ordinal_t w : g.row(v)) {
+      if (c.colors[static_cast<std::size_t>(w)] == cv) return true;
+      for (ordinal_t u : g.row(w)) {
+        if (u != v && c.colors[static_cast<std::size_t>(u)] == cv) return true;
+      }
+    }
+    return false;
+  });
+  return conflicts == 0;
+}
+
+}  // namespace parmis::coloring

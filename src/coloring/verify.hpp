@@ -1,0 +1,17 @@
+#pragma once
+/// \file verify.hpp
+/// \brief Coloring validity checkers.
+
+#include "coloring/d1_coloring.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::coloring {
+
+/// Every vertex colored in [0, num_colors) and no two adjacent vertices
+/// share a color.
+[[nodiscard]] bool verify_d1_coloring(graph::GraphView g, const Coloring& c);
+
+/// Distance-2 validity: no two vertices within distance <= 2 share a color.
+[[nodiscard]] bool verify_d2_coloring(graph::GraphView g, const Coloring& c);
+
+}  // namespace parmis::coloring

@@ -1,0 +1,4 @@
+#include "common/config.hpp"
+
+// Intentionally empty: config.hpp is constants/aliases only. This
+// translation unit exists so the module shows up in the library target.

@@ -1,0 +1,30 @@
+#pragma once
+/// \file config.hpp
+/// \brief Library-wide index and value type configuration.
+///
+/// The paper's implementation (Kokkos Kernels) templates on ordinal/offset/
+/// scalar types; this reproduction fixes one concrete, widely used
+/// configuration to keep the library a plain (non-header-only) build:
+/// 32-bit vertex ids, 64-bit row offsets, double-precision values.
+
+#include <cstdint>
+#include <limits>
+
+namespace parmis {
+
+/// Vertex/column index type. 32-bit, as in the paper (|V| < 2^31).
+using ordinal_t = std::int32_t;
+
+/// Row-offset type. 64-bit so graphs with > 2^31 entries are representable.
+using offset_t = std::int64_t;
+
+/// Matrix value type.
+using scalar_t = double;
+
+/// Sentinel for "no vertex" / "unassigned".
+inline constexpr ordinal_t invalid_ordinal = -1;
+
+/// Largest representable ordinal.
+inline constexpr ordinal_t max_ordinal = std::numeric_limits<ordinal_t>::max();
+
+}  // namespace parmis

@@ -1,0 +1,28 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timer used by the benchmark harness and solver stats.
+
+#include <chrono>
+
+namespace parmis {
+
+/// Monotonic wall-clock stopwatch. `seconds()` returns elapsed time since
+/// construction or the last `reset()`.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace parmis

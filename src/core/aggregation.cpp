@@ -1,0 +1,233 @@
+#include "core/aggregation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+
+namespace parmis::core {
+
+namespace {
+
+/// Phase 1 of both algorithms: roots = MIS-2 members get aggregate ids in
+/// member order; each root claims itself and all its neighbors. Conflict-
+/// free: distance-2 independence means no vertex neighbors two roots.
+void grow_initial_aggregates(graph::GraphView g, const Mis2Result& mis,
+                             std::vector<ordinal_t>& labels) {
+  const ordinal_t num_roots = mis.set_size();
+  par::parallel_for(num_roots, [&](ordinal_t i) {
+    const ordinal_t r = mis.members[static_cast<std::size_t>(i)];
+    labels[static_cast<std::size_t>(r)] = i;
+    for (ordinal_t w : g.row(r)) {
+      labels[static_cast<std::size_t>(w)] = i;
+    }
+  });
+}
+
+}  // namespace
+
+Aggregation aggregate_basic(graph::GraphView g, const Mis2Options& opts) {
+  return aggregate_from_mis(g, mis2(g, opts));
+}
+
+Aggregation aggregate_from_mis(graph::GraphView g, const Mis2Result& mis) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+
+  Aggregation agg;
+  agg.phase1_iterations = mis.iterations;
+  agg.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
+  agg.roots = mis.members;
+  agg.num_aggregates = mis.set_size();
+  grow_initial_aggregates(g, mis, agg.labels);
+
+  // Leftovers join the aggregate of the lowest-indexed labeled neighbor
+  // ("any neighbor" in the paper; lowest-index makes it deterministic).
+  // Maximality guarantees such a neighbor exists: every vertex is within
+  // two hops of a root, and the middle vertex of that path is labeled.
+  std::vector<ordinal_t> snapshot = agg.labels;
+  par::parallel_for(n, [&](ordinal_t v) {
+    if (snapshot[static_cast<std::size_t>(v)] != invalid_ordinal) return;
+    for (ordinal_t w : g.row(v)) {
+      const ordinal_t a = snapshot[static_cast<std::size_t>(w)];
+      if (a != invalid_ordinal) {
+        agg.labels[static_cast<std::size_t>(v)] = a;
+        return;
+      }
+    }
+    assert(false && "maximality violated: leftover vertex with no labeled neighbor");
+  });
+  return agg;
+}
+
+Aggregation aggregate_mis2(graph::GraphView g, const Mis2Options& opts) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+
+  // --- Phase 1: initial aggregates from MIS-2 roots + neighbors ---------
+  const Mis2Result mis1 = mis2(g, opts);
+
+  Aggregation agg;
+  agg.phase1_iterations = mis1.iterations;
+  agg.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
+  grow_initial_aggregates(g, mis1, agg.labels);
+
+  // --- Phase 2: secondary aggregates on the leftover-induced subgraph ---
+  std::vector<char> active(static_cast<std::size_t>(n));
+  par::parallel_for(n, [&](ordinal_t v) {
+    active[static_cast<std::size_t>(v)] =
+        agg.labels[static_cast<std::size_t>(v)] == invalid_ordinal ? 1 : 0;
+  });
+
+  const Mis2Result mis2_result = mis2_masked(g, active, opts);
+  agg.phase2_iterations = mis2_result.iterations;
+
+  auto unagg_neighbors = [&](ordinal_t r) {
+    ordinal_t count = 0;
+    for (ordinal_t w : g.row(r)) {
+      if (active[static_cast<std::size_t>(w)]) ++count;
+    }
+    return count;
+  };
+
+  // Keep only secondary roots with at least 2 leftover neighbors; smaller
+  // aggregates would increase fill-in during multigrid smoothing (paper
+  // §III-B).
+  std::vector<ordinal_t> accepted;
+  par::compact_into(
+      static_cast<ordinal_t>(mis2_result.members.size()),
+      [&](ordinal_t i) {
+        return unagg_neighbors(mis2_result.members[static_cast<std::size_t>(i)]) >= 2;
+      },
+      [&](ordinal_t i) { return mis2_result.members[static_cast<std::size_t>(i)]; }, accepted);
+
+  const ordinal_t base = mis1.set_size();
+  par::parallel_for(static_cast<ordinal_t>(accepted.size()), [&](ordinal_t i) {
+    const ordinal_t r = accepted[static_cast<std::size_t>(i)];
+    const ordinal_t id = base + i;
+    agg.labels[static_cast<std::size_t>(r)] = id;
+    for (ordinal_t w : g.row(r)) {
+      if (active[static_cast<std::size_t>(w)]) {
+        agg.labels[static_cast<std::size_t>(w)] = id;
+      }
+    }
+  });
+
+  agg.num_aggregates = base + static_cast<ordinal_t>(accepted.size());
+  agg.roots = mis1.members;
+  agg.roots.insert(agg.roots.end(), accepted.begin(), accepted.end());
+
+  // --- Phase 3: cleanup against immutable tentative labels ---------------
+  const std::vector<ordinal_t> tent = agg.labels;
+
+  // Aggregate sizes under the tentative labels (serial histogram: O(n)
+  // integer counting, negligible next to the coupling pass).
+  std::vector<ordinal_t> agg_size(static_cast<std::size_t>(agg.num_aggregates), 0);
+  for (ordinal_t v = 0; v < n; ++v) {
+    const ordinal_t a = tent[static_cast<std::size_t>(v)];
+    if (a != invalid_ordinal) ++agg_size[static_cast<std::size_t>(a)];
+  }
+
+  par::parallel_for(n, [&](ordinal_t v) {
+    if (tent[static_cast<std::size_t>(v)] != invalid_ordinal) return;
+    // Count coupling to each adjacent aggregate by sorting the (few)
+    // labeled neighbor ids and scanning runs.
+    thread_local std::vector<ordinal_t> nbr_labels;
+    nbr_labels.clear();
+    for (ordinal_t w : g.row(v)) {
+      const ordinal_t a = tent[static_cast<std::size_t>(w)];
+      if (a != invalid_ordinal) nbr_labels.push_back(a);
+    }
+    assert(!nbr_labels.empty() && "maximality violated in cleanup phase");
+    std::sort(nbr_labels.begin(), nbr_labels.end());
+
+    ordinal_t best_agg = invalid_ordinal;
+    ordinal_t best_coupling = 0;
+    ordinal_t best_size = max_ordinal;
+    std::size_t i = 0;
+    while (i < nbr_labels.size()) {
+      const ordinal_t a = nbr_labels[i];
+      std::size_t j = i;
+      while (j < nbr_labels.size() && nbr_labels[j] == a) ++j;
+      const ordinal_t coupling = static_cast<ordinal_t>(j - i);
+      const ordinal_t size = agg_size[static_cast<std::size_t>(a)];
+      // Max coupling; tie -> min tentative size; tie -> min id (ids are
+      // scanned ascending, so strict inequalities keep the first).
+      if (coupling > best_coupling ||
+          (coupling == best_coupling && size < best_size)) {
+        best_agg = a;
+        best_coupling = coupling;
+        best_size = size;
+      }
+      i = j;
+    }
+    agg.labels[static_cast<std::size_t>(v)] = best_agg;
+  });
+
+  return agg;
+}
+
+AggregationStats aggregation_stats(const Aggregation& agg) {
+  AggregationStats s;
+  s.num_aggregates = agg.num_aggregates;
+  if (agg.num_aggregates == 0) return s;
+  std::vector<ordinal_t> size(static_cast<std::size_t>(agg.num_aggregates), 0);
+  for (ordinal_t a : agg.labels) {
+    if (a != invalid_ordinal) ++size[static_cast<std::size_t>(a)];
+  }
+  s.min_size = *std::min_element(size.begin(), size.end());
+  s.max_size = *std::max_element(size.begin(), size.end());
+  s.avg_size = static_cast<double>(agg.labels.size()) / agg.num_aggregates;
+  return s;
+}
+
+bool verify_aggregation(graph::GraphView g, const Aggregation& agg) {
+  const ordinal_t n = g.num_rows;
+  if (agg.labels.size() != static_cast<std::size_t>(n)) return false;
+  if (agg.roots.size() != static_cast<std::size_t>(agg.num_aggregates)) return false;
+
+  // Totality and label range.
+  for (ordinal_t v = 0; v < n; ++v) {
+    const ordinal_t a = agg.labels[static_cast<std::size_t>(v)];
+    if (a < 0 || a >= agg.num_aggregates) return false;
+  }
+  // Roots own their aggregates.
+  for (ordinal_t a = 0; a < agg.num_aggregates; ++a) {
+    const ordinal_t r = agg.roots[static_cast<std::size_t>(a)];
+    if (r < 0 || r >= n) return false;
+    if (agg.labels[static_cast<std::size_t>(r)] != a) return false;
+  }
+
+  // Connectivity: BFS from each root restricted to its aggregate must
+  // reach every member.
+  std::vector<ordinal_t> member_count(static_cast<std::size_t>(agg.num_aggregates), 0);
+  for (ordinal_t v = 0; v < n; ++v) {
+    ++member_count[static_cast<std::size_t>(agg.labels[static_cast<std::size_t>(v)])];
+  }
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<ordinal_t> queue;
+  for (ordinal_t a = 0; a < agg.num_aggregates; ++a) {
+    const ordinal_t r = agg.roots[static_cast<std::size_t>(a)];
+    queue.clear();
+    queue.push_back(r);
+    visited[static_cast<std::size_t>(r)] = 1;
+    ordinal_t reached = 1;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      for (ordinal_t w : g.row(queue[qi])) {
+        if (!visited[static_cast<std::size_t>(w)] &&
+            agg.labels[static_cast<std::size_t>(w)] == a) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          queue.push_back(w);
+          ++reached;
+        }
+      }
+    }
+    if (reached != member_count[static_cast<std::size_t>(a)]) return false;
+  }
+  return true;
+}
+
+}  // namespace parmis::core

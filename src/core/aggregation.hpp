@@ -1,0 +1,73 @@
+#pragma once
+/// \file aggregation.hpp
+/// \brief MIS-2 based graph aggregation (paper Algorithms 2 and 3).
+///
+/// An *aggregation* partitions the vertices into disjoint aggregates, each
+/// grown around a root vertex. Because roots form an MIS-2, no vertex is
+/// adjacent to two roots and every vertex is within two hops of some root,
+/// so phase-1 growth is conflict-free and cleanup always finds an adjacent
+/// aggregate — the properties that make the construction both parallel and
+/// total.
+///
+/// Two schemes:
+///  - `aggregate_basic` (Algorithm 2, Bell et al.): aggregates = roots +
+///    their neighbors; leftovers join any adjacent aggregate. Fast but
+///    produces ragged aggregates that slow multigrid convergence (Table V's
+///    "MIS2 Basic" row).
+///  - `aggregate_mis2` (Algorithm 3, the paper's contribution): a second
+///    MIS-2 on the subgraph induced by leftover vertices seeds secondary
+///    aggregates (kept only when >= 2 leftover neighbors join, to avoid
+///    fill-in-inducing tiny aggregates), then remaining vertices join the
+///    adjacent aggregate with the strongest coupling (most neighbors in
+///    it), ties broken toward the smaller aggregate. Coupling and sizes are
+///    evaluated against the immutable phase-2 "tentative" labels, keeping
+///    phase 3 deterministic.
+///
+/// Both schemes are deterministic for any backend/thread count.
+
+#include <vector>
+
+#include "core/mis2.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// A complete aggregation: every vertex carries an aggregate id in
+/// [0, num_aggregates).
+struct Aggregation {
+  std::vector<ordinal_t> labels;  ///< vertex -> aggregate id
+  ordinal_t num_aggregates{0};
+  std::vector<ordinal_t> roots;  ///< root vertex of each aggregate
+  int phase1_iterations{0};      ///< MIS-2 iterations (phase 1)
+  int phase2_iterations{0};      ///< masked MIS-2 iterations (Algorithm 3 only)
+};
+
+/// Algorithm 2: basic MIS-2 coarsening.
+[[nodiscard]] Aggregation aggregate_basic(graph::GraphView g, const Mis2Options& opts = {});
+
+/// Algorithm 2's growth phase on an already-computed MIS-2 (`mis` must be
+/// a valid MIS-2 of `g`). Lets benchmarks pair the coarsening with a
+/// different MIS-2 implementation (e.g. the Bell baseline, as ViennaCL
+/// does).
+[[nodiscard]] Aggregation aggregate_from_mis(graph::GraphView g, const Mis2Result& mis);
+
+/// Algorithm 3: two-round MIS-2 aggregation with coupling-based cleanup.
+[[nodiscard]] Aggregation aggregate_mis2(graph::GraphView g, const Mis2Options& opts = {});
+
+/// Size distribution summary used by quality checks and Table V analysis.
+struct AggregationStats {
+  ordinal_t num_aggregates{0};
+  ordinal_t min_size{0};
+  ordinal_t max_size{0};
+  double avg_size{0.0};
+};
+
+[[nodiscard]] AggregationStats aggregation_stats(const Aggregation& agg);
+
+/// True iff labels form a valid total aggregation: every vertex labeled
+/// with an id < num_aggregates, every aggregate non-empty, every root
+/// labeled with its own aggregate, and every aggregate *connected* (each
+/// member reaches its root within the aggregate).
+[[nodiscard]] bool verify_aggregation(graph::GraphView g, const Aggregation& agg);
+
+}  // namespace parmis::core

@@ -1,0 +1,92 @@
+#include "core/bell_misk.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/status_tuple.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::core {
+
+Mis2Result bell_misk(graph::GraphView g, int k, std::uint64_t seed,
+                     bool per_round_priorities) {
+  assert(g.num_rows == g.num_cols);
+  assert(k >= 1);
+  const ordinal_t n = g.num_rows;
+
+  // Fixed random priorities, chosen once (Bell's scheme).
+  std::vector<WideTuple> state(static_cast<std::size_t>(n));
+  par::parallel_for(n, [&](ordinal_t v) {
+    state[static_cast<std::size_t>(v)] =
+        WideTuple::undecided(rng::xorshift64star(static_cast<std::uint64_t>(v) + seed + 1), v);
+  });
+
+  std::vector<WideTuple> prop(static_cast<std::size_t>(n));
+  std::vector<WideTuple> prop_next(static_cast<std::size_t>(n));
+
+  Mis2Result result;
+  int round = 0;
+  // Every round decides at least the global-minimum undecided vertex, so
+  // this terminates in at most n rounds (O(log n) expected).
+  for (;; ++round) {
+    const std::int64_t undecided = par::count_if(n, [&](ordinal_t v) {
+      return state[static_cast<std::size_t>(v)].status == WideTuple::kUndecided;
+    });
+    if (undecided == 0) break;
+
+    if (per_round_priorities) {
+      // §V-A refresh applied to the Bell skeleton (Fig. 2's first rung).
+      par::parallel_for(n, [&](ordinal_t v) {
+        WideTuple& s = state[static_cast<std::size_t>(v)];
+        if (s.status == WideTuple::kUndecided) {
+          s = WideTuple::undecided(
+              rng::hash_xorshift_star(static_cast<std::uint64_t>(round) ^ seed,
+                                      static_cast<std::uint64_t>(v)),
+              v);
+        }
+      });
+    }
+
+    // k sweeps of closed-neighborhood min propagation.
+    prop = state;
+    for (int step = 0; step < k; ++step) {
+      par::parallel_for(n, [&](ordinal_t v) {
+        WideTuple m = prop[static_cast<std::size_t>(v)];
+        for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+          const WideTuple& w = prop[static_cast<std::size_t>(g.entries[j])];
+          if (w < m) m = w;
+        }
+        prop_next[static_cast<std::size_t>(v)] = m;
+      });
+      prop.swap(prop_next);
+    }
+
+    // Decide: own minimum -> IN; IN-status minimum -> OUT.
+    par::parallel_for(n, [&](ordinal_t v) {
+      WideTuple& s = state[static_cast<std::size_t>(v)];
+      if (s.status != WideTuple::kUndecided) return;
+      const WideTuple& m = prop[static_cast<std::size_t>(v)];
+      if (m == s) {
+        s.status = WideTuple::kIn;
+      } else if (m.status == WideTuple::kIn) {
+        s.status = WideTuple::kOut;
+      }
+    });
+  }
+
+  result.iterations = round;
+  result.in_set.assign(static_cast<std::size_t>(n), 0);
+  par::parallel_for(n, [&](ordinal_t v) {
+    result.in_set[static_cast<std::size_t>(v)] =
+        state[static_cast<std::size_t>(v)].status == WideTuple::kIn ? 1 : 0;
+  });
+  par::compact_into(
+      n, [&](ordinal_t v) { return result.in_set[static_cast<std::size_t>(v)] != 0; },
+      [](ordinal_t v) { return v; }, result.members);
+  return result;
+}
+
+}  // namespace parmis::core

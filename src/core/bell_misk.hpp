@@ -1,0 +1,39 @@
+#pragma once
+/// \file bell_misk.hpp
+/// \brief Reference implementation of the Bell/Dalton/Olson MIS-k algorithm.
+///
+/// Bell, Dalton & Olson (SISC 2012) compute a distance-k maximal
+/// independent set directly: every vertex carries a (status, random, ID)
+/// tuple with status IN < UNDECIDED < OUT; each round the minimum tuple is
+/// propagated k hops (so every vertex learns the minimum over its radius-k
+/// neighborhood), vertices owning their neighborhood minimum join the set,
+/// and vertices whose propagated minimum has status IN are knocked out.
+/// Priorities are chosen *once* (not per round), every vertex is processed
+/// every round (no worklists), and tuples are kept as 3-field structs —
+/// exactly the baseline the paper's Fig. 2 ablation starts from, and the
+/// algorithm CUSP and ViennaCL ship (the comparators in Figs. 6-7 and
+/// Table IV; see DESIGN.md §4 on this substitution).
+///
+/// Deterministic: same fixed-priority scheme, order-independent min
+/// propagation.
+
+#include <cstdint>
+
+#include "core/mis2.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// Compute a distance-k MIS of `g` (symmetric, loop-free adjacency) using
+/// the Bell et al. reference scheme. `iterations` in the result counts
+/// rounds (each round performs k min-propagation sweeps).
+///
+/// `per_round_priorities` re-randomizes undecided vertices' priorities at
+/// the start of every round (with xorshift*). This is the first rung of
+/// the paper's Fig. 2 optimization ladder: Bell's structure, but with the
+/// §V-A priority refresh, which shortens dependency chains and reduces the
+/// round count.
+[[nodiscard]] Mis2Result bell_misk(graph::GraphView g, int k = 2, std::uint64_t seed = 0,
+                                   bool per_round_priorities = false);
+
+}  // namespace parmis::core

@@ -1,0 +1,122 @@
+#include "core/coarsen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parmis::core {
+
+AggregateMembers aggregate_members(const Aggregation& agg) {
+  AggregateMembers m;
+  const ordinal_t n = static_cast<ordinal_t>(agg.labels.size());
+  m.offsets.assign(static_cast<std::size_t>(agg.num_aggregates) + 1, 0);
+  for (ordinal_t v = 0; v < n; ++v) {
+    ++m.offsets[static_cast<std::size_t>(agg.labels[static_cast<std::size_t>(v)]) + 1];
+  }
+  for (ordinal_t a = 0; a < agg.num_aggregates; ++a) {
+    m.offsets[static_cast<std::size_t>(a) + 1] += m.offsets[static_cast<std::size_t>(a)];
+  }
+  m.members.resize(static_cast<std::size_t>(n));
+  std::vector<offset_t> cursor(m.offsets.begin(), m.offsets.end() - 1);
+  // Vertex-order fill keeps each member list sorted ascending.
+  for (ordinal_t v = 0; v < n; ++v) {
+    m.members[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(agg.labels[static_cast<std::size_t>(v)])]++)] = v;
+  }
+  return m;
+}
+
+namespace {
+
+/// Stamp-marker workspace for coarse-row deduplication (same pattern as
+/// SpGEMM's accumulator).
+struct Workspace {
+  std::vector<std::uint64_t> stamp_of;
+  std::vector<ordinal_t> touched;
+  std::uint64_t stamp{0};
+
+  void ensure(ordinal_t ncols) {
+    if (stamp_of.size() < static_cast<std::size_t>(ncols)) {
+      stamp_of.assign(static_cast<std::size_t>(ncols), 0);
+      stamp = 0;
+    }
+  }
+};
+
+thread_local Workspace t_ws;
+
+}  // namespace
+
+graph::CrsGraph coarse_graph(graph::GraphView g, const Aggregation& agg) {
+  assert(agg.labels.size() == static_cast<std::size_t>(g.num_rows));
+  const AggregateMembers mem = aggregate_members(agg);
+  const ordinal_t nc = agg.num_aggregates;
+
+  graph::CrsGraph c;
+  c.num_rows = nc;
+  c.num_cols = nc;
+  c.row_map.assign(static_cast<std::size_t>(nc) + 1, 0);
+
+  auto collect_row = [&](ordinal_t a) {
+    Workspace& ws = t_ws;
+    ws.ensure(nc);
+    ++ws.stamp;
+    ws.touched.clear();
+    for (offset_t mi = mem.offsets[static_cast<std::size_t>(a)];
+         mi < mem.offsets[static_cast<std::size_t>(a) + 1]; ++mi) {
+      const ordinal_t v = mem.members[static_cast<std::size_t>(mi)];
+      for (ordinal_t w : g.row(v)) {
+        const ordinal_t b = agg.labels[static_cast<std::size_t>(w)];
+        if (b == a) continue;
+        if (ws.stamp_of[static_cast<std::size_t>(b)] != ws.stamp) {
+          ws.stamp_of[static_cast<std::size_t>(b)] = ws.stamp;
+          ws.touched.push_back(b);
+        }
+      }
+    }
+  };
+
+  par::parallel_for(nc, [&](ordinal_t a) {
+    collect_row(a);
+    c.row_map[static_cast<std::size_t>(a) + 1] = static_cast<offset_t>(t_ws.touched.size());
+  });
+  for (ordinal_t a = 0; a < nc; ++a) {
+    c.row_map[static_cast<std::size_t>(a) + 1] += c.row_map[static_cast<std::size_t>(a)];
+  }
+  c.entries.resize(static_cast<std::size_t>(c.row_map.back()));
+  par::parallel_for(nc, [&](ordinal_t a) {
+    collect_row(a);
+    std::sort(t_ws.touched.begin(), t_ws.touched.end());
+    std::copy(t_ws.touched.begin(), t_ws.touched.end(),
+              c.entries.begin() + static_cast<std::ptrdiff_t>(c.row_map[a]));
+  });
+  return c;
+}
+
+MultilevelHierarchy multilevel_coarsen(graph::GraphView g, const MultilevelOptions& opts) {
+  MultilevelHierarchy h;
+  graph::GraphView view = g;
+
+  for (int level = 0; level < opts.max_levels; ++level) {
+    if (view.num_rows <= opts.target_vertices) break;
+
+    CoarsenLevel lvl;
+    lvl.aggregation = opts.use_algorithm3 ? aggregate_mis2(view, opts.mis2)
+                                          : aggregate_basic(view, opts.mis2);
+    // Stall guard: require at least 5% reduction to continue.
+    if (lvl.aggregation.num_aggregates >= view.num_rows ||
+        static_cast<double>(lvl.aggregation.num_aggregates) > 0.95 * view.num_rows) {
+      break;
+    }
+    lvl.graph = coarse_graph(view, lvl.aggregation);
+    h.levels.push_back(std::move(lvl));
+    // Note: vector reallocation moves the CrsGraph objects but not their
+    // heap buffers, so views into the previous level stay valid.
+    view = h.levels.back().graph;
+  }
+  return h;
+}
+
+}  // namespace parmis::core

@@ -1,0 +1,64 @@
+#pragma once
+/// \file coarsen.hpp
+/// \brief Coarse (quotient) graph construction and the recursive
+/// multilevel-coarsening driver.
+///
+/// Given an aggregation, the coarse graph has one vertex per aggregate and
+/// an edge between two aggregates whenever any fine edge crosses them.
+/// This is the structure Algorithm 4 colors for cluster multicolor
+/// Gauss-Seidel, and — applied recursively — the coarsening loop used in
+/// multilevel partitioning (Gilbert et al., the paper's §II/VII use case).
+
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/mis2.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// Quotient graph of `g` under `agg` (symmetric, loop-free, rows sorted).
+[[nodiscard]] graph::CrsGraph coarse_graph(graph::GraphView g, const Aggregation& agg);
+
+/// Member lists of an aggregation in CSR layout: members of aggregate `a`
+/// are `members[member_offsets[a] .. member_offsets[a+1])`, each list
+/// sorted ascending. Used by cluster Gauss-Seidel and the coarse builders.
+struct AggregateMembers {
+  std::vector<offset_t> offsets;
+  std::vector<ordinal_t> members;
+};
+
+[[nodiscard]] AggregateMembers aggregate_members(const Aggregation& agg);
+
+/// One level of a multilevel hierarchy.
+struct CoarsenLevel {
+  Aggregation aggregation;   ///< aggregation of the *previous* (finer) level
+  graph::CrsGraph graph;     ///< the coarse graph it produced
+};
+
+/// Recursive MIS-2 coarsening: aggregate + contract until the graph has at
+/// most `target_vertices` vertices or `max_levels` levels were produced or
+/// coarsening stalls (< 5% reduction).
+struct MultilevelOptions {
+  ordinal_t target_vertices = 64;
+  int max_levels = 64;
+  bool use_algorithm3 = true;  ///< Algorithm 3 vs Algorithm 2 aggregation
+  Mis2Options mis2;
+};
+
+struct MultilevelHierarchy {
+  std::vector<CoarsenLevel> levels;
+
+  /// Map a fine vertex of level 0 to its coarse vertex at the last level.
+  [[nodiscard]] ordinal_t project(ordinal_t v) const {
+    for (const CoarsenLevel& lvl : levels) {
+      v = lvl.aggregation.labels[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+};
+
+[[nodiscard]] MultilevelHierarchy multilevel_coarsen(graph::GraphView g,
+                                                     const MultilevelOptions& opts = {});
+
+}  // namespace parmis::core

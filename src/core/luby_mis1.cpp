@@ -1,0 +1,83 @@
+#include "core/luby_mis1.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/status_tuple.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::core {
+
+Mis2Result luby_mis1(graph::GraphView g, std::uint64_t seed) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+  const TupleCodec<status_word_t> codec(n);
+
+  std::vector<status_word_t> tuple(static_cast<std::size_t>(n));
+  par::parallel_for(n, [&](ordinal_t v) {
+    tuple[static_cast<std::size_t>(v)] = codec.pack(0, v);  // placeholder undecided
+  });
+
+  Mis2Result result;
+  int round = 0;
+  for (;; ++round) {
+    const std::int64_t undecided = par::count_if(n, [&](ordinal_t v) {
+      return TupleCodec<status_word_t>::is_undecided(tuple[static_cast<std::size_t>(v)]);
+    });
+    if (undecided == 0) break;
+
+    // Fresh priorities for undecided vertices.
+    par::parallel_for(n, [&](ordinal_t v) {
+      if (TupleCodec<status_word_t>::is_undecided(tuple[static_cast<std::size_t>(v)])) {
+        tuple[static_cast<std::size_t>(v)] = codec.pack(
+            rng::hash_xorshift_star(static_cast<std::uint64_t>(round) ^ seed,
+                                    static_cast<std::uint64_t>(v)),
+            v);
+      }
+    });
+
+    // A vertex with the closed-neighborhood minimum joins the set. Writing
+    // IN here is race-free: only v writes slot v, and two adjacent vertices
+    // can't both own the minimum.
+    std::vector<char> winner(static_cast<std::size_t>(n), 0);
+    par::parallel_for(n, [&](ordinal_t v) {
+      const status_word_t t = tuple[static_cast<std::size_t>(v)];
+      if (!TupleCodec<status_word_t>::is_undecided(t)) return;
+      for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+        if (tuple[static_cast<std::size_t>(g.entries[j])] < t) return;
+      }
+      winner[static_cast<std::size_t>(v)] = 1;
+    });
+
+    // Winners in, their neighbors out.
+    par::parallel_for(n, [&](ordinal_t v) {
+      if (!TupleCodec<status_word_t>::is_undecided(tuple[static_cast<std::size_t>(v)])) return;
+      if (winner[static_cast<std::size_t>(v)]) {
+        tuple[static_cast<std::size_t>(v)] = TupleCodec<status_word_t>::in_value;
+        return;
+      }
+      for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+        if (winner[static_cast<std::size_t>(g.entries[j])]) {
+          tuple[static_cast<std::size_t>(v)] = TupleCodec<status_word_t>::out_value;
+          return;
+        }
+      }
+    });
+  }
+
+  result.iterations = round;
+  result.in_set.assign(static_cast<std::size_t>(n), 0);
+  par::parallel_for(n, [&](ordinal_t v) {
+    result.in_set[static_cast<std::size_t>(v)] =
+        TupleCodec<status_word_t>::is_in(tuple[static_cast<std::size_t>(v)]) ? 1 : 0;
+  });
+  par::compact_into(
+      n, [&](ordinal_t v) { return result.in_set[static_cast<std::size_t>(v)] != 0; },
+      [](ordinal_t v) { return v; }, result.members);
+  return result;
+}
+
+}  // namespace parmis::core

@@ -1,0 +1,23 @@
+#pragma once
+/// \file luby_mis1.hpp
+/// \brief Luby's Monte Carlo Algorithm A for distance-1 MIS.
+///
+/// The distance-1 analogue of Algorithm 1 (paper §IV uses this relationship
+/// to bound Algorithm 1's depth): each round every undecided vertex draws a
+/// fresh random priority; a vertex holding the minimum over its closed
+/// neighborhood joins the set and its neighbors leave. Combined with
+/// `graph::square`, this yields the Tuminaro–Tong style MIS-2-via-SpGEMM
+/// (see mis_spgemm.hpp) and the Lemma IV.2 cross-check used in tests.
+
+#include <cstdint>
+
+#include "core/mis2.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// Compute a distance-1 MIS of `g` (symmetric, loop-free adjacency).
+/// Deterministic (hash-based priorities).
+[[nodiscard]] Mis2Result luby_mis1(graph::GraphView g, std::uint64_t seed = 0);
+
+}  // namespace parmis::core

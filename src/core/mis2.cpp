@@ -1,0 +1,287 @@
+#include "core/mis2.hpp"
+
+#include <cassert>
+
+#include "core/status_tuple.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "parallel/simd.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::core {
+
+namespace {
+
+/// Tuple policy for the compressed single-word representation (§V-C).
+struct PackedPolicy {
+  using tuple_t = status_word_t;
+  static constexpr bool is_packed = true;
+
+  TupleCodec<status_word_t> codec;
+  PriorityScheme scheme;
+  std::uint64_t seed;
+
+  PackedPolicy(ordinal_t n, const Mis2Options& opts)
+      : codec(n), scheme(opts.priority), seed(opts.seed) {}
+
+  [[nodiscard]] tuple_t fresh(ordinal_t v, int iter) const {
+    const std::uint64_t it =
+        scheme == PriorityScheme::Fixed ? seed : (static_cast<std::uint64_t>(iter) ^ seed);
+    const std::uint64_t h = scheme == PriorityScheme::Xorshift
+                                ? rng::hash_xorshift(it, static_cast<std::uint64_t>(v))
+                                : rng::hash_xorshift_star(it, static_cast<std::uint64_t>(v));
+    return codec.pack(h, v);
+  }
+
+  [[nodiscard]] static tuple_t in() { return TupleCodec<status_word_t>::in_value; }
+  [[nodiscard]] static tuple_t out() { return TupleCodec<status_word_t>::out_value; }
+  [[nodiscard]] static bool is_in(tuple_t t) { return TupleCodec<status_word_t>::is_in(t); }
+  [[nodiscard]] static bool is_out(tuple_t t) { return TupleCodec<status_word_t>::is_out(t); }
+  [[nodiscard]] static bool is_undecided(tuple_t t) {
+    return TupleCodec<status_word_t>::is_undecided(t);
+  }
+  [[nodiscard]] static tuple_t tmin(tuple_t a, tuple_t b) { return b < a ? b : a; }
+  [[nodiscard]] static bool eq(tuple_t a, tuple_t b) { return a == b; }
+};
+
+/// Tuple policy for the uncompressed 3-field representation (the Fig. 2
+/// ablation stages before "Packed Status").
+struct WidePolicy {
+  using tuple_t = WideTuple;
+  static constexpr bool is_packed = false;
+
+  PriorityScheme scheme;
+  std::uint64_t seed;
+
+  WidePolicy(ordinal_t, const Mis2Options& opts) : scheme(opts.priority), seed(opts.seed) {}
+
+  [[nodiscard]] tuple_t fresh(ordinal_t v, int iter) const {
+    const std::uint64_t it =
+        scheme == PriorityScheme::Fixed ? seed : (static_cast<std::uint64_t>(iter) ^ seed);
+    const std::uint64_t h = scheme == PriorityScheme::Xorshift
+                                ? rng::hash_xorshift(it, static_cast<std::uint64_t>(v))
+                                : rng::hash_xorshift_star(it, static_cast<std::uint64_t>(v));
+    return WideTuple::undecided(h, v);
+  }
+
+  [[nodiscard]] static tuple_t in() { return WideTuple::in(); }
+  [[nodiscard]] static tuple_t out() { return WideTuple::out(); }
+  [[nodiscard]] static bool is_in(const tuple_t& t) { return t.status == WideTuple::kIn; }
+  [[nodiscard]] static bool is_out(const tuple_t& t) { return t.status == WideTuple::kOut; }
+  [[nodiscard]] static bool is_undecided(const tuple_t& t) {
+    return t.status == WideTuple::kUndecided;
+  }
+  [[nodiscard]] static tuple_t tmin(const tuple_t& a, const tuple_t& b) { return b < a ? b : a; }
+  [[nodiscard]] static bool eq(const tuple_t& a, const tuple_t& b) { return a == b; }
+};
+
+/// Algorithm 1 body, shared by all option combinations. `Masked` selects
+/// induced-subgraph semantics; `P` selects the tuple representation.
+template <typename P, bool Masked>
+Mis2Result mis2_impl(graph::GraphView g, const Mis2Options& opts,
+                     std::span<const char> active) {
+  assert(g.num_rows == g.num_cols);
+  if constexpr (Masked) {
+    assert(active.size() == static_cast<std::size_t>(g.num_rows));
+  }
+  const ordinal_t n = g.num_rows;
+  const P pol(n, opts);
+  using tuple_t = typename P::tuple_t;
+
+  auto is_active = [&](ordinal_t v) {
+    if constexpr (Masked) {
+      return active[static_cast<std::size_t>(v)] != 0;
+    } else {
+      (void)v;
+      return true;
+    }
+  };
+
+  std::vector<tuple_t> row_t(static_cast<std::size_t>(n));
+  std::vector<tuple_t> col_m(static_cast<std::size_t>(n));
+  par::parallel_for(n, [&](ordinal_t v) {
+    // Inactive vertices are permanently OUT; their col_m is never consulted
+    // because masked neighbor loops skip them entirely.
+    const bool act = is_active(v);
+    row_t[static_cast<std::size_t>(v)] = act ? pol.fresh(v, 0) : pol.out();
+    col_m[static_cast<std::size_t>(v)] = act ? pol.in() : pol.out();
+  });
+
+  // Whether the SIMD inner loops are eligible: packed tuples, no mask, and
+  // the paper's average-degree heuristic (§V-D).
+  const bool use_simd = [&] {
+    if constexpr (P::is_packed && !Masked) {
+      return opts.simd && g.avg_degree() >= par::simd_degree_threshold;
+    } else {
+      return false;
+    }
+  }();
+
+  // --- The three phases -------------------------------------------------
+
+  auto refresh_row = [&](ordinal_t v, int iter) {
+    row_t[static_cast<std::size_t>(v)] = pol.fresh(v, iter);
+  };
+
+  auto refresh_col = [&](ordinal_t v) {
+    tuple_t m = row_t[static_cast<std::size_t>(v)];  // closed neighborhood
+    if (use_simd) {
+      if constexpr (P::is_packed) {
+        m = par::simd_min_gather(row_t.data(), g.entries, g.row_map[v], g.row_map[v + 1], m);
+      }
+    } else {
+      for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+        const ordinal_t w = g.entries[j];
+        if constexpr (Masked) {
+          if (!is_active(w)) continue;
+        }
+        m = P::tmin(m, row_t[static_cast<std::size_t>(w)]);
+      }
+    }
+    // An IN minimum means an IN vertex within distance 1: translate to OUT
+    // so the decide phase pushes it one more hop (Algorithm 1 lines 19-21).
+    col_m[static_cast<std::size_t>(v)] = P::is_in(m) ? pol.out() : m;
+  };
+
+  auto decide = [&](ordinal_t v) {
+    const tuple_t t = row_t[static_cast<std::size_t>(v)];
+    const tuple_t own_m = col_m[static_cast<std::size_t>(v)];
+    bool any_out = P::is_out(own_m);
+    bool all_eq = P::eq(own_m, t);
+    if (use_simd) {
+      if constexpr (P::is_packed) {
+        const offset_t deg = g.row_map[v + 1] - g.row_map[v];
+        any_out = any_out || par::simd_count_equal_gather(col_m.data(), g.entries, g.row_map[v],
+                                                          g.row_map[v + 1], pol.out()) > 0;
+        if (!any_out && all_eq) {
+          all_eq = par::simd_count_equal_gather(col_m.data(), g.entries, g.row_map[v],
+                                                g.row_map[v + 1], t) == deg;
+        }
+      }
+    } else {
+      for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+        const ordinal_t w = g.entries[j];
+        if constexpr (Masked) {
+          if (!is_active(w)) continue;
+        }
+        const tuple_t mw = col_m[static_cast<std::size_t>(w)];
+        if (P::is_out(mw)) {
+          any_out = true;
+          break;
+        }
+        all_eq = all_eq && P::eq(mw, t);
+      }
+    }
+    if (any_out) {
+      row_t[static_cast<std::size_t>(v)] = pol.out();
+    } else if (all_eq) {
+      row_t[static_cast<std::size_t>(v)] = pol.in();
+    }
+  };
+
+  // --- Main iteration ----------------------------------------------------
+
+  int iter = 0;
+  if (opts.use_worklists) {
+    // §V-B: worklist1 = undecided rows, worklist2 = live columns.
+    std::vector<ordinal_t> wl1, wl2, next;
+    par::compact_into(
+        n, [&](ordinal_t v) { return is_active(v); }, [](ordinal_t v) { return v; }, wl1);
+    wl2 = wl1;
+
+    // Persistent compaction buffers: the scan runs every iteration, so the
+    // flag/output storage is allocated once and reused (worklists only
+    // shrink).
+    std::vector<std::int64_t> flags(wl1.size());
+    next.resize(wl1.size());
+    auto filter_worklist = [&](std::vector<ordinal_t>& wl, auto&& keep) {
+      const std::int64_t len = static_cast<std::int64_t>(wl.size());
+      par::parallel_for(len, [&](std::int64_t i) {
+        flags[static_cast<std::size_t>(i)] = keep(wl[static_cast<std::size_t>(i)]) ? 1 : 0;
+      });
+      const std::int64_t total = par::exclusive_scan_inplace(
+          std::span<std::int64_t>(flags.data(), static_cast<std::size_t>(len)));
+      par::parallel_for(len, [&](std::int64_t i) {
+        const std::int64_t pos = flags[static_cast<std::size_t>(i)];
+        const std::int64_t pos_next = (i + 1 < len) ? flags[static_cast<std::size_t>(i) + 1] : total;
+        if (pos_next != pos) next[static_cast<std::size_t>(pos)] = wl[static_cast<std::size_t>(i)];
+      });
+      wl.resize(static_cast<std::size_t>(total));
+      par::parallel_for(total, [&](std::int64_t i) {
+        wl[static_cast<std::size_t>(i)] = next[static_cast<std::size_t>(i)];
+      });
+    };
+
+    while (!wl1.empty() && iter < opts.max_iterations) {
+      const ordinal_t n1 = static_cast<ordinal_t>(wl1.size());
+      const ordinal_t n2 = static_cast<ordinal_t>(wl2.size());
+      par::parallel_for(n1, [&](ordinal_t i) { refresh_row(wl1[static_cast<std::size_t>(i)], iter); });
+      par::parallel_for(n2, [&](ordinal_t i) { refresh_col(wl2[static_cast<std::size_t>(i)]); });
+      par::parallel_for(n1, [&](ordinal_t i) { decide(wl1[static_cast<std::size_t>(i)]); });
+
+      filter_worklist(wl1, [&](ordinal_t v) {
+        return P::is_undecided(row_t[static_cast<std::size_t>(v)]);
+      });
+      filter_worklist(wl2, [&](ordinal_t v) {
+        return !P::is_out(col_m[static_cast<std::size_t>(v)]);
+      });
+      ++iter;
+    }
+  } else {
+    // Ablation mode: every vertex processed every iteration (Bell et al.'s
+    // approach), with per-vertex guards instead of worklists.
+    while (iter < opts.max_iterations) {
+      par::parallel_for(n, [&](ordinal_t v) {
+        if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) {
+          refresh_row(v, iter);
+        }
+      });
+      par::parallel_for(n, [&](ordinal_t v) {
+        if (is_active(v) && !P::is_out(col_m[static_cast<std::size_t>(v)])) refresh_col(v);
+      });
+      par::parallel_for(n, [&](ordinal_t v) {
+        if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) decide(v);
+      });
+      ++iter;
+      const std::int64_t undecided = par::count_if(n, [&](ordinal_t v) {
+        return P::is_undecided(row_t[static_cast<std::size_t>(v)]);
+      });
+      if (undecided == 0) break;
+    }
+  }
+
+  // --- Extract result ----------------------------------------------------
+
+  Mis2Result result;
+  result.iterations = iter;
+  result.in_set.assign(static_cast<std::size_t>(n), 0);
+  par::parallel_for(n, [&](ordinal_t v) {
+    result.in_set[static_cast<std::size_t>(v)] = P::is_in(row_t[static_cast<std::size_t>(v)]) ? 1 : 0;
+  });
+  par::compact_into(
+      n, [&](ordinal_t v) { return result.in_set[static_cast<std::size_t>(v)] != 0; },
+      [](ordinal_t v) { return v; }, result.members);
+  return result;
+}
+
+template <bool Masked>
+Mis2Result dispatch(graph::GraphView g, const Mis2Options& opts, std::span<const char> active) {
+  if (opts.packed_tuples) {
+    return mis2_impl<PackedPolicy, Masked>(g, opts, active);
+  }
+  return mis2_impl<WidePolicy, Masked>(g, opts, active);
+}
+
+}  // namespace
+
+Mis2Result mis2(graph::GraphView g, const Mis2Options& opts) {
+  return dispatch<false>(g, opts, {});
+}
+
+Mis2Result mis2_masked(graph::GraphView g, std::span<const char> active,
+                       const Mis2Options& opts) {
+  return dispatch<true>(g, opts, active);
+}
+
+}  // namespace parmis::core

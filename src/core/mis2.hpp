@@ -1,0 +1,82 @@
+#pragma once
+/// \file mis2.hpp
+/// \brief Algorithm 1: parallel, deterministic distance-2 maximal
+/// independent set.
+///
+/// The algorithm iterates three data-parallel phases until every vertex is
+/// decided:
+///   1. *Refresh Row*   — assign each undecided vertex a fresh pseudo-random
+///      priority tuple `T_v` (hash of iteration number and vertex id, §V-A);
+///   2. *Refresh Column* — `M_v = min(T_w : w in N[v])` over the closed
+///      neighborhood; an IN minimum is translated to OUT;
+///   3. *Decide Set*    — a vertex whose tuple equals `M_w` for *every*
+///      `w in N[v]` owns the minimum of its radius-2 neighborhood and joins
+///      the set; a vertex seeing any `M_w = OUT` is within distance 2 of an
+///      IN vertex and leaves.
+/// Worklists of still-relevant vertices are compacted with a parallel scan
+/// between iterations (§V-B).
+///
+/// Every phase writes only to the iterating vertex's own slot, and all
+/// reductions are order-independent minima, so the result is deterministic
+/// for any backend and thread count — the paper's headline property.
+///
+/// The four §V optimizations are individually toggleable through
+/// `Mis2Options` to support the Fig. 2 ablation; the defaults correspond to
+/// the full Kokkos Kernels configuration.
+///
+/// Input adjacency must be symmetric and loop-free (see
+/// `graph::symmetrize` / `graph::remove_self_loops`); neighborhoods are
+/// treated as closed internally.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// Priority-randomization schemes from Table I.
+enum class PriorityScheme {
+  Fixed,         ///< priorities chosen once (Bell et al.)
+  Xorshift,      ///< re-randomized per iteration with plain xorshift (pathological, §V-A)
+  XorshiftStar,  ///< re-randomized per iteration with xorshift* (the paper's choice)
+};
+
+/// Algorithm 1 configuration. Defaults = all optimizations on.
+struct Mis2Options {
+  PriorityScheme priority = PriorityScheme::XorshiftStar;
+  /// §V-B: track undecided rows / live columns and compact with scans.
+  bool use_worklists = true;
+  /// §V-C: single-word compressed tuples instead of 3-field structs.
+  bool packed_tuples = true;
+  /// §V-D: vector-level (SIMD) inner neighbor loops; auto-disabled when the
+  /// average degree is below `par::simd_degree_threshold`, as in the paper.
+  bool simd = true;
+  /// Extra seed folded into the hash; 0 reproduces the paper's generator.
+  std::uint64_t seed = 0;
+  /// Safety bound on iterations (the algorithm needs O(log V) in
+  /// expectation; hitting this indicates a bug or adversarial input).
+  int max_iterations = 1 << 20;
+};
+
+/// MIS-2 output: membership flags, the sorted member list, and the
+/// iteration count (the quantity reported in Tables I and III).
+struct Mis2Result {
+  std::vector<char> in_set;
+  std::vector<ordinal_t> members;
+  int iterations = 0;
+
+  [[nodiscard]] ordinal_t set_size() const { return static_cast<ordinal_t>(members.size()); }
+};
+
+/// Compute an MIS-2 of `g` (Algorithm 1).
+[[nodiscard]] Mis2Result mis2(graph::GraphView g, const Mis2Options& opts = {});
+
+/// Compute an MIS-2 of the subgraph induced by `active` (vertices with
+/// `active[v] == 0` are absent: they can't join the set and paths through
+/// them do not count). Used by Algorithm 3's phase 2.
+[[nodiscard]] Mis2Result mis2_masked(graph::GraphView g, std::span<const char> active,
+                                     const Mis2Options& opts = {});
+
+}  // namespace parmis::core

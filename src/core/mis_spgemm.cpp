@@ -1,0 +1,13 @@
+#include "core/mis_spgemm.hpp"
+
+#include "core/luby_mis1.hpp"
+#include "graph/ops.hpp"
+
+namespace parmis::core {
+
+Mis2Result mis2_via_squaring(graph::GraphView g, std::uint64_t seed) {
+  const graph::CrsGraph g2 = graph::square(g);
+  return luby_mis1(g2, seed);
+}
+
+}  // namespace parmis::core

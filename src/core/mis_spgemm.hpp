@@ -1,0 +1,22 @@
+#pragma once
+/// \file mis_spgemm.hpp
+/// \brief MIS-2 via explicit graph squaring (the Tuminaro–Tong / ML path).
+///
+/// The ML multigrid package computed MIS-2 as MIS-1 of G² (G squared with
+/// SpGEMM); Lemma IV.2 of the paper proves the equivalence. Algorithm 1's
+/// advantage is avoiding the G² materialization entirely; this module keeps
+/// the explicit path as a related-work baseline and as the oracle the test
+/// suite validates Algorithm 1 against.
+
+#include <cstdint>
+
+#include "core/mis2.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// MIS-2 of `g` computed as Luby MIS-1 over the materialized distance-≤2
+/// graph. Valid by Lemma IV.2; far more memory-hungry than Algorithm 1.
+[[nodiscard]] Mis2Result mis2_via_squaring(graph::GraphView g, std::uint64_t seed = 0);
+
+}  // namespace parmis::core

@@ -1,0 +1,35 @@
+#include "core/serial_mis2.hpp"
+
+#include <cassert>
+
+namespace parmis::core {
+
+Mis2Result serial_mis2(graph::GraphView g) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+
+  enum : char { kUndecided = 0, kIn = 1, kOut = 2 };
+  std::vector<char> state(static_cast<std::size_t>(n), kUndecided);
+
+  Mis2Result result;
+  result.iterations = 1;
+  for (ordinal_t v = 0; v < n; ++v) {
+    if (state[static_cast<std::size_t>(v)] != kUndecided) continue;
+    state[static_cast<std::size_t>(v)] = kIn;
+    result.members.push_back(v);
+    for (ordinal_t w : g.row(v)) {
+      state[static_cast<std::size_t>(w)] = kOut;
+      for (ordinal_t u : g.row(w)) {
+        if (state[static_cast<std::size_t>(u)] == kUndecided) {
+          state[static_cast<std::size_t>(u)] = kOut;
+        }
+      }
+    }
+  }
+
+  result.in_set.assign(static_cast<std::size_t>(n), 0);
+  for (ordinal_t v : result.members) result.in_set[static_cast<std::size_t>(v)] = 1;
+  return result;
+}
+
+}  // namespace parmis::core

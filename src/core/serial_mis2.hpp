@@ -1,0 +1,16 @@
+#pragma once
+/// \file serial_mis2.hpp
+/// \brief Serial greedy distance-2 MIS (quality/correctness reference).
+
+#include "core/mis2.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// Greedy sequential MIS-2: scan vertices in index order; an undecided
+/// vertex joins the set and knocks out its radius-2 neighborhood.
+/// The natural-order greedy answer other implementations are compared
+/// against in Table IV-style quality checks. `iterations` is reported as 1.
+[[nodiscard]] Mis2Result serial_mis2(graph::GraphView g);
+
+}  // namespace parmis::core

@@ -1,0 +1,32 @@
+#include "core/status_tuple.hpp"
+
+namespace parmis::core {
+
+// Compile-time checks of the packing claims from paper §V-C / Eq. (1).
+namespace {
+
+constexpr TupleCodec<std::uint32_t> codec_small(6);
+
+// 6 vertices need b = ceil(log2(8)) = 3 id bits.
+static_assert(codec_small.id_bits() == 3);
+static_assert(codec_small.priority_bits() == 29);
+
+// Packed undecided values collide with neither IN nor OUT, for the extreme
+// priorities and ids.
+static_assert(codec_small.pack(0, 0) != TupleCodec<>::in_value);
+static_assert(codec_small.pack(0, 0) != TupleCodec<>::out_value);
+static_assert(codec_small.pack(~0ull, 5) != TupleCodec<>::in_value);
+static_assert(codec_small.pack(~0ull, 5) != TupleCodec<>::out_value);
+
+// Round trip.
+static_assert(codec_small.id(codec_small.pack(0x123456789abcdefull, 4)) == 4);
+
+// Integer order == lexicographic order: same priority, ids break ties.
+static_assert(codec_small.pack(42, 1) < codec_small.pack(42, 2));
+
+static_assert(WideTuple::in() < WideTuple::undecided(0, 0));
+static_assert(WideTuple::undecided(~0ull, max_ordinal - 1) < WideTuple::out());
+
+}  // namespace
+
+}  // namespace parmis::core

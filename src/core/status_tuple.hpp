@@ -1,0 +1,124 @@
+#pragma once
+/// \file status_tuple.hpp
+/// \brief Compressed status tuples (paper §V-C).
+///
+/// Algorithm 1 tracks, per vertex, a 3-tuple (status, priority, ID) with
+/// status IN < UNDECIDED < OUT, compared lexicographically. A straight
+/// 3-field struct wastes memory and bandwidth; the paper packs the whole
+/// tuple into one integer the width of a vertex ID:
+///
+///   IN  = 0,   OUT = max,   undecided = (priority << b) | (id + 1)
+///
+/// where b = ceil(log2(|V| + 2)) bits hold the ID (+1) and the remaining
+/// high bits hold the priority. Integer comparison is then exactly the
+/// lexicographic tuple comparison, ties are impossible (distinct IDs differ
+/// in the low bits), and Eq. (1) of the paper shows no packed undecided
+/// value can collide with IN or OUT. `TupleCodec` implements the packing;
+/// `WideTuple` is the uncompressed layout kept for the Fig. 2 ablation and
+/// for the Bell baseline.
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+#include "common/config.hpp"
+
+namespace parmis::core {
+
+/// Default packed word: same width as vertex IDs, as in the paper.
+using status_word_t = std::uint32_t;
+
+/// Packer/unpacker for compressed status tuples over an unsigned `Word`.
+template <typename Word = status_word_t>
+class TupleCodec {
+  static_assert(std::numeric_limits<Word>::is_integer && !std::numeric_limits<Word>::is_signed,
+                "status words must be unsigned integers");
+
+ public:
+  static constexpr Word in_value = 0;
+  static constexpr Word out_value = std::numeric_limits<Word>::max();
+
+  /// Codec for graphs with `num_vertices` vertices. Requires
+  /// `num_vertices + 2 <= 2^(bits of Word)` so IDs fit with the +1 offset.
+  explicit constexpr TupleCodec(ordinal_t num_vertices)
+      : id_bits_(bits_for(num_vertices)),
+        id_mask_((id_bits_ >= word_bits) ? out_value : ((Word{1} << id_bits_) - 1)),
+        priority_bits_(word_bits - id_bits_) {
+    assert(num_vertices >= 0);
+  }
+
+  [[nodiscard]] constexpr int id_bits() const { return id_bits_; }
+  [[nodiscard]] constexpr int priority_bits() const { return priority_bits_; }
+
+  /// Pack an undecided tuple. The priority is truncated to the available
+  /// high bits; the ID acts as the tiebreak in the low bits.
+  [[nodiscard]] constexpr Word pack(std::uint64_t priority, ordinal_t id) const {
+    const Word pri = priority_bits_ == 0
+                         ? Word{0}
+                         : static_cast<Word>(priority >> (64 - priority_bits_));
+    return static_cast<Word>(pri << id_bits_) | static_cast<Word>(static_cast<Word>(id) + 1);
+  }
+
+  [[nodiscard]] constexpr ordinal_t id(Word t) const {
+    assert(is_undecided(t));
+    return static_cast<ordinal_t>((t & id_mask_) - 1);
+  }
+
+  [[nodiscard]] constexpr Word priority(Word t) const {
+    assert(is_undecided(t));
+    return static_cast<Word>(t >> id_bits_);
+  }
+
+  [[nodiscard]] static constexpr bool is_in(Word t) { return t == in_value; }
+  [[nodiscard]] static constexpr bool is_out(Word t) { return t == out_value; }
+  [[nodiscard]] static constexpr bool is_undecided(Word t) {
+    return t != in_value && t != out_value;
+  }
+
+ private:
+  static constexpr int word_bits = std::numeric_limits<Word>::digits;
+
+  /// b = ceil(log2(n + 2)): smallest b with 2^b >= n + 2.
+  static constexpr int bits_for(ordinal_t n) {
+    const std::uint64_t need = static_cast<std::uint64_t>(n) + 2;
+    return std::bit_width(need - 1);
+  }
+
+  int id_bits_;
+  Word id_mask_;
+  int priority_bits_;
+};
+
+/// Uncompressed 3-field tuple (status, priority, ID) — the representation
+/// Bell's algorithm and the pre-"Packed Status" ablation stages use.
+struct WideTuple {
+  std::uint8_t status;  ///< 0 = IN, 1 = UNDECIDED, 2 = OUT
+  std::uint32_t priority;
+  ordinal_t id;
+
+  static constexpr std::uint8_t kIn = 0;
+  static constexpr std::uint8_t kUndecided = 1;
+  static constexpr std::uint8_t kOut = 2;
+
+  [[nodiscard]] static constexpr WideTuple in() { return {kIn, 0, 0}; }
+  [[nodiscard]] static constexpr WideTuple out() {
+    return {kOut, std::numeric_limits<std::uint32_t>::max(), max_ordinal};
+  }
+  [[nodiscard]] static constexpr WideTuple undecided(std::uint64_t priority, ordinal_t id) {
+    return {kUndecided, static_cast<std::uint32_t>(priority >> 32), id};
+  }
+
+  friend constexpr bool operator==(const WideTuple& a, const WideTuple& b) {
+    return a.status == b.status && a.priority == b.priority && a.id == b.id;
+  }
+
+  /// Lexicographic (status, priority, ID) order.
+  friend constexpr bool operator<(const WideTuple& a, const WideTuple& b) {
+    if (a.status != b.status) return a.status < b.status;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace parmis::core

@@ -1,0 +1,81 @@
+#include "core/verify.hpp"
+
+#include <cassert>
+
+#include "parallel/parallel_reduce.hpp"
+
+namespace parmis::core {
+
+namespace {
+
+/// Visits every vertex within distance <= k of v (excluding v itself unless
+/// reachable by a cycle) until `pred` returns true; returns whether it did.
+/// k is 1 or 2, so plain nested loops beat a BFS queue.
+template <typename Pred>
+bool any_within_k(graph::GraphView g, ordinal_t v, int k, const char* active, Pred&& pred) {
+  for (ordinal_t w : g.row(v)) {
+    if (active && !active[w]) continue;
+    if (pred(w)) return true;
+    if (k >= 2) {
+      for (ordinal_t u : g.row(w)) {
+        if (u == v) continue;
+        if (active && !active[u]) continue;
+        if (pred(u)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool independent_impl(graph::GraphView g, std::span<const char> in_set, int k,
+                      const char* active) {
+  const std::int64_t violations = par::count_if(g.num_rows, [&](ordinal_t v) {
+    if (!in_set[static_cast<std::size_t>(v)]) return false;
+    if (active && !active[v]) return true;  // member outside the active set
+    return any_within_k(g, v, k, active,
+                        [&](ordinal_t u) { return in_set[static_cast<std::size_t>(u)] != 0; });
+  });
+  return violations == 0;
+}
+
+bool maximal_impl(graph::GraphView g, std::span<const char> in_set, int k, const char* active) {
+  const std::int64_t addable = par::count_if(g.num_rows, [&](ordinal_t v) {
+    if (in_set[static_cast<std::size_t>(v)]) return false;
+    if (active && !active[v]) return false;
+    return !any_within_k(g, v, k, active,
+                         [&](ordinal_t u) { return in_set[static_cast<std::size_t>(u)] != 0; });
+  });
+  return addable == 0;
+}
+
+}  // namespace
+
+bool is_distance_k_independent(graph::GraphView g, std::span<const char> in_set, int k) {
+  assert(k == 1 || k == 2);
+  assert(in_set.size() == static_cast<std::size_t>(g.num_rows));
+  return independent_impl(g, in_set, k, nullptr);
+}
+
+bool is_distance_k_maximal(graph::GraphView g, std::span<const char> in_set, int k) {
+  assert(k == 1 || k == 2);
+  assert(in_set.size() == static_cast<std::size_t>(g.num_rows));
+  return maximal_impl(g, in_set, k, nullptr);
+}
+
+bool verify_mis2(graph::GraphView g, std::span<const char> in_set) {
+  return is_distance_k_independent(g, in_set, 2) && is_distance_k_maximal(g, in_set, 2);
+}
+
+bool verify_mis1(graph::GraphView g, std::span<const char> in_set) {
+  return is_distance_k_independent(g, in_set, 1) && is_distance_k_maximal(g, in_set, 1);
+}
+
+bool verify_mis2_masked(graph::GraphView g, std::span<const char> in_set,
+                        std::span<const char> active) {
+  assert(in_set.size() == static_cast<std::size_t>(g.num_rows));
+  assert(active.size() == static_cast<std::size_t>(g.num_rows));
+  return independent_impl(g, in_set, 2, active.data()) &&
+         maximal_impl(g, in_set, 2, active.data());
+}
+
+}  // namespace parmis::core

@@ -1,0 +1,35 @@
+#pragma once
+/// \file verify.hpp
+/// \brief Independence/maximality checkers for distance-k independent sets.
+///
+/// Used by the test suite (every MIS algorithm must produce a valid MIS-2
+/// on every input) and available to users as a cheap post-condition check.
+
+#include <span>
+
+#include "graph/crs.hpp"
+
+namespace parmis::core {
+
+/// True iff no two set members are joined by a path of length <= k.
+/// (k = 1 or 2 supported; these are the cases the library computes.)
+[[nodiscard]] bool is_distance_k_independent(graph::GraphView g, std::span<const char> in_set,
+                                             int k);
+
+/// True iff every non-member is within distance k of some member
+/// (i.e. no vertex can be added while preserving independence).
+[[nodiscard]] bool is_distance_k_maximal(graph::GraphView g, std::span<const char> in_set, int k);
+
+/// Both checks with k = 2: a valid MIS-2.
+[[nodiscard]] bool verify_mis2(graph::GraphView g, std::span<const char> in_set);
+
+/// Both checks with k = 1: a valid MIS-1.
+[[nodiscard]] bool verify_mis1(graph::GraphView g, std::span<const char> in_set);
+
+/// Induced-subgraph MIS-2 validity: members must be active, independence
+/// counts only paths through active vertices, and maximality is required
+/// only of active vertices.
+[[nodiscard]] bool verify_mis2_masked(graph::GraphView g, std::span<const char> in_set,
+                                      std::span<const char> active);
+
+}  // namespace parmis::core

@@ -1,0 +1,88 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parmis::graph {
+
+namespace {
+
+CrsGraph from_pairs(ordinal_t n, std::vector<Edge> pairs) {
+  // Drop self loops, sort lexicographically, dedup, then assemble CRS.
+  std::erase_if(pairs, [](const Edge& e) { return e.first == e.second; });
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  CrsGraph g;
+  g.num_rows = n;
+  g.num_cols = n;
+  g.row_map.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : pairs) {
+    assert(e.first >= 0 && e.first < n && e.second >= 0 && e.second < n);
+    ++g.row_map[static_cast<std::size_t>(e.first) + 1];
+  }
+  for (ordinal_t v = 0; v < n; ++v) {
+    g.row_map[static_cast<std::size_t>(v) + 1] += g.row_map[static_cast<std::size_t>(v)];
+  }
+  g.entries.resize(pairs.size());
+  std::vector<offset_t> cursor(g.row_map.begin(), g.row_map.end() - 1);
+  for (const Edge& e : pairs) {
+    g.entries[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.first)]++)] = e.second;
+  }
+  return g;
+}
+
+}  // namespace
+
+CrsGraph graph_from_edges(ordinal_t n, const std::vector<Edge>& edges) {
+  std::vector<Edge> pairs;
+  pairs.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    pairs.push_back(e);
+    pairs.emplace_back(e.second, e.first);
+  }
+  return from_pairs(n, std::move(pairs));
+}
+
+CrsGraph graph_from_arcs(ordinal_t n, const std::vector<Edge>& arcs) {
+  return from_pairs(n, arcs);
+}
+
+CrsMatrix matrix_from_coo(ordinal_t num_rows, ordinal_t num_cols,
+                          const std::vector<Triplet>& triplets) {
+  std::vector<Triplet> t = triplets;
+  std::sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CrsMatrix m;
+  m.num_rows = num_rows;
+  m.num_cols = num_cols;
+  m.row_map.assign(static_cast<std::size_t>(num_rows) + 1, 0);
+
+  // Merge duplicates while counting.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    assert(t[i].row >= 0 && t[i].row < num_rows && t[i].col >= 0 && t[i].col < num_cols);
+    if (out > 0 && t[out - 1].row == t[i].row && t[out - 1].col == t[i].col) {
+      t[out - 1].value += t[i].value;
+    } else {
+      t[out++] = t[i];
+    }
+  }
+  t.resize(out);
+
+  for (const Triplet& x : t) ++m.row_map[static_cast<std::size_t>(x.row) + 1];
+  for (ordinal_t v = 0; v < num_rows; ++v) {
+    m.row_map[static_cast<std::size_t>(v) + 1] += m.row_map[static_cast<std::size_t>(v)];
+  }
+  m.entries.resize(t.size());
+  m.values.resize(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    m.entries[i] = t[i].col;
+    m.values[i] = t[i].value;
+  }
+  return m;
+}
+
+}  // namespace parmis::graph

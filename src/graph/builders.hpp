@@ -1,0 +1,37 @@
+#pragma once
+/// \file builders.hpp
+/// \brief Construct CRS graphs/matrices from edge lists and COO triplets.
+
+#include <utility>
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::graph {
+
+/// Undirected edge used by `graph_from_edges`.
+using Edge = std::pair<ordinal_t, ordinal_t>;
+
+/// COO triplet used by `matrix_from_coo`.
+struct Triplet {
+  ordinal_t row;
+  ordinal_t col;
+  scalar_t value;
+};
+
+/// Build an adjacency graph on `n` vertices from an undirected edge list.
+/// Each `(u, v)` contributes both `u -> v` and `v -> u`. Self loops are
+/// dropped, duplicate edges merged, rows sorted. Intended for tests and
+/// examples (serial).
+[[nodiscard]] CrsGraph graph_from_edges(ordinal_t n, const std::vector<Edge>& edges);
+
+/// Build an adjacency graph from a *directed* arc list (each pair inserted
+/// as given). Self loops dropped, duplicates merged, rows sorted.
+[[nodiscard]] CrsGraph graph_from_arcs(ordinal_t n, const std::vector<Edge>& arcs);
+
+/// Build a CRS matrix from COO triplets; duplicate (row, col) entries are
+/// summed; rows sorted.
+[[nodiscard]] CrsMatrix matrix_from_coo(ordinal_t num_rows, ordinal_t num_cols,
+                                        const std::vector<Triplet>& triplets);
+
+}  // namespace parmis::graph

@@ -1,0 +1,36 @@
+#include "graph/crs.hpp"
+
+#include "parallel/parallel_reduce.hpp"
+
+namespace parmis::graph {
+
+bool CrsGraph::validate(bool require_sorted) const {
+  if (num_rows < 0 || num_cols < 0) return false;
+  if (row_map.size() != static_cast<std::size_t>(num_rows) + 1) return false;
+  if (row_map.front() != 0) return false;
+  if (entries.size() != static_cast<std::size_t>(row_map.back())) return false;
+  for (ordinal_t v = 0; v < num_rows; ++v) {
+    if (row_map[v + 1] < row_map[v]) return false;
+    ordinal_t prev = -1;
+    for (offset_t j = row_map[v]; j < row_map[v + 1]; ++j) {
+      const ordinal_t c = entries[static_cast<std::size_t>(j)];
+      if (c < 0 || c >= num_cols) return false;
+      if (require_sorted && c <= prev) return false;
+      prev = c;
+    }
+  }
+  return true;
+}
+
+DegreeStats degree_stats(GraphView g) {
+  DegreeStats s;
+  if (g.num_rows == 0) return s;
+  s.min_degree = par::reduce_min<ordinal_t>(
+      g.num_rows, [&](ordinal_t v) { return g.degree(v); }, max_ordinal);
+  s.max_degree = par::reduce_max<ordinal_t>(
+      g.num_rows, [&](ordinal_t v) { return g.degree(v); }, ordinal_t{0});
+  s.avg_degree = g.avg_degree();
+  return s;
+}
+
+}  // namespace parmis::graph

@@ -1,0 +1,125 @@
+#pragma once
+/// \file crs.hpp
+/// \brief Compressed-row-storage (CRS) graph and sparse-matrix containers.
+///
+/// All algorithms in this library operate on the CRS format, matching the
+/// paper (§V-D discusses why: adjacency lists are contiguous, so inner-loop
+/// neighbor iteration vectorizes/coalesces). `CrsGraph` stores structure
+/// only; `CrsMatrix` adds values. `GraphView` is the cheap non-owning
+/// structure view every kernel takes, so graphs and matrices can be passed
+/// interchangeably.
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace parmis::graph {
+
+/// Owning CRS adjacency structure. `row_map` has `num_rows + 1` entries;
+/// row `v`'s neighbors are `entries[row_map[v] .. row_map[v+1])`.
+/// Invariants (checked by `validate()`): offsets are non-decreasing, every
+/// entry is a valid column, and rows are sorted ascending with no
+/// duplicates (builders in this library always produce sorted rows).
+struct CrsGraph {
+  ordinal_t num_rows{0};
+  ordinal_t num_cols{0};
+  std::vector<offset_t> row_map{0};
+  std::vector<ordinal_t> entries;
+
+  [[nodiscard]] offset_t num_entries() const {
+    return row_map.empty() ? 0 : row_map.back();
+  }
+
+  [[nodiscard]] std::span<const ordinal_t> row(ordinal_t v) const {
+    assert(v >= 0 && v < num_rows);
+    return {entries.data() + row_map[v], static_cast<std::size_t>(row_map[v + 1] - row_map[v])};
+  }
+
+  [[nodiscard]] ordinal_t degree(ordinal_t v) const {
+    return static_cast<ordinal_t>(row_map[v + 1] - row_map[v]);
+  }
+
+  /// Structural validation; returns false (and, with asserts on, fires) on
+  /// any broken invariant. Sortedness is required, duplicates are not
+  /// (generators never produce them, but user input may).
+  [[nodiscard]] bool validate(bool require_sorted = true) const;
+};
+
+/// Owning CRS sparse matrix (structure + values).
+struct CrsMatrix {
+  ordinal_t num_rows{0};
+  ordinal_t num_cols{0};
+  std::vector<offset_t> row_map{0};
+  std::vector<ordinal_t> entries;
+  std::vector<scalar_t> values;
+
+  [[nodiscard]] offset_t num_entries() const {
+    return row_map.empty() ? 0 : row_map.back();
+  }
+
+  [[nodiscard]] std::span<const ordinal_t> row(ordinal_t v) const {
+    assert(v >= 0 && v < num_rows);
+    return {entries.data() + row_map[v], static_cast<std::size_t>(row_map[v + 1] - row_map[v])};
+  }
+
+  [[nodiscard]] std::span<const scalar_t> row_values(ordinal_t v) const {
+    assert(v >= 0 && v < num_rows);
+    return {values.data() + row_map[v], static_cast<std::size_t>(row_map[v + 1] - row_map[v])};
+  }
+
+  [[nodiscard]] ordinal_t degree(ordinal_t v) const {
+    return static_cast<ordinal_t>(row_map[v + 1] - row_map[v]);
+  }
+
+  /// Copy of the structure as a standalone graph (used when an algorithm
+  /// wants to own/modify structure; prefer `GraphView` for read access).
+  [[nodiscard]] CrsGraph structure() const {
+    return CrsGraph{num_rows, num_cols, row_map, entries};
+  }
+};
+
+/// Non-owning structure view over a CrsGraph or CrsMatrix.
+struct GraphView {
+  ordinal_t num_rows{0};
+  ordinal_t num_cols{0};
+  const offset_t* row_map{nullptr};
+  const ordinal_t* entries{nullptr};
+
+  GraphView() = default;
+  GraphView(ordinal_t nr, ordinal_t nc, const offset_t* rm, const ordinal_t* e)
+      : num_rows(nr), num_cols(nc), row_map(rm), entries(e) {}
+  GraphView(const CrsGraph& g)  // NOLINT(google-explicit-constructor)
+      : num_rows(g.num_rows), num_cols(g.num_cols), row_map(g.row_map.data()),
+        entries(g.entries.data()) {}
+  GraphView(const CrsMatrix& a)  // NOLINT(google-explicit-constructor)
+      : num_rows(a.num_rows), num_cols(a.num_cols), row_map(a.row_map.data()),
+        entries(a.entries.data()) {}
+
+  [[nodiscard]] offset_t num_entries() const { return num_rows == 0 ? 0 : row_map[num_rows]; }
+
+  [[nodiscard]] std::span<const ordinal_t> row(ordinal_t v) const {
+    assert(v >= 0 && v < num_rows);
+    return {entries + row_map[v], static_cast<std::size_t>(row_map[v + 1] - row_map[v])};
+  }
+
+  [[nodiscard]] ordinal_t degree(ordinal_t v) const {
+    return static_cast<ordinal_t>(row_map[v + 1] - row_map[v]);
+  }
+
+  [[nodiscard]] double avg_degree() const {
+    return num_rows == 0 ? 0.0 : static_cast<double>(num_entries()) / num_rows;
+  }
+};
+
+/// Basic degree statistics (reported in Table II).
+struct DegreeStats {
+  ordinal_t min_degree{0};
+  ordinal_t max_degree{0};
+  double avg_degree{0.0};
+};
+
+[[nodiscard]] DegreeStats degree_stats(GraphView g);
+
+}  // namespace parmis::graph

@@ -1,0 +1,209 @@
+#include "graph/generators.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parmis::graph {
+
+namespace {
+
+struct Offset3 {
+  int dx, dy, dz;
+};
+
+/// Stencil offsets in ascending linearized-id order (dz, dy, dx ascending),
+/// including (0,0,0), so emitted rows are sorted without a sort pass.
+std::vector<Offset3> stencil_offsets_3d(Stencil3D s) {
+  std::vector<Offset3> offs;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int manhattan = std::abs(dx) + std::abs(dy) + std::abs(dz);
+        bool keep = false;
+        switch (s) {
+          case Stencil3D::SevenPoint: keep = manhattan <= 1; break;
+          case Stencil3D::NineteenPoint: keep = manhattan <= 2; break;
+          case Stencil3D::TwentySevenPoint: keep = true; break;
+        }
+        if (keep) offs.push_back({dx, dy, dz});
+      }
+    }
+  }
+  return offs;
+}
+
+std::vector<Offset3> stencil_offsets_2d(Stencil2D s) {
+  std::vector<Offset3> offs;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      const int manhattan = std::abs(dx) + std::abs(dy);
+      const bool keep = (s == Stencil2D::FivePoint) ? manhattan <= 1 : true;
+      if (keep) offs.push_back({dx, dy, 0});
+    }
+  }
+  return offs;
+}
+
+/// Shared stencil assembly over an nx × ny × nz grid (ny = nz = 1 for
+/// lower dimensions). Diagonal = stencil size − 1, off-diagonal = −1.
+CrsMatrix assemble_stencil(ordinal_t nx, ordinal_t ny, ordinal_t nz,
+                           const std::vector<Offset3>& offs) {
+  assert(nx > 0 && ny > 0 && nz > 0);
+  const std::int64_t n64 = static_cast<std::int64_t>(nx) * ny * nz;
+  assert(n64 <= max_ordinal);
+  const ordinal_t n = static_cast<ordinal_t>(n64);
+  const scalar_t diag = static_cast<scalar_t>(offs.size() - 1);
+
+  CrsMatrix m;
+  m.num_rows = n;
+  m.num_cols = n;
+  m.row_map.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  auto in_grid = [&](ordinal_t x, ordinal_t y, ordinal_t z, const Offset3& o) {
+    const ordinal_t X = x + o.dx, Y = y + o.dy, Z = z + o.dz;
+    return X >= 0 && X < nx && Y >= 0 && Y < ny && Z >= 0 && Z < nz;
+  };
+
+  par::parallel_for(n, [&](ordinal_t v) {
+    const ordinal_t x = v % nx;
+    const ordinal_t y = (v / nx) % ny;
+    const ordinal_t z = v / (static_cast<std::int64_t>(nx) * ny);
+    offset_t count = 0;
+    for (const Offset3& o : offs) {
+      if (in_grid(x, y, z, o)) ++count;
+    }
+    m.row_map[static_cast<std::size_t>(v) + 1] = count;
+  });
+  for (ordinal_t v = 0; v < n; ++v) {
+    m.row_map[static_cast<std::size_t>(v) + 1] += m.row_map[static_cast<std::size_t>(v)];
+  }
+  m.entries.resize(static_cast<std::size_t>(m.row_map.back()));
+  m.values.resize(static_cast<std::size_t>(m.row_map.back()));
+
+  par::parallel_for(n, [&](ordinal_t v) {
+    const ordinal_t x = v % nx;
+    const ordinal_t y = (v / nx) % ny;
+    const ordinal_t z = v / (static_cast<std::int64_t>(nx) * ny);
+    offset_t o = m.row_map[v];
+    for (const Offset3& off : offs) {
+      if (!in_grid(x, y, z, off)) continue;
+      const ordinal_t u = static_cast<ordinal_t>(
+          (x + off.dx) +
+          static_cast<std::int64_t>(nx) * ((y + off.dy) + static_cast<std::int64_t>(ny) * (z + off.dz)));
+      m.entries[static_cast<std::size_t>(o)] = u;
+      m.values[static_cast<std::size_t>(o)] = (u == v) ? diag : scalar_t{-1};
+      ++o;
+    }
+  });
+  return m;
+}
+
+}  // namespace
+
+CrsMatrix laplace2d(ordinal_t nx, ordinal_t ny, Stencil2D stencil) {
+  return assemble_stencil(nx, ny, 1, stencil_offsets_2d(stencil));
+}
+
+CrsMatrix laplace3d(ordinal_t nx, ordinal_t ny, ordinal_t nz, Stencil3D stencil) {
+  return assemble_stencil(nx, ny, nz, stencil_offsets_3d(stencil));
+}
+
+CrsMatrix elasticity3d(ordinal_t nx, ordinal_t ny, ordinal_t nz) {
+  const std::vector<Offset3> offs = stencil_offsets_3d(Stencil3D::TwentySevenPoint);
+  const std::int64_t nodes = static_cast<std::int64_t>(nx) * ny * nz;
+  assert(nodes * 3 <= max_ordinal);
+  const ordinal_t n = static_cast<ordinal_t>(nodes * 3);
+  const scalar_t diag = static_cast<scalar_t>(offs.size() * 3 - 1);  // 80
+
+  CrsMatrix m;
+  m.num_rows = n;
+  m.num_cols = n;
+  m.row_map.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  auto in_grid = [&](ordinal_t x, ordinal_t y, ordinal_t z, const Offset3& o) {
+    const ordinal_t X = x + o.dx, Y = y + o.dy, Z = z + o.dz;
+    return X >= 0 && X < nx && Y >= 0 && Y < ny && Z >= 0 && Z < nz;
+  };
+
+  par::parallel_for(n, [&](ordinal_t v) {
+    const ordinal_t node = v / 3;
+    const ordinal_t x = node % nx;
+    const ordinal_t y = (node / nx) % ny;
+    const ordinal_t z = node / (static_cast<std::int64_t>(nx) * ny);
+    offset_t count = 0;
+    for (const Offset3& o : offs) {
+      if (in_grid(x, y, z, o)) count += 3;
+    }
+    m.row_map[static_cast<std::size_t>(v) + 1] = count;
+  });
+  for (ordinal_t v = 0; v < n; ++v) {
+    m.row_map[static_cast<std::size_t>(v) + 1] += m.row_map[static_cast<std::size_t>(v)];
+  }
+  m.entries.resize(static_cast<std::size_t>(m.row_map.back()));
+  m.values.resize(static_cast<std::size_t>(m.row_map.back()));
+
+  par::parallel_for(n, [&](ordinal_t v) {
+    const ordinal_t node = v / 3;
+    const ordinal_t x = node % nx;
+    const ordinal_t y = (node / nx) % ny;
+    const ordinal_t z = node / (static_cast<std::int64_t>(nx) * ny);
+    offset_t o = m.row_map[v];
+    for (const Offset3& off : offs) {
+      if (!in_grid(x, y, z, off)) continue;
+      const ordinal_t nbr = static_cast<ordinal_t>(
+          (x + off.dx) +
+          static_cast<std::int64_t>(nx) * ((y + off.dy) + static_cast<std::int64_t>(ny) * (z + off.dz)));
+      for (ordinal_t d = 0; d < 3; ++d) {
+        const ordinal_t u = nbr * 3 + d;
+        m.entries[static_cast<std::size_t>(o)] = u;
+        m.values[static_cast<std::size_t>(o)] = (u == v) ? diag : scalar_t{-1};
+        ++o;
+      }
+    }
+  });
+  return m;
+}
+
+CrsMatrix laplacian_matrix(GraphView g, scalar_t diag_shift) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+  CrsMatrix m;
+  m.num_rows = n;
+  m.num_cols = n;
+  m.row_map.assign(static_cast<std::size_t>(n) + 1, 0);
+  par::parallel_for(n, [&](ordinal_t v) {
+    m.row_map[static_cast<std::size_t>(v) + 1] = g.degree(v) + 1;  // +1 for diagonal
+  });
+  for (ordinal_t v = 0; v < n; ++v) {
+    m.row_map[static_cast<std::size_t>(v) + 1] += m.row_map[static_cast<std::size_t>(v)];
+  }
+  m.entries.resize(static_cast<std::size_t>(m.row_map.back()));
+  m.values.resize(static_cast<std::size_t>(m.row_map.back()));
+  par::parallel_for(n, [&](ordinal_t v) {
+    offset_t o = m.row_map[v];
+    bool diag_written = false;
+    const scalar_t diag = static_cast<scalar_t>(g.degree(v)) + diag_shift;
+    for (ordinal_t c : g.row(v)) {
+      assert(c != v && "laplacian_matrix requires a loop-free adjacency");
+      if (!diag_written && c > v) {
+        m.entries[static_cast<std::size_t>(o)] = v;
+        m.values[static_cast<std::size_t>(o)] = diag;
+        ++o;
+        diag_written = true;
+      }
+      m.entries[static_cast<std::size_t>(o)] = c;
+      m.values[static_cast<std::size_t>(o)] = -1;
+      ++o;
+    }
+    if (!diag_written) {
+      m.entries[static_cast<std::size_t>(o)] = v;
+      m.values[static_cast<std::size_t>(o)] = diag;
+    }
+  });
+  return m;
+}
+
+}  // namespace parmis::graph

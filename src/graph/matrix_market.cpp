@@ -1,0 +1,95 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builders.hpp"
+
+namespace parmis::graph {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+CrsMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix_market: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("matrix_market: empty file " + path);
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || lower(object) != "matrix") {
+    throw std::runtime_error("matrix_market: bad banner in " + path);
+  }
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (format != "coordinate") {
+    throw std::runtime_error("matrix_market: only coordinate format supported");
+  }
+  if (field != "real" && field != "integer" && field != "pattern") {
+    throw std::runtime_error("matrix_market: unsupported field " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw std::runtime_error("matrix_market: unsupported symmetry " + symmetry);
+  }
+
+  // Skip comments.
+  do {
+    if (!std::getline(in, line)) throw std::runtime_error("matrix_market: missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  std::int64_t nrows = 0, ncols = 0, nnz = 0;
+  size_line >> nrows >> ncols >> nnz;
+  if (nrows <= 0 || ncols <= 0 || nnz < 0 || nrows > max_ordinal || ncols > max_ordinal) {
+    throw std::runtime_error("matrix_market: bad size line");
+  }
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(symmetry == "symmetric" ? 2 * nnz : nnz));
+  for (std::int64_t k = 0; k < nnz; ++k) {
+    std::int64_t r = 0, c = 0;
+    scalar_t v = 1.0;
+    if (!(in >> r >> c)) throw std::runtime_error("matrix_market: truncated entries");
+    if (field != "pattern") {
+      if (!(in >> v)) throw std::runtime_error("matrix_market: truncated values");
+    }
+    if (r < 1 || r > nrows || c < 1 || c > ncols) {
+      throw std::runtime_error("matrix_market: entry out of range");
+    }
+    triplets.push_back({static_cast<ordinal_t>(r - 1), static_cast<ordinal_t>(c - 1), v});
+    if (symmetry == "symmetric" && r != c) {
+      triplets.push_back({static_cast<ordinal_t>(c - 1), static_cast<ordinal_t>(r - 1), v});
+    }
+  }
+  return matrix_from_coo(static_cast<ordinal_t>(nrows), static_cast<ordinal_t>(ncols), triplets);
+}
+
+void write_matrix_market(const std::string& path, const CrsMatrix& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("matrix_market: cannot write " + path);
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.num_rows << ' ' << m.num_cols << ' ' << m.num_entries() << '\n';
+  out.precision(17);
+  for (ordinal_t i = 0; i < m.num_rows; ++i) {
+    for (offset_t j = m.row_map[i]; j < m.row_map[i + 1]; ++j) {
+      out << (i + 1) << ' ' << (m.entries[static_cast<std::size_t>(j)] + 1) << ' '
+          << m.values[static_cast<std::size_t>(j)] << '\n';
+    }
+  }
+}
+
+}  // namespace parmis::graph

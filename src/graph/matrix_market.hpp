@@ -1,0 +1,24 @@
+#pragma once
+/// \file matrix_market.hpp
+/// \brief Matrix Market (.mtx) coordinate-format reader/writer.
+///
+/// The paper's 15 SuiteSparse inputs ship in this format; the registry uses
+/// synthetic surrogates by default (DESIGN.md §4) but real matrices can be
+/// loaded with `read_matrix_market` and passed to every algorithm here.
+
+#include <string>
+
+#include "graph/crs.hpp"
+
+namespace parmis::graph {
+
+/// Read a coordinate-format Matrix Market file. Supports real / integer /
+/// pattern fields and general / symmetric symmetry (symmetric inputs are
+/// expanded to full storage). Pattern entries get value 1.0.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] CrsMatrix read_matrix_market(const std::string& path);
+
+/// Write a CRS matrix as a general real coordinate Matrix Market file.
+void write_matrix_market(const std::string& path, const CrsMatrix& m);
+
+}  // namespace parmis::graph

@@ -1,0 +1,237 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+
+namespace parmis::graph {
+
+CrsGraph transpose(GraphView g) {
+  CrsGraph t;
+  t.num_rows = g.num_cols;
+  t.num_cols = g.num_rows;
+  t.row_map.assign(static_cast<std::size_t>(g.num_cols) + 1, 0);
+
+  // Count column occurrences (serial counting pass keeps this deterministic
+  // and simple; transpose is not on any hot path).
+  for (offset_t j = 0; j < g.num_entries(); ++j) {
+    ++t.row_map[static_cast<std::size_t>(g.entries[j]) + 1];
+  }
+  for (ordinal_t c = 0; c < g.num_cols; ++c) {
+    t.row_map[static_cast<std::size_t>(c) + 1] += t.row_map[static_cast<std::size_t>(c)];
+  }
+  t.entries.resize(static_cast<std::size_t>(g.num_entries()));
+  std::vector<offset_t> cursor(t.row_map.begin(), t.row_map.end() - 1);
+  for (ordinal_t v = 0; v < g.num_rows; ++v) {
+    for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+      const ordinal_t c = g.entries[j];
+      t.entries[static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++)] = v;
+    }
+  }
+  // Row-major traversal emits ascending row ids per column: already sorted.
+  return t;
+}
+
+CrsGraph symmetrize(GraphView g) {
+  assert(g.num_rows == g.num_cols);
+  const CrsGraph t = transpose(g);
+  CrsGraph s;
+  s.num_rows = g.num_rows;
+  s.num_cols = g.num_cols;
+  s.row_map.assign(static_cast<std::size_t>(g.num_rows) + 1, 0);
+
+  // Two passes of a sorted-merge union of row(g) and row(t), minus self.
+  auto merged_row_count = [&](ordinal_t v) -> offset_t {
+    auto a = g.row(v);
+    auto b = GraphView(t).row(v);
+    std::size_t i = 0, j = 0;
+    offset_t count = 0;
+    ordinal_t prev = invalid_ordinal;
+    while (i < a.size() || j < b.size()) {
+      ordinal_t c;
+      if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+        c = a[i++];
+      } else {
+        c = b[j++];
+      }
+      if (c != v && c != prev) {
+        ++count;
+        prev = c;
+      }
+    }
+    return count;
+  };
+
+  std::vector<offset_t> counts(static_cast<std::size_t>(g.num_rows) + 1, 0);
+  par::parallel_for(g.num_rows, [&](ordinal_t v) {
+    counts[static_cast<std::size_t>(v) + 1] = merged_row_count(v);
+  });
+  for (ordinal_t v = 0; v < g.num_rows; ++v) counts[static_cast<std::size_t>(v) + 1] += counts[static_cast<std::size_t>(v)];
+  s.row_map = counts;
+  s.entries.resize(static_cast<std::size_t>(s.row_map.back()));
+
+  par::parallel_for(g.num_rows, [&](ordinal_t v) {
+    auto a = g.row(v);
+    auto b = GraphView(t).row(v);
+    std::size_t i = 0, j = 0;
+    offset_t out = s.row_map[v];
+    ordinal_t prev = invalid_ordinal;
+    while (i < a.size() || j < b.size()) {
+      ordinal_t c;
+      if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+        c = a[i++];
+      } else {
+        c = b[j++];
+      }
+      if (c != v && c != prev) {
+        s.entries[static_cast<std::size_t>(out++)] = c;
+        prev = c;
+      }
+    }
+  });
+  return s;
+}
+
+bool is_symmetric(GraphView g) {
+  if (g.num_rows != g.num_cols) return false;
+  const CrsGraph t = transpose(g);
+  if (t.num_entries() != g.num_entries()) return false;
+  // Both row sets sorted: compare rows directly. (Requires sorted input,
+  // which all builders guarantee.)
+  const std::int64_t mismatches = par::count_if(g.num_rows, [&](ordinal_t v) {
+    auto a = g.row(v);
+    auto b = GraphView(t).row(v);
+    return !std::equal(a.begin(), a.end(), b.begin(), b.end());
+  });
+  return mismatches == 0;
+}
+
+bool has_self_loops(GraphView g) {
+  return par::count_if(g.num_rows, [&](ordinal_t v) {
+           auto r = g.row(v);
+           return std::binary_search(r.begin(), r.end(), v);
+         }) > 0;
+}
+
+CrsGraph remove_self_loops(GraphView g) {
+  CrsGraph out;
+  out.num_rows = g.num_rows;
+  out.num_cols = g.num_cols;
+  out.row_map.assign(static_cast<std::size_t>(g.num_rows) + 1, 0);
+  par::parallel_for(g.num_rows, [&](ordinal_t v) {
+    auto r = g.row(v);
+    out.row_map[static_cast<std::size_t>(v) + 1] =
+        static_cast<offset_t>(r.size()) -
+        (std::binary_search(r.begin(), r.end(), v) ? 1 : 0);
+  });
+  for (ordinal_t v = 0; v < g.num_rows; ++v) {
+    out.row_map[static_cast<std::size_t>(v) + 1] += out.row_map[static_cast<std::size_t>(v)];
+  }
+  out.entries.resize(static_cast<std::size_t>(out.row_map.back()));
+  par::parallel_for(g.num_rows, [&](ordinal_t v) {
+    offset_t o = out.row_map[v];
+    for (ordinal_t c : g.row(v)) {
+      if (c != v) out.entries[static_cast<std::size_t>(o++)] = c;
+    }
+  });
+  return out;
+}
+
+namespace {
+
+/// Collect the sorted distance-≤2 neighborhood of v (excluding v) into
+/// `scratch` using a stamp-marker array. Returns the neighborhood size.
+std::size_t radius2_row(GraphView g, ordinal_t v, std::vector<ordinal_t>& marker,
+                        ordinal_t stamp, std::vector<ordinal_t>& scratch) {
+  scratch.clear();
+  auto push = [&](ordinal_t u) {
+    if (u != v && marker[static_cast<std::size_t>(u)] != stamp) {
+      marker[static_cast<std::size_t>(u)] = stamp;
+      scratch.push_back(u);
+    }
+  };
+  for (ordinal_t w : g.row(v)) {
+    push(w);
+    for (ordinal_t u : g.row(w)) push(u);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  return scratch.size();
+}
+
+}  // namespace
+
+CrsGraph square(GraphView g) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+  CrsGraph out;
+  out.num_rows = n;
+  out.num_cols = n;
+  out.row_map.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Serial two-pass construction with a stamp-marker; the squared graph is
+  // a validation/baseline tool, not a hot path. (Algorithm 1's whole point
+  // is to avoid materializing G².)
+  std::vector<ordinal_t> marker(static_cast<std::size_t>(n), invalid_ordinal);
+  std::vector<ordinal_t> scratch;
+  for (ordinal_t v = 0; v < n; ++v) {
+    out.row_map[static_cast<std::size_t>(v) + 1] =
+        out.row_map[static_cast<std::size_t>(v)] +
+        static_cast<offset_t>(radius2_row(g, v, marker, v, scratch));
+  }
+  out.entries.resize(static_cast<std::size_t>(out.row_map.back()));
+  std::fill(marker.begin(), marker.end(), invalid_ordinal);
+  for (ordinal_t v = 0; v < n; ++v) {
+    radius2_row(g, v, marker, v, scratch);
+    std::copy(scratch.begin(), scratch.end(),
+              out.entries.begin() + static_cast<std::ptrdiff_t>(out.row_map[v]));
+  }
+  return out;
+}
+
+InducedSubgraph induced_subgraph(GraphView g, const std::vector<char>& include) {
+  assert(include.size() == static_cast<std::size_t>(g.num_rows));
+  InducedSubgraph result;
+  result.to_sub.assign(static_cast<std::size_t>(g.num_rows), invalid_ordinal);
+
+  for (ordinal_t v = 0; v < g.num_rows; ++v) {
+    if (include[static_cast<std::size_t>(v)]) {
+      result.to_sub[static_cast<std::size_t>(v)] =
+          static_cast<ordinal_t>(result.to_original.size());
+      result.to_original.push_back(v);
+    }
+  }
+
+  const ordinal_t sub_n = static_cast<ordinal_t>(result.to_original.size());
+  CrsGraph& s = result.graph;
+  s.num_rows = sub_n;
+  s.num_cols = sub_n;
+  s.row_map.assign(static_cast<std::size_t>(sub_n) + 1, 0);
+  par::parallel_for(sub_n, [&](ordinal_t sv) {
+    const ordinal_t v = result.to_original[static_cast<std::size_t>(sv)];
+    offset_t count = 0;
+    for (ordinal_t c : g.row(v)) {
+      if (include[static_cast<std::size_t>(c)]) ++count;
+    }
+    s.row_map[static_cast<std::size_t>(sv) + 1] = count;
+  });
+  for (ordinal_t sv = 0; sv < sub_n; ++sv) {
+    s.row_map[static_cast<std::size_t>(sv) + 1] += s.row_map[static_cast<std::size_t>(sv)];
+  }
+  s.entries.resize(static_cast<std::size_t>(s.row_map.back()));
+  par::parallel_for(sub_n, [&](ordinal_t sv) {
+    const ordinal_t v = result.to_original[static_cast<std::size_t>(sv)];
+    offset_t o = s.row_map[sv];
+    for (ordinal_t c : g.row(v)) {
+      if (include[static_cast<std::size_t>(c)]) {
+        s.entries[static_cast<std::size_t>(o++)] = result.to_sub[static_cast<std::size_t>(c)];
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace parmis::graph

@@ -1,0 +1,51 @@
+#pragma once
+/// \file ops.hpp
+/// \brief Structural graph operations: transpose, symmetrize, square,
+/// induced subgraphs.
+///
+/// `square()` materializes the distance-≤2 adjacency G² (with implicit self
+/// loops, per Lemma IV.1 of the paper) and is used to cross-validate MIS-2
+/// against MIS-1 on G² (Lemma IV.2) and to implement the Tuminaro–Tong
+/// SpGEMM-based aggregation baseline.
+
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::graph {
+
+/// Transposed structure (column graph). Output rows are sorted.
+[[nodiscard]] CrsGraph transpose(GraphView g);
+
+/// Union of g and its transpose with self loops removed; output rows sorted.
+/// All MIS/coarsening algorithms in this library require a symmetric,
+/// loop-free adjacency; call this on arbitrary input first.
+[[nodiscard]] CrsGraph symmetrize(GraphView g);
+
+/// True iff the structure equals its transpose (entries only, not values).
+[[nodiscard]] bool is_symmetric(GraphView g);
+
+/// True iff any row contains its own index.
+[[nodiscard]] bool has_self_loops(GraphView g);
+
+/// Copy of g with diagonal entries removed.
+[[nodiscard]] CrsGraph remove_self_loops(GraphView g);
+
+/// Distance-≤2 neighborhood graph: u~v iff a path of length 1 or 2 joins
+/// them in g (self loops excluded from the output). Equivalent to the
+/// off-diagonal structure of (G + I)² from Lemma IV.1.
+[[nodiscard]] CrsGraph square(GraphView g);
+
+/// Result of `induced_subgraph`: the subgraph plus vertex index mappings.
+struct InducedSubgraph {
+  CrsGraph graph;
+  /// original vertex id of each subgraph vertex (size = subgraph vertices)
+  std::vector<ordinal_t> to_original;
+  /// subgraph id of each original vertex, invalid_ordinal if not included
+  std::vector<ordinal_t> to_sub;
+};
+
+/// Subgraph induced by the vertices with `include[v] != 0`.
+[[nodiscard]] InducedSubgraph induced_subgraph(GraphView g, const std::vector<char>& include);
+
+}  // namespace parmis::graph

@@ -1,0 +1,33 @@
+#pragma once
+/// \file rgg.hpp
+/// \brief Random geometric graphs: the SuiteSparse surrogate generator.
+///
+/// The paper's 15 SuiteSparse inputs are FEM/mesh discretizations: low,
+/// spatially local degree with small diameter variation. Those structural
+/// properties — not the exact matrices — drive MIS-2 size, iteration count
+/// and aggregation quality, so DESIGN.md §4 substitutes each with a random
+/// geometric graph (RGG) matched in |V| and average degree: n points
+/// uniform in the unit cube (torus metric, so degree is uniform without
+/// boundary deficit), vertices connected when within radius r, with
+/// r chosen so the expected degree hits the target.
+///
+/// Construction is deterministic: point coordinates are counter-based
+/// hashes of (seed, index), and rows are emitted sorted.
+
+#include <cstdint>
+
+#include "graph/crs.hpp"
+
+namespace parmis::graph {
+
+/// 3D torus random geometric graph with `n` vertices and expected average
+/// degree `target_avg_degree` (> 0). No self loops; symmetric by
+/// construction.
+[[nodiscard]] CrsGraph random_geometric_3d(ordinal_t n, double target_avg_degree,
+                                           std::uint64_t seed);
+
+/// 2D variant (used for 2D-mesh-like surrogates in tests).
+[[nodiscard]] CrsGraph random_geometric_2d(ordinal_t n, double target_avg_degree,
+                                           std::uint64_t seed);
+
+}  // namespace parmis::graph

@@ -1,0 +1,233 @@
+#include "graph/spgemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parmis::graph {
+
+namespace {
+
+/// Per-thread dense accumulator with stamp-based clearing. `thread_local`
+/// so repeated SpGEMM calls reuse the allocation.
+struct Workspace {
+  std::vector<std::uint64_t> stamp_of;
+  std::vector<scalar_t> acc;
+  std::vector<ordinal_t> touched;
+  std::uint64_t stamp{0};
+
+  void ensure(ordinal_t ncols) {
+    if (stamp_of.size() < static_cast<std::size_t>(ncols)) {
+      stamp_of.assign(static_cast<std::size_t>(ncols), 0);
+      acc.assign(static_cast<std::size_t>(ncols), 0);
+      stamp = 0;
+    }
+  }
+};
+
+thread_local Workspace t_ws;
+
+}  // namespace
+
+CrsGraph spgemm_symbolic(GraphView a, GraphView b) {
+  assert(a.num_cols == b.num_rows);
+  CrsGraph c;
+  c.num_rows = a.num_rows;
+  c.num_cols = b.num_cols;
+  c.row_map.assign(static_cast<std::size_t>(a.num_rows) + 1, 0);
+
+  auto fill_row = [&](ordinal_t i) {
+    Workspace& ws = t_ws;
+    ws.ensure(b.num_cols);
+    ++ws.stamp;
+    ws.touched.clear();
+    for (ordinal_t k : a.row(i)) {
+      for (ordinal_t j : b.row(k)) {
+        if (ws.stamp_of[static_cast<std::size_t>(j)] != ws.stamp) {
+          ws.stamp_of[static_cast<std::size_t>(j)] = ws.stamp;
+          ws.touched.push_back(j);
+        }
+      }
+    }
+  };
+
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    fill_row(i);
+    c.row_map[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(t_ws.touched.size());
+  });
+  for (ordinal_t i = 0; i < a.num_rows; ++i) {
+    c.row_map[static_cast<std::size_t>(i) + 1] += c.row_map[static_cast<std::size_t>(i)];
+  }
+  c.entries.resize(static_cast<std::size_t>(c.row_map.back()));
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    fill_row(i);
+    std::sort(t_ws.touched.begin(), t_ws.touched.end());
+    std::copy(t_ws.touched.begin(), t_ws.touched.end(),
+              c.entries.begin() + static_cast<std::ptrdiff_t>(c.row_map[i]));
+  });
+  return c;
+}
+
+CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b) {
+  assert(a.num_cols == b.num_rows);
+  CrsMatrix c;
+  c.num_rows = a.num_rows;
+  c.num_cols = b.num_cols;
+  c.row_map.assign(static_cast<std::size_t>(a.num_rows) + 1, 0);
+
+  auto accumulate_row = [&](ordinal_t i) {
+    Workspace& ws = t_ws;
+    ws.ensure(b.num_cols);
+    ++ws.stamp;
+    ws.touched.clear();
+    for (offset_t ja = a.row_map[i]; ja < a.row_map[i + 1]; ++ja) {
+      const ordinal_t k = a.entries[static_cast<std::size_t>(ja)];
+      const scalar_t av = a.values[static_cast<std::size_t>(ja)];
+      for (offset_t jb = b.row_map[k]; jb < b.row_map[k + 1]; ++jb) {
+        const ordinal_t j = b.entries[static_cast<std::size_t>(jb)];
+        const scalar_t bv = b.values[static_cast<std::size_t>(jb)];
+        if (ws.stamp_of[static_cast<std::size_t>(j)] != ws.stamp) {
+          ws.stamp_of[static_cast<std::size_t>(j)] = ws.stamp;
+          ws.acc[static_cast<std::size_t>(j)] = av * bv;
+          ws.touched.push_back(j);
+        } else {
+          ws.acc[static_cast<std::size_t>(j)] += av * bv;
+        }
+      }
+    }
+  };
+
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    accumulate_row(i);
+    c.row_map[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(t_ws.touched.size());
+  });
+  for (ordinal_t i = 0; i < a.num_rows; ++i) {
+    c.row_map[static_cast<std::size_t>(i) + 1] += c.row_map[static_cast<std::size_t>(i)];
+  }
+  c.entries.resize(static_cast<std::size_t>(c.row_map.back()));
+  c.values.resize(static_cast<std::size_t>(c.row_map.back()));
+
+  // Note: the numeric accumulation order within a row is fixed by the entry
+  // order of A and B, not by scheduling, so values are bit-deterministic.
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    accumulate_row(i);
+    std::sort(t_ws.touched.begin(), t_ws.touched.end());
+    offset_t o = c.row_map[i];
+    for (ordinal_t j : t_ws.touched) {
+      c.entries[static_cast<std::size_t>(o)] = j;
+      c.values[static_cast<std::size_t>(o)] = t_ws.acc[static_cast<std::size_t>(j)];
+      ++o;
+    }
+  });
+  return c;
+}
+
+CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const CrsMatrix& b) {
+  assert(a.num_rows == b.num_rows && a.num_cols == b.num_cols);
+  CrsMatrix c;
+  c.num_rows = a.num_rows;
+  c.num_cols = a.num_cols;
+  c.row_map.assign(static_cast<std::size_t>(a.num_rows) + 1, 0);
+
+  auto merged_count = [&](ordinal_t i) {
+    auto ra = a.row(i);
+    auto rb = b.row(i);
+    std::size_t ia = 0, ib = 0;
+    offset_t count = 0;
+    while (ia < ra.size() || ib < rb.size()) {
+      if (ib >= rb.size() || (ia < ra.size() && ra[ia] < rb[ib])) {
+        ++ia;
+      } else if (ia >= ra.size() || rb[ib] < ra[ia]) {
+        ++ib;
+      } else {
+        ++ia;
+        ++ib;
+      }
+      ++count;
+    }
+    return count;
+  };
+
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    c.row_map[static_cast<std::size_t>(i) + 1] = merged_count(i);
+  });
+  for (ordinal_t i = 0; i < a.num_rows; ++i) {
+    c.row_map[static_cast<std::size_t>(i) + 1] += c.row_map[static_cast<std::size_t>(i)];
+  }
+  c.entries.resize(static_cast<std::size_t>(c.row_map.back()));
+  c.values.resize(static_cast<std::size_t>(c.row_map.back()));
+
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    auto ra = a.row(i);
+    auto rb = b.row(i);
+    auto va = a.row_values(i);
+    auto vb = b.row_values(i);
+    std::size_t ia = 0, ib = 0;
+    offset_t o = c.row_map[i];
+    while (ia < ra.size() || ib < rb.size()) {
+      ordinal_t col;
+      scalar_t val;
+      if (ib >= rb.size() || (ia < ra.size() && ra[ia] < rb[ib])) {
+        col = ra[ia];
+        val = alpha * va[ia];
+        ++ia;
+      } else if (ia >= ra.size() || rb[ib] < ra[ia]) {
+        col = rb[ib];
+        val = beta * vb[ib];
+        ++ib;
+      } else {
+        col = ra[ia];
+        val = alpha * va[ia] + beta * vb[ib];
+        ++ia;
+        ++ib;
+      }
+      c.entries[static_cast<std::size_t>(o)] = col;
+      c.values[static_cast<std::size_t>(o)] = val;
+      ++o;
+    }
+  });
+  return c;
+}
+
+CrsMatrix transpose_matrix(const CrsMatrix& a) {
+  CrsMatrix t;
+  t.num_rows = a.num_cols;
+  t.num_cols = a.num_rows;
+  t.row_map.assign(static_cast<std::size_t>(a.num_cols) + 1, 0);
+  for (offset_t j = 0; j < a.num_entries(); ++j) {
+    ++t.row_map[static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)]) + 1];
+  }
+  for (ordinal_t c = 0; c < a.num_cols; ++c) {
+    t.row_map[static_cast<std::size_t>(c) + 1] += t.row_map[static_cast<std::size_t>(c)];
+  }
+  t.entries.resize(static_cast<std::size_t>(a.num_entries()));
+  t.values.resize(static_cast<std::size_t>(a.num_entries()));
+  std::vector<offset_t> cursor(t.row_map.begin(), t.row_map.end() - 1);
+  for (ordinal_t i = 0; i < a.num_rows; ++i) {
+    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+      const ordinal_t col = a.entries[static_cast<std::size_t>(j)];
+      const offset_t o = cursor[static_cast<std::size_t>(col)]++;
+      t.entries[static_cast<std::size_t>(o)] = i;
+      t.values[static_cast<std::size_t>(o)] = a.values[static_cast<std::size_t>(j)];
+    }
+  }
+  return t;
+}
+
+std::vector<scalar_t> extract_diagonal(const CrsMatrix& a) {
+  assert(a.num_rows == a.num_cols);
+  std::vector<scalar_t> d(static_cast<std::size_t>(a.num_rows), 0);
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    auto cols = a.row(i);
+    auto it = std::lower_bound(cols.begin(), cols.end(), i);
+    if (it != cols.end() && *it == i) {
+      d[static_cast<std::size_t>(i)] =
+          a.values[static_cast<std::size_t>(a.row_map[i] + (it - cols.begin()))];
+    }
+  });
+  return d;
+}
+
+}  // namespace parmis::graph

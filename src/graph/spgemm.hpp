@@ -1,0 +1,34 @@
+#pragma once
+/// \file spgemm.hpp
+/// \brief Sparse general matrix-matrix multiply and related matrix algebra.
+///
+/// SpGEMM backs two parts of the reproduction: the Galerkin triple product
+/// R·A·P in the smoothed-aggregation AMG substrate (Table V) and the
+/// Tuminaro–Tong "MIS-1 of G²" aggregation baseline from the related work.
+/// Rows are computed independently with a per-thread dense accumulator and
+/// emitted sorted, so the product is deterministic for any thread count.
+
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::graph {
+
+/// C = A * B. Requires a.num_cols == b.num_rows. Output rows sorted.
+[[nodiscard]] CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b);
+
+/// Structure-only product: pattern of A * B (no values).
+[[nodiscard]] CrsGraph spgemm_symbolic(GraphView a, GraphView b);
+
+/// C = alpha * A + beta * B (same shape; sorted-row merge). Entries whose
+/// sum is exactly zero are kept, preserving the structural union.
+[[nodiscard]] CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta,
+                                   const CrsMatrix& b);
+
+/// Transpose with values (used for R = Pᵀ in AMG). Output rows sorted.
+[[nodiscard]] CrsMatrix transpose_matrix(const CrsMatrix& a);
+
+/// Diagonal of a square matrix; zero where a row has no diagonal entry.
+[[nodiscard]] std::vector<scalar_t> extract_diagonal(const CrsMatrix& a);
+
+}  // namespace parmis::graph

@@ -1,0 +1,36 @@
+#include "graph/spmv.hpp"
+
+#include <cassert>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parmis::graph {
+
+void spmv(const CrsMatrix& a, std::span<const scalar_t> x, std::span<scalar_t> y) {
+  assert(x.size() == static_cast<std::size_t>(a.num_cols));
+  assert(y.size() == static_cast<std::size_t>(a.num_rows));
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    scalar_t acc = 0;
+    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+      acc += a.values[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  });
+}
+
+void spmv(scalar_t alpha, const CrsMatrix& a, std::span<const scalar_t> x, scalar_t beta,
+          std::span<scalar_t> y) {
+  assert(x.size() == static_cast<std::size_t>(a.num_cols));
+  assert(y.size() == static_cast<std::size_t>(a.num_rows));
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    scalar_t acc = 0;
+    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+      acc += a.values[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(i)] = alpha * acc + beta * y[static_cast<std::size_t>(i)];
+  });
+}
+
+}  // namespace parmis::graph

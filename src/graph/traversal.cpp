@@ -1,0 +1,75 @@
+#include "graph/traversal.hpp"
+
+#include <cassert>
+
+namespace parmis::graph {
+
+std::vector<ordinal_t> bfs_distances(GraphView g, ordinal_t source) {
+  assert(source >= 0 && source < g.num_rows);
+  std::vector<ordinal_t> dist(static_cast<std::size_t>(g.num_rows), invalid_ordinal);
+  std::vector<ordinal_t> frontier{source};
+  std::vector<ordinal_t> next;
+  dist[static_cast<std::size_t>(source)] = 0;
+  ordinal_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (ordinal_t v : frontier) {
+      for (ordinal_t w : g.row(v)) {
+        if (dist[static_cast<std::size_t>(w)] == invalid_ordinal) {
+          dist[static_cast<std::size_t>(w)] = level;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+ordinal_t pseudo_peripheral_vertex(GraphView g, ordinal_t start) {
+  ordinal_t current = start;
+  ordinal_t ecc = -1;
+  // Repeatedly jump to the farthest vertex until eccentricity stops
+  // growing; converges in a handful of sweeps on mesh-like graphs.
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    const std::vector<ordinal_t> dist = bfs_distances(g, current);
+    ordinal_t far = current, far_d = 0;
+    for (ordinal_t v = 0; v < g.num_rows; ++v) {
+      const ordinal_t d = dist[static_cast<std::size_t>(v)];
+      if (d != invalid_ordinal && d > far_d) {
+        far_d = d;
+        far = v;
+      }
+    }
+    if (far_d <= ecc) break;
+    ecc = far_d;
+    current = far;
+  }
+  return current;
+}
+
+Components connected_components(GraphView g) {
+  Components c;
+  c.labels.assign(static_cast<std::size_t>(g.num_rows), invalid_ordinal);
+  std::vector<ordinal_t> stack;
+  for (ordinal_t v = 0; v < g.num_rows; ++v) {
+    if (c.labels[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    const ordinal_t id = c.count++;
+    stack.push_back(v);
+    c.labels[static_cast<std::size_t>(v)] = id;
+    while (!stack.empty()) {
+      const ordinal_t u = stack.back();
+      stack.pop_back();
+      for (ordinal_t w : g.row(u)) {
+        if (c.labels[static_cast<std::size_t>(w)] == invalid_ordinal) {
+          c.labels[static_cast<std::size_t>(w)] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace parmis::graph

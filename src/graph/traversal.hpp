@@ -1,0 +1,27 @@
+#pragma once
+/// \file traversal.hpp
+/// \brief BFS utilities and connected components (substrate for the
+/// multilevel partitioner and for structural tests).
+
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::graph {
+
+/// BFS hop distances from `source`; unreachable vertices get -1.
+[[nodiscard]] std::vector<ordinal_t> bfs_distances(GraphView g, ordinal_t source);
+
+/// A vertex approximately maximizing eccentricity, found by repeated BFS
+/// ("pseudo-peripheral"); the classic seed for graph-growing bisection.
+[[nodiscard]] ordinal_t pseudo_peripheral_vertex(GraphView g, ordinal_t start);
+
+/// Connected components.
+struct Components {
+  std::vector<ordinal_t> labels;  ///< vertex -> component id (compact)
+  ordinal_t count{0};
+};
+
+[[nodiscard]] Components connected_components(GraphView g);
+
+}  // namespace parmis::graph

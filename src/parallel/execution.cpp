@@ -1,0 +1,62 @@
+#include "parallel/execution.hpp"
+
+#ifdef PARMIS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace parmis::par {
+
+namespace {
+
+#ifdef PARMIS_HAVE_OPENMP
+Backend g_backend = Backend::OpenMP;
+#else
+Backend g_backend = Backend::Serial;
+#endif
+
+int g_threads = 0;  // 0 = hardware default
+
+int hardware_threads() {
+#ifdef PARMIS_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+Backend Execution::backend() { return g_backend; }
+
+void Execution::set_backend(Backend b) {
+#ifndef PARMIS_HAVE_OPENMP
+  b = Backend::Serial;
+#endif
+  g_backend = b;
+}
+
+int Execution::num_threads() {
+  if (g_backend == Backend::Serial) return 1;
+  return g_threads > 0 ? g_threads : hardware_threads();
+}
+
+void Execution::set_num_threads(int n) { g_threads = n > 0 ? n : 0; }
+
+int Execution::max_threads() { return hardware_threads(); }
+
+bool Execution::is_parallel() {
+  return g_backend == Backend::OpenMP && num_threads() > 1;
+}
+
+ScopedExecution::ScopedExecution(Backend b, int threads)
+    : saved_backend_(Execution::backend()), saved_threads_(g_threads) {
+  Execution::set_backend(b);
+  Execution::set_num_threads(threads);
+}
+
+ScopedExecution::~ScopedExecution() {
+  g_backend = saved_backend_;
+  g_threads = saved_threads_;
+}
+
+}  // namespace parmis::par

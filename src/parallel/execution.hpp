@@ -1,0 +1,61 @@
+#pragma once
+/// \file execution.hpp
+/// \brief Portable execution-space configuration (the Kokkos-analogue layer).
+///
+/// The paper implements its algorithms on top of Kokkos so one source runs on
+/// CUDA, HIP, OpenMP and Serial backends. This library provides the same
+/// separation at laptop scale: every parallel kernel is written against the
+/// primitives in this directory (`parallel_for`, `parallel_reduce`,
+/// `parallel_scan`, SIMD inner reductions) and executes on either the Serial
+/// or the OpenMP backend, selected at runtime. All primitives are
+/// deterministic: results are bit-identical for any backend and thread count.
+
+namespace parmis::par {
+
+/// Available execution backends ("execution spaces" in Kokkos terms).
+enum class Backend {
+  Serial,  ///< single-threaded reference backend
+  OpenMP,  ///< multi-threaded host backend
+};
+
+/// Runtime-global execution configuration.
+///
+/// Defaults to the OpenMP backend with all hardware threads when compiled
+/// with PARMIS_HAVE_OPENMP, otherwise Serial.
+class Execution {
+ public:
+  /// Currently selected backend.
+  static Backend backend();
+
+  /// Select the backend. Selecting OpenMP without PARMIS_HAVE_OPENMP
+  /// silently falls back to Serial.
+  static void set_backend(Backend b);
+
+  /// Number of worker threads the OpenMP backend will use.
+  static int num_threads();
+
+  /// Set OpenMP worker-thread count; `n <= 0` restores the hardware default.
+  static void set_num_threads(int n);
+
+  /// Number of hardware threads available to the OpenMP backend.
+  static int max_threads();
+
+  /// True if the current configuration executes loops concurrently.
+  static bool is_parallel();
+};
+
+/// RAII guard that pins backend + thread count for a scope (used heavily by
+/// determinism tests and the strong-scaling benchmarks).
+class ScopedExecution {
+ public:
+  ScopedExecution(Backend b, int threads);
+  ~ScopedExecution();
+  ScopedExecution(const ScopedExecution&) = delete;
+  ScopedExecution& operator=(const ScopedExecution&) = delete;
+
+ private:
+  Backend saved_backend_;
+  int saved_threads_;
+};
+
+}  // namespace parmis::par

@@ -1,0 +1,145 @@
+#pragma once
+/// \file parallel_scan.hpp
+/// \brief Deterministic blocked parallel prefix sum ("scan").
+///
+/// Algorithm 1 compacts its two worklists every iteration with a parallel
+/// prefix sum (paper §V-B); the theoretical analysis (§IV) charges
+/// O(log V) depth and O(n log n) work to it. The implementation here is the
+/// classic three-phase blocked scan: (1) per-block partial sums in parallel,
+/// (2) serial exclusive scan of the (few) block totals, (3) per-block
+/// refill in parallel. The block size is a fixed constant, so the result —
+/// and even the intermediate block decomposition — is independent of the
+/// thread count.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/execution.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace parmis::par {
+
+/// Block width for the blocked scan; fixed for determinism.
+inline constexpr std::int64_t scan_block = 8192;
+
+/// In-place exclusive prefix sum over `data`; returns the grand total.
+/// `data[i]` becomes `sum(data[0..i-1])`, `data[0]` becomes 0.
+template <typename T>
+T exclusive_scan_inplace(std::span<T> data) {
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  if (n == 0) return T{0};
+
+  const std::int64_t nblocks = (n + scan_block - 1) / scan_block;
+  if (nblocks == 1 || !Execution::is_parallel()) {
+    T running{0};
+    for (std::int64_t i = 0; i < n; ++i) {
+      T v = data[i];
+      data[i] = running;
+      running += v;
+    }
+    return running;
+  }
+
+  std::vector<T> block_total(static_cast<std::size_t>(nblocks));
+  parallel_for(nblocks, [&](std::int64_t b) {
+    const std::int64_t lo = b * scan_block;
+    const std::int64_t hi = std::min(n, lo + scan_block);
+    T acc{0};
+    for (std::int64_t i = lo; i < hi; ++i) acc += data[i];
+    block_total[static_cast<std::size_t>(b)] = acc;
+  });
+
+  T running{0};
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    T v = block_total[static_cast<std::size_t>(b)];
+    block_total[static_cast<std::size_t>(b)] = running;
+    running += v;
+  }
+
+  parallel_for(nblocks, [&](std::int64_t b) {
+    const std::int64_t lo = b * scan_block;
+    const std::int64_t hi = std::min(n, lo + scan_block);
+    T acc = block_total[static_cast<std::size_t>(b)];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      T v = data[i];
+      data[i] = acc;
+      acc += v;
+    }
+  });
+  return running;
+}
+
+/// In-place inclusive prefix sum; returns the grand total.
+template <typename T>
+T inclusive_scan_inplace(std::span<T> data) {
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  if (n == 0) return T{0};
+
+  const std::int64_t nblocks = (n + scan_block - 1) / scan_block;
+  if (nblocks == 1 || !Execution::is_parallel()) {
+    T running{0};
+    for (std::int64_t i = 0; i < n; ++i) {
+      running += data[i];
+      data[i] = running;
+    }
+    return running;
+  }
+
+  std::vector<T> block_total(static_cast<std::size_t>(nblocks));
+  parallel_for(nblocks, [&](std::int64_t b) {
+    const std::int64_t lo = b * scan_block;
+    const std::int64_t hi = std::min(n, lo + scan_block);
+    T acc{0};
+    for (std::int64_t i = lo; i < hi; ++i) acc += data[i];
+    block_total[static_cast<std::size_t>(b)] = acc;
+  });
+
+  T running{0};
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    T v = block_total[static_cast<std::size_t>(b)];
+    block_total[static_cast<std::size_t>(b)] = running;
+    running += v;
+  }
+
+  parallel_for(nblocks, [&](std::int64_t b) {
+    const std::int64_t lo = b * scan_block;
+    const std::int64_t hi = std::min(n, lo + scan_block);
+    T acc = block_total[static_cast<std::size_t>(b)];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      acc += data[i];
+      data[i] = acc;
+    }
+  });
+  return running;
+}
+
+/// Stable parallel stream compaction: appends to `out` every `i in [0, n)`
+/// for which `pred(i)` holds, mapped through `make(i)`, preserving index
+/// order. This is the worklist-maintenance primitive from paper §V-B.
+///
+/// Deterministic: the output order equals the serial filter order.
+template <typename Index, typename Out, typename Pred, typename Make>
+void compact_into(Index n, Pred&& pred, Make&& make, std::vector<Out>& out) {
+  const std::int64_t len = static_cast<std::int64_t>(n);
+  out.clear();
+  if (len == 0) return;
+
+  std::vector<std::int64_t> flags(static_cast<std::size_t>(len));
+  parallel_for(len, [&](std::int64_t i) {
+    flags[static_cast<std::size_t>(i)] = pred(static_cast<Index>(i)) ? 1 : 0;
+  });
+  const std::int64_t total = exclusive_scan_inplace(std::span<std::int64_t>(flags));
+  out.resize(static_cast<std::size_t>(total));
+  parallel_for(len, [&](std::int64_t i) {
+    const bool keep = (i + 1 < len ? flags[static_cast<std::size_t>(i) + 1] : total) !=
+                      flags[static_cast<std::size_t>(i)];
+    if (keep) {
+      out[static_cast<std::size_t>(flags[static_cast<std::size_t>(i)])] =
+          make(static_cast<Index>(i));
+    }
+  });
+}
+
+}  // namespace parmis::par

@@ -1,0 +1,163 @@
+#include "partition/coarsen_weighted.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::partition {
+
+WeightedGraph WeightedGraph::unit(graph::CrsGraph g) {
+  WeightedGraph w;
+  w.vertex_weight.assign(static_cast<std::size_t>(g.num_rows), 1);
+  w.edge_weight.assign(static_cast<std::size_t>(g.num_entries()), 1);
+  w.graph = std::move(g);
+  return w;
+}
+
+WeightedGraph coarsen_weighted(const WeightedGraph& fine, const std::vector<ordinal_t>& labels,
+                               ordinal_t num_coarse) {
+  const graph::GraphView g = fine.graph;
+  assert(labels.size() == static_cast<std::size_t>(g.num_rows));
+
+  // Member lists (counting sort), as in core::aggregate_members.
+  std::vector<offset_t> mstart(static_cast<std::size_t>(num_coarse) + 1, 0);
+  for (ordinal_t v = 0; v < g.num_rows; ++v) {
+    assert(labels[static_cast<std::size_t>(v)] >= 0 &&
+           labels[static_cast<std::size_t>(v)] < num_coarse);
+    ++mstart[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)]) + 1];
+  }
+  for (ordinal_t a = 0; a < num_coarse; ++a) {
+    mstart[static_cast<std::size_t>(a) + 1] += mstart[static_cast<std::size_t>(a)];
+  }
+  std::vector<ordinal_t> members(static_cast<std::size_t>(g.num_rows));
+  {
+    std::vector<offset_t> cursor(mstart.begin(), mstart.end() - 1);
+    for (ordinal_t v = 0; v < g.num_rows; ++v) {
+      members[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])]++)] = v;
+    }
+  }
+
+  WeightedGraph coarse;
+  coarse.graph.num_rows = num_coarse;
+  coarse.graph.num_cols = num_coarse;
+  coarse.graph.row_map.assign(static_cast<std::size_t>(num_coarse) + 1, 0);
+  coarse.vertex_weight.assign(static_cast<std::size_t>(num_coarse), 0);
+  for (ordinal_t v = 0; v < g.num_rows; ++v) {
+    coarse.vertex_weight[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])] +=
+        fine.vertex_weight[static_cast<std::size_t>(v)];
+  }
+
+  // Per-coarse-row accumulation with a stamp/accumulator pair (same
+  // pattern as SpGEMM); summed weights, sorted columns.
+  struct Workspace {
+    std::vector<std::uint64_t> stamp_of;
+    std::vector<std::int64_t> acc;
+    std::vector<ordinal_t> touched;
+    std::uint64_t stamp{0};
+    void ensure(ordinal_t n) {
+      if (stamp_of.size() < static_cast<std::size_t>(n)) {
+        stamp_of.assign(static_cast<std::size_t>(n), 0);
+        acc.assign(static_cast<std::size_t>(n), 0);
+        stamp = 0;
+      }
+    }
+  };
+  thread_local Workspace ws;
+
+  auto collect = [&](ordinal_t a) {
+    ws.ensure(num_coarse);
+    ++ws.stamp;
+    ws.touched.clear();
+    for (offset_t mi = mstart[static_cast<std::size_t>(a)];
+         mi < mstart[static_cast<std::size_t>(a) + 1]; ++mi) {
+      const ordinal_t v = members[static_cast<std::size_t>(mi)];
+      for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+        const ordinal_t b = labels[static_cast<std::size_t>(g.entries[j])];
+        if (b == a) continue;
+        const std::int64_t w = fine.edge_weight[static_cast<std::size_t>(j)];
+        if (ws.stamp_of[static_cast<std::size_t>(b)] != ws.stamp) {
+          ws.stamp_of[static_cast<std::size_t>(b)] = ws.stamp;
+          ws.acc[static_cast<std::size_t>(b)] = w;
+          ws.touched.push_back(b);
+        } else {
+          ws.acc[static_cast<std::size_t>(b)] += w;
+        }
+      }
+    }
+  };
+
+  par::parallel_for(num_coarse, [&](ordinal_t a) {
+    collect(a);
+    coarse.graph.row_map[static_cast<std::size_t>(a) + 1] =
+        static_cast<offset_t>(ws.touched.size());
+  });
+  for (ordinal_t a = 0; a < num_coarse; ++a) {
+    coarse.graph.row_map[static_cast<std::size_t>(a) + 1] +=
+        coarse.graph.row_map[static_cast<std::size_t>(a)];
+  }
+  coarse.graph.entries.resize(static_cast<std::size_t>(coarse.graph.row_map.back()));
+  coarse.edge_weight.resize(static_cast<std::size_t>(coarse.graph.row_map.back()));
+  par::parallel_for(num_coarse, [&](ordinal_t a) {
+    collect(a);
+    std::sort(ws.touched.begin(), ws.touched.end());
+    offset_t o = coarse.graph.row_map[a];
+    for (ordinal_t b : ws.touched) {
+      coarse.graph.entries[static_cast<std::size_t>(o)] = b;
+      coarse.edge_weight[static_cast<std::size_t>(o)] =
+          static_cast<ordinal_t>(ws.acc[static_cast<std::size_t>(b)]);
+      ++o;
+    }
+  });
+  return coarse;
+}
+
+Matching heavy_edge_matching(const WeightedGraph& g, std::uint64_t seed) {
+  const ordinal_t n = g.graph.num_rows;
+  Matching m;
+  std::vector<ordinal_t> mate(static_cast<std::size_t>(n), invalid_ordinal);
+
+  // Hashed visit order decorrelates the matching from vertex numbering.
+  std::vector<ordinal_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](ordinal_t a, ordinal_t b) {
+    const std::uint64_t ha = rng::hash_xorshift_star(seed, static_cast<std::uint64_t>(a));
+    const std::uint64_t hb = rng::hash_xorshift_star(seed, static_cast<std::uint64_t>(b));
+    return ha != hb ? ha < hb : a < b;
+  });
+
+  for (ordinal_t v : order) {
+    if (mate[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    ordinal_t best = invalid_ordinal;
+    ordinal_t best_w = 0;
+    for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+      const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+      if (mate[static_cast<std::size_t>(u)] != invalid_ordinal) continue;
+      const ordinal_t w = g.edge_weight[static_cast<std::size_t>(j)];
+      if (w > best_w || (w == best_w && (best == invalid_ordinal || u < best))) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best != invalid_ordinal) {
+      mate[static_cast<std::size_t>(v)] = best;
+      mate[static_cast<std::size_t>(best)] = v;
+    }
+  }
+
+  // Assign coarse ids: pairs and singletons in vertex order.
+  m.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
+  for (ordinal_t v = 0; v < n; ++v) {
+    if (m.labels[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    const ordinal_t id = m.num_coarse++;
+    m.labels[static_cast<std::size_t>(v)] = id;
+    const ordinal_t u = mate[static_cast<std::size_t>(v)];
+    if (u != invalid_ordinal) m.labels[static_cast<std::size_t>(u)] = id;
+  }
+  return m;
+}
+
+}  // namespace parmis::partition

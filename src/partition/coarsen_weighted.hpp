@@ -1,0 +1,57 @@
+#pragma once
+/// \file coarsen_weighted.hpp
+/// \brief Weighted coarsening for multilevel partitioning.
+///
+/// Multilevel partitioners (paper §II: Gilbert et al., IPDPS 2021) need
+/// coarse graphs that remember how much fine material they stand for:
+/// vertex weights (aggregate sizes) so balance is preserved, and edge
+/// weights (number of collapsed fine edges) so coarse edge cuts equal fine
+/// edge cuts. Two coarsening schemes are provided:
+///  - MIS-2 aggregation (Algorithm 3 / Algorithm 2 of the paper), and
+///  - heavy-edge matching (HEM), the traditional multilevel scheme the
+///    paper's §II cites as the comparison point.
+
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::partition {
+
+/// A graph with per-vertex and per-entry (edge) integer weights. The edge
+/// weight array parallels `graph.entries`.
+struct WeightedGraph {
+  graph::CrsGraph graph;
+  std::vector<ordinal_t> vertex_weight;
+  std::vector<ordinal_t> edge_weight;
+
+  [[nodiscard]] std::int64_t total_vertex_weight() const {
+    std::int64_t total = 0;
+    for (ordinal_t w : vertex_weight) total += w;
+    return total;
+  }
+
+  /// Unit-weight wrapper around an unweighted graph.
+  [[nodiscard]] static WeightedGraph unit(graph::CrsGraph g);
+};
+
+/// Quotient of `fine` under `labels` (an aggregation/matching assignment
+/// into [0, num_coarse)): vertex weights sum, parallel edges collapse with
+/// summed weights. Deterministic; rows sorted.
+[[nodiscard]] WeightedGraph coarsen_weighted(const WeightedGraph& fine,
+                                             const std::vector<ordinal_t>& labels,
+                                             ordinal_t num_coarse);
+
+/// Heavy-edge matching: greedily match each unmatched vertex to its
+/// unmatched neighbor with the heaviest edge (ties: smaller id), visiting
+/// vertices in hashed order. Unmatched leftovers become singletons.
+/// Returns labels into [0, num_coarse) plus the coarse count — roughly a
+/// 2x reduction per level. Serial (the classical formulation).
+struct Matching {
+  std::vector<ordinal_t> labels;
+  ordinal_t num_coarse{0};
+};
+
+[[nodiscard]] Matching heavy_edge_matching(const WeightedGraph& g, std::uint64_t seed);
+
+}  // namespace parmis::partition

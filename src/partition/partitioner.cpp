@@ -1,0 +1,308 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "core/aggregation.hpp"
+#include "graph/ops.hpp"
+#include "graph/traversal.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::partition {
+
+namespace {
+
+/// Per-side weights of a bisection.
+struct SideWeights {
+  std::int64_t w[2]{0, 0};
+};
+
+SideWeights side_weights(const WeightedGraph& g, std::span<const char> side) {
+  SideWeights sw;
+  for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
+    sw.w[static_cast<int>(side[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight[static_cast<std::size_t>(v)];
+  }
+  return sw;
+}
+
+/// Weighted gain of moving v to the other side: (cut edges removed) −
+/// (cut edges created).
+std::int64_t move_gain(const WeightedGraph& g, std::span<const char> side, ordinal_t v) {
+  const char s = side[static_cast<std::size_t>(v)];
+  std::int64_t gain = 0;
+  for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+    const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+    const std::int64_t w = g.edge_weight[static_cast<std::size_t>(j)];
+    gain += side[static_cast<std::size_t>(u)] != s ? w : -w;
+  }
+  return gain;
+}
+
+/// Internal bisection with an arbitrary target fraction for side 0.
+Bisection grow_bisection_frac(const WeightedGraph& g, double target_fraction,
+                              std::uint64_t seed) {
+  const ordinal_t n = g.graph.num_rows;
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(n), 1);
+  if (n == 0) return b;
+
+  const std::int64_t total = g.total_vertex_weight();
+  const std::int64_t target = static_cast<std::int64_t>(std::llround(target_fraction * total));
+
+  // BFS-grow side 0 from a pseudo-peripheral seed; jump to a fresh seed if
+  // a whole component is consumed before the target weight is reached.
+  std::int64_t grown = 0;
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<ordinal_t> queue;
+  ordinal_t scan = 0;
+  const ordinal_t first =
+      graph::pseudo_peripheral_vertex(g.graph, static_cast<ordinal_t>(
+          rng::hash_xorshift_star(seed, 0) % static_cast<std::uint64_t>(n)));
+  queue.push_back(first);
+  visited[static_cast<std::size_t>(first)] = 1;
+  std::size_t head = 0;
+  while (grown < target) {
+    if (head == queue.size()) {
+      // Find the next unvisited vertex (new component).
+      while (scan < n && visited[static_cast<std::size_t>(scan)]) ++scan;
+      if (scan == n) break;
+      visited[static_cast<std::size_t>(scan)] = 1;
+      queue.push_back(scan);
+    }
+    const ordinal_t v = queue[head++];
+    b.side[static_cast<std::size_t>(v)] = 0;
+    grown += g.vertex_weight[static_cast<std::size_t>(v)];
+    for (ordinal_t u : g.graph.row(v)) {
+      if (!visited[static_cast<std::size_t>(u)]) {
+        visited[static_cast<std::size_t>(u)] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  b.cut_weight = cut_weight(g, b.side);
+  return b;
+}
+
+/// Greedy boundary refinement toward per-side weight caps.
+std::int64_t refine_frac(const WeightedGraph& g, Bisection& b, int passes,
+                         double target_fraction, double tolerance) {
+  const ordinal_t n = g.graph.num_rows;
+  const std::int64_t total = g.total_vertex_weight();
+  const double ideal[2] = {target_fraction * static_cast<double>(total),
+                           (1.0 - target_fraction) * static_cast<double>(total)};
+  SideWeights sw = side_weights(g, b.side);
+
+  auto overflow = [&](const SideWeights& w) {
+    double over = 0;
+    for (int s = 0; s < 2; ++s) {
+      over += std::max(0.0, static_cast<double>(w.w[s]) - ideal[s] * (1.0 + tolerance));
+    }
+    return over;
+  };
+
+  std::int64_t moved_total = 0;
+  std::vector<std::pair<std::int64_t, ordinal_t>> candidates;
+  for (int pass = 0; pass < passes; ++pass) {
+    // Collect boundary vertices with non-negative gain, best gain first
+    // (ties by id: deterministic).
+    candidates.clear();
+    for (ordinal_t v = 0; v < n; ++v) {
+      const std::int64_t gain = move_gain(g, b.side, v);
+      if (gain >= 0) candidates.emplace_back(-gain, v);
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    std::int64_t moved = 0;
+    for (const auto& [neg_gain, v] : candidates) {
+      // Re-evaluate: earlier moves in this pass may have changed the gain.
+      const std::int64_t gain = move_gain(g, b.side, v);
+      if (gain < 0) continue;
+      const char s = b.side[static_cast<std::size_t>(v)];
+      SideWeights next = sw;
+      next.w[static_cast<int>(s)] -= g.vertex_weight[static_cast<std::size_t>(v)];
+      next.w[1 - static_cast<int>(s)] += g.vertex_weight[static_cast<std::size_t>(v)];
+      const bool balance_ok = overflow(next) <= overflow(sw);
+      // Zero-gain moves are allowed only when they strictly improve
+      // balance; positive-gain moves only when they don't worsen it.
+      if (gain == 0 && overflow(next) >= overflow(sw)) continue;
+      if (!balance_ok) continue;
+      b.side[static_cast<std::size_t>(v)] = static_cast<char>(1 - s);
+      sw = next;
+      b.cut_weight -= gain;
+      ++moved;
+    }
+    moved_total += moved;
+    if (moved == 0) break;
+  }
+  assert(b.cut_weight == cut_weight(g, b.side));
+  return moved_total;
+}
+
+/// Coarsening labels for one level under the chosen scheme.
+std::pair<std::vector<ordinal_t>, ordinal_t> coarsen_labels(const WeightedGraph& g,
+                                                            const PartitionOptions& opts,
+                                                            int level) {
+  if (opts.coarsening == CoarseningScheme::HeavyEdgeMatching) {
+    Matching m = heavy_edge_matching(g, opts.seed + static_cast<std::uint64_t>(level));
+    return {std::move(m.labels), m.num_coarse};
+  }
+  core::Mis2Options mis2_opts = opts.mis2;
+  mis2_opts.seed ^= static_cast<std::uint64_t>(level) * 0x9E3779B97F4A7C15ull;
+  core::Aggregation agg = core::aggregate_mis2(g.graph, mis2_opts);
+  return {std::move(agg.labels), agg.num_aggregates};
+}
+
+Bisection multilevel_bisect_frac(const WeightedGraph& fine, double target_fraction,
+                                 const PartitionOptions& opts) {
+  if (fine.graph.num_rows <= opts.coarse_target || opts.max_levels == 0) {
+    Bisection b = grow_bisection_frac(fine, target_fraction, opts.seed);
+    refine_frac(fine, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
+    return b;
+  }
+
+  auto [labels, num_coarse] = coarsen_labels(fine, opts, opts.max_levels);
+  if (num_coarse >= fine.graph.num_rows) {
+    // Coarsening stalled: solve here directly.
+    Bisection b = grow_bisection_frac(fine, target_fraction, opts.seed);
+    refine_frac(fine, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
+    return b;
+  }
+
+  const WeightedGraph coarse = coarsen_weighted(fine, labels, num_coarse);
+  PartitionOptions next = opts;
+  next.max_levels = opts.max_levels - 1;
+  const Bisection coarse_b = multilevel_bisect_frac(coarse, target_fraction, next);
+
+  // Project and refine.
+  Bisection b;
+  b.side.resize(static_cast<std::size_t>(fine.graph.num_rows));
+  for (ordinal_t v = 0; v < fine.graph.num_rows; ++v) {
+    b.side[static_cast<std::size_t>(v)] =
+        coarse_b.side[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])];
+  }
+  b.cut_weight = cut_weight(fine, b.side);
+  refine_frac(fine, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
+  return b;
+}
+
+void partition_recursive(const WeightedGraph& g, std::span<const ordinal_t> to_parent,
+                         ordinal_t k, ordinal_t part_offset, const PartitionOptions& opts,
+                         std::vector<ordinal_t>& out) {
+  if (k == 1) {
+    for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
+      out[static_cast<std::size_t>(to_parent[static_cast<std::size_t>(v)])] = part_offset;
+    }
+    return;
+  }
+  const ordinal_t k0 = k / 2;
+  const double frac = static_cast<double>(k0) / static_cast<double>(k);
+  const Bisection b = multilevel_bisect_frac(g, frac, opts);
+
+  // Split into the two induced weighted subgraphs and recurse.
+  for (int s = 0; s < 2; ++s) {
+    std::vector<char> keep(static_cast<std::size_t>(g.graph.num_rows));
+    for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
+      keep[static_cast<std::size_t>(v)] = b.side[static_cast<std::size_t>(v)] == s;
+    }
+    const graph::InducedSubgraph sub = graph::induced_subgraph(g.graph, keep);
+    WeightedGraph sg;
+    sg.graph = sub.graph;
+    sg.vertex_weight.resize(static_cast<std::size_t>(sub.graph.num_rows));
+    sg.edge_weight.assign(static_cast<std::size_t>(sub.graph.num_entries()), 1);
+    // Edge weights of the induced subgraph: match entries by position.
+    for (ordinal_t sv = 0; sv < sub.graph.num_rows; ++sv) {
+      const ordinal_t v = sub.to_original[static_cast<std::size_t>(sv)];
+      sg.vertex_weight[static_cast<std::size_t>(sv)] =
+          g.vertex_weight[static_cast<std::size_t>(v)];
+      offset_t so = sub.graph.row_map[sv];
+      for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+        const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+        if (keep[static_cast<std::size_t>(u)]) {
+          sg.edge_weight[static_cast<std::size_t>(so++)] =
+              g.edge_weight[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+    std::vector<ordinal_t> sub_to_parent(static_cast<std::size_t>(sub.graph.num_rows));
+    for (ordinal_t sv = 0; sv < sub.graph.num_rows; ++sv) {
+      sub_to_parent[static_cast<std::size_t>(sv)] =
+          to_parent[static_cast<std::size_t>(sub.to_original[static_cast<std::size_t>(sv)])];
+    }
+    partition_recursive(sg, sub_to_parent, s == 0 ? k0 : k - k0,
+                        s == 0 ? part_offset : part_offset + k0, opts, out);
+  }
+}
+
+}  // namespace
+
+std::int64_t cut_weight(const WeightedGraph& g, std::span<const char> side) {
+  std::int64_t cut = 0;
+  for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
+    for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+      const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+      if (side[static_cast<std::size_t>(u)] != side[static_cast<std::size_t>(v)]) {
+        cut += g.edge_weight[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return cut / 2;
+}
+
+std::int64_t edge_cut(graph::GraphView g, std::span<const ordinal_t> part) {
+  std::int64_t cut = 0;
+  for (ordinal_t v = 0; v < g.num_rows; ++v) {
+    for (ordinal_t u : g.row(v)) {
+      if (part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)]) ++cut;
+    }
+  }
+  return cut / 2;
+}
+
+double imbalance(std::span<const ordinal_t> part, ordinal_t k) {
+  if (part.empty() || k <= 0) return 0;
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(k), 0);
+  for (ordinal_t p : part) ++weight[static_cast<std::size_t>(p)];
+  const std::int64_t max_w = *std::max_element(weight.begin(), weight.end());
+  const double ideal = static_cast<double>(part.size()) / k;
+  return static_cast<double>(max_w) / ideal - 1.0;
+}
+
+Bisection grow_bisection(const WeightedGraph& g, std::uint64_t seed) {
+  return grow_bisection_frac(g, 0.5, seed);
+}
+
+std::int64_t refine_bisection(const WeightedGraph& g, Bisection& b, int passes,
+                              double imbalance_tolerance) {
+  return refine_frac(g, b, passes, 0.5, imbalance_tolerance);
+}
+
+Bisection multilevel_bisect(const WeightedGraph& g, const PartitionOptions& opts) {
+  return multilevel_bisect_frac(g, 0.5, opts);
+}
+
+Partition partition_graph(graph::GraphView g, ordinal_t k, const PartitionOptions& opts) {
+  assert(k >= 1);
+  Partition p;
+  p.k = k;
+  p.part.assign(static_cast<std::size_t>(g.num_rows), 0);
+  if (g.num_rows == 0 || k == 1) {
+    return p;
+  }
+
+  WeightedGraph wg = WeightedGraph::unit(
+      graph::CrsGraph{g.num_rows, g.num_cols,
+                      std::vector<offset_t>(g.row_map, g.row_map + g.num_rows + 1),
+                      std::vector<ordinal_t>(g.entries, g.entries + g.num_entries())});
+  std::vector<ordinal_t> identity(static_cast<std::size_t>(g.num_rows));
+  std::iota(identity.begin(), identity.end(), 0);
+  partition_recursive(wg, identity, k, 0, opts, p.part);
+
+  p.edge_cut = edge_cut(g, p.part);
+  p.imbalance = imbalance(p.part, k);
+  return p;
+}
+
+}  // namespace parmis::partition

@@ -1,0 +1,16 @@
+#include "random/hash.hpp"
+
+// hash.hpp is constexpr-only; this translation unit anchors the module in
+// the library target and hosts compile-time self-checks.
+
+namespace parmis::rng {
+
+// xorshift64 must be a bijection fixing only zero; spot-check a couple of
+// algebraic identities at compile time.
+static_assert(xorshift64(0) == 0);
+static_assert(xorshift64(1) != 0);
+static_assert(xorshift64(1) != xorshift64(2));
+static_assert(xorshift64star(1) != xorshift64star(2));
+static_assert(hash_xorshift_star(0, 5) != hash_xorshift_star(1, 5));
+
+}  // namespace parmis::rng

@@ -1,0 +1,86 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Deterministic hash functions used as pseudo-random generators.
+///
+/// Paper §V-A: Algorithm 1 assigns a fresh pseudo-random priority to every
+/// undecided vertex each iteration via `h(iter, v) = f(f(iter) XOR f(v))`.
+/// Two candidate `f` are evaluated: Marsaglia's 64-bit xorshift and
+/// xorshift* (xorshift followed by a multiplicative step). The paper found
+/// plain xorshift to be *correlated* between iterations — it usually needs
+/// more iterations than even fixed priorities — while xorshift* is well
+/// behaved; Table I quantifies this and `bench/table1_priorities`
+/// reproduces it.
+
+#include <cstdint>
+
+namespace parmis::rng {
+
+/// Marsaglia 64-bit xorshift (shift triple 13/7/17). Bijective on nonzero
+/// inputs; note f(0) == 0.
+[[nodiscard]] constexpr std::uint64_t xorshift64(std::uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+/// Marsaglia xorshift* : xorshift (shift triple 12/25/27) followed by a
+/// multiplicative (LCG-style) step. The multiplier is the standard
+/// xorshift64* constant.
+[[nodiscard]] constexpr std::uint64_t xorshift64star(std::uint64_t x) {
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+/// SplitMix64 mixer (Steele/Lea/Flood). Used to seed the synthetic graph
+/// generators; statistically strong and stateless.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Per-iteration vertex hash with plain xorshift ("Xor Hash" in Table I).
+[[nodiscard]] constexpr std::uint64_t hash_xorshift(std::uint64_t iter, std::uint64_t v) {
+  return xorshift64(xorshift64(iter) ^ xorshift64(v));
+}
+
+/// Per-iteration vertex hash with xorshift* ("Xor* Hash" in Table I); this
+/// is the generator used by Algorithm 1 in all experiments.
+[[nodiscard]] constexpr std::uint64_t hash_xorshift_star(std::uint64_t iter, std::uint64_t v) {
+  return xorshift64star(xorshift64star(iter) ^ xorshift64star(v));
+}
+
+/// Counter-based deterministic RNG stream built on SplitMix64. Every draw
+/// depends only on (seed, counter), so streams can be replayed and split.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0); uses 64-bit multiply-shift.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parmis::rng

@@ -1,0 +1,208 @@
+#include "solver/amg.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "coloring/d2c_aggregation.hpp"
+#include "common/timer.hpp"
+#include "graph/ops.hpp"
+#include "graph/spgemm.hpp"
+#include "graph/spmv.hpp"
+#include "parallel/parallel_for.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/serial_aggregation.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace parmis::solver {
+
+const char* to_string(AggregationScheme s) {
+  switch (s) {
+    case AggregationScheme::SerialAgg: return "Serial Agg";
+    case AggregationScheme::SerialD2C: return "Serial D2C";
+    case AggregationScheme::NBD2C: return "NB D2C";
+    case AggregationScheme::Mis2Basic: return "MIS2 Basic";
+    case AggregationScheme::Mis2Agg: return "MIS2 Agg";
+  }
+  return "?";
+}
+
+core::Aggregation run_aggregation(graph::GraphView adjacency, AggregationScheme scheme,
+                                  const core::Mis2Options& mis2_opts) {
+  switch (scheme) {
+    case AggregationScheme::SerialAgg:
+      return serial_aggregation(adjacency);
+    case AggregationScheme::SerialD2C:
+      return coloring::aggregate_d2c(adjacency, coloring::D2cMode::Serial);
+    case AggregationScheme::NBD2C:
+      return coloring::aggregate_d2c(adjacency, coloring::D2cMode::Parallel);
+    case AggregationScheme::Mis2Basic:
+      return core::aggregate_basic(adjacency, mis2_opts);
+    case AggregationScheme::Mis2Agg:
+      return core::aggregate_mis2(adjacency, mis2_opts);
+  }
+  throw std::invalid_argument("unknown aggregation scheme");
+}
+
+namespace {
+
+/// Tentative prolongator: column a = normalized indicator of aggregate a.
+/// Exactly one entry per row, so the CRS assembles directly from labels.
+graph::CrsMatrix tentative_prolongator(const core::Aggregation& agg) {
+  const ordinal_t n = static_cast<ordinal_t>(agg.labels.size());
+  std::vector<ordinal_t> agg_size(static_cast<std::size_t>(agg.num_aggregates), 0);
+  for (ordinal_t v = 0; v < n; ++v) {
+    ++agg_size[static_cast<std::size_t>(agg.labels[static_cast<std::size_t>(v)])];
+  }
+
+  graph::CrsMatrix p;
+  p.num_rows = n;
+  p.num_cols = agg.num_aggregates;
+  p.row_map.resize(static_cast<std::size_t>(n) + 1);
+  for (ordinal_t v = 0; v <= n; ++v) p.row_map[static_cast<std::size_t>(v)] = v;
+  p.entries.resize(static_cast<std::size_t>(n));
+  p.values.resize(static_cast<std::size_t>(n));
+  par::parallel_for(n, [&](ordinal_t v) {
+    const ordinal_t a = agg.labels[static_cast<std::size_t>(v)];
+    p.entries[static_cast<std::size_t>(v)] = a;
+    p.values[static_cast<std::size_t>(v)] =
+        1.0 / std::sqrt(static_cast<scalar_t>(agg_size[static_cast<std::size_t>(a)]));
+  });
+  return p;
+}
+
+/// P = (I - omega D^{-1} A) P̂  =  P̂ - omega * rowscale(D^{-1}, A P̂).
+graph::CrsMatrix smooth_prolongator(const graph::CrsMatrix& a,
+                                    const std::vector<scalar_t>& inv_diag,
+                                    const graph::CrsMatrix& phat, scalar_t omega) {
+  graph::CrsMatrix ap = graph::spgemm(a, phat);
+  par::parallel_for(ap.num_rows, [&](ordinal_t i) {
+    const scalar_t scale = inv_diag[static_cast<std::size_t>(i)];
+    for (offset_t j = ap.row_map[i]; j < ap.row_map[i + 1]; ++j) {
+      ap.values[static_cast<std::size_t>(j)] *= scale;
+    }
+  });
+  return graph::matrix_add(1.0, phat, -omega, ap);
+}
+
+}  // namespace
+
+AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts) {
+  AmgHierarchy h;
+  h.opts_ = opts;
+  Timer setup_timer;
+
+  graph::CrsMatrix current = std::move(a_fine);
+  for (int lvl = 0; lvl < opts.max_levels; ++lvl) {
+    AmgLevel level;
+    level.a = std::move(current);
+    level.inv_diag = inverted_diagonal(level.a);
+    if (opts.smoother == SmootherType::Chebyshev) {
+      level.chebyshev = std::make_unique<ChebyshevSmoother>(level.a, opts.chebyshev_degree);
+    }
+
+    const bool coarsest =
+        level.a.num_rows <= opts.coarse_size || lvl == opts.max_levels - 1;
+    if (!coarsest) {
+      const graph::CrsGraph adj = graph::remove_self_loops(graph::GraphView(level.a));
+      Timer agg_timer;
+      const core::Aggregation agg = run_aggregation(adj, opts.scheme, opts.mis2);
+      h.aggregation_seconds_ += agg_timer.seconds();
+      level.num_aggregates = agg.num_aggregates;
+
+      // Coarsening stalled: stop here and solve this level directly.
+      if (agg.num_aggregates >= level.a.num_rows) {
+        h.levels_.push_back(std::move(level));
+        break;
+      }
+
+      const graph::CrsMatrix phat = tentative_prolongator(agg);
+      level.p = smooth_prolongator(level.a, level.inv_diag, phat, opts.prolongator_omega);
+      level.r = graph::transpose_matrix(level.p);
+      current = graph::spgemm(level.r, graph::spgemm(level.a, level.p));
+      h.levels_.push_back(std::move(level));
+    } else {
+      h.levels_.push_back(std::move(level));
+      break;
+    }
+  }
+
+  h.coarse_lu_ = std::make_unique<DenseLU>(h.levels_.back().a);
+
+  // V-cycle workspaces.
+  h.work_r_.resize(h.levels_.size());
+  h.work_bc_.resize(h.levels_.size());
+  h.work_xc_.resize(h.levels_.size());
+  for (std::size_t i = 0; i < h.levels_.size(); ++i) {
+    const std::size_t n = static_cast<std::size_t>(h.levels_[i].a.num_rows);
+    h.work_r_[i].resize(n);
+    if (i + 1 < h.levels_.size()) {
+      const std::size_t nc = static_cast<std::size_t>(h.levels_[i + 1].a.num_rows);
+      h.work_bc_[i].resize(nc);
+      h.work_xc_[i].resize(nc);
+    }
+  }
+
+  h.setup_seconds_ = setup_timer.seconds();
+  return h;
+}
+
+void AmgHierarchy::cycle_level(std::size_t lvl, std::span<const scalar_t> b,
+                               std::span<scalar_t> x) const {
+  const AmgLevel& level = levels_[lvl];
+  if (lvl + 1 == levels_.size()) {
+    coarse_lu_->solve(b, x);
+    return;
+  }
+
+  auto smooth = [&](std::span<const scalar_t> rhs, std::span<scalar_t> sol) {
+    if (level.chebyshev) {
+      for (int s = 0; s < opts_.smoother_sweeps; ++s) {
+        level.chebyshev->smooth(level.a, rhs, sol);
+      }
+    } else {
+      jacobi_smooth(level.a, level.inv_diag, rhs, sol, opts_.smoother_sweeps,
+                    opts_.jacobi_omega);
+    }
+  };
+
+  // Pre-smooth.
+  smooth(b, x);
+
+  // Coarse-grid correction.
+  std::span<scalar_t> r(work_r_[lvl]);
+  graph::spmv(level.a, x, r);
+  axpby(1.0, b, -1.0, r);  // r = b - A x
+  std::span<scalar_t> bc(work_bc_[lvl]);
+  graph::spmv(level.r, r, bc);
+  std::span<scalar_t> xc(work_xc_[lvl]);
+  fill(xc, 0.0);
+  cycle_level(lvl + 1, bc, xc);
+  // x += P xc
+  graph::spmv(1.0, level.p, xc, 0.0, r);
+  axpby(1.0, r, 1.0, x);
+
+  // Post-smooth.
+  smooth(b, x);
+}
+
+void AmgHierarchy::vcycle(std::span<const scalar_t> b, std::span<scalar_t> x) const {
+  cycle_level(0, b, x);
+}
+
+void AmgHierarchy::apply(std::span<const scalar_t> r, std::span<scalar_t> z) const {
+  fill(z, 0.0);
+  cycle_level(0, r, z);
+}
+
+std::string AmgHierarchy::name() const {
+  return std::string("sa-amg(") + to_string(opts_.scheme) + ")";
+}
+
+double AmgHierarchy::operator_complexity() const {
+  double total = 0;
+  for (const AmgLevel& l : levels_) total += static_cast<double>(l.a.num_entries());
+  return total / static_cast<double>(levels_.front().a.num_entries());
+}
+
+}  // namespace parmis::solver

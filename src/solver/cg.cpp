@@ -1,0 +1,72 @@
+#include "solver/cg.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "graph/spmv.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace parmis::solver {
+
+IterResult cg(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+              const IterOptions& opts, const Preconditioner* prec) {
+  assert(a.num_rows == a.num_cols);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows);
+  assert(b.size() == n && x.size() == n);
+
+  IterResult result;
+  const scalar_t bnorm = norm2(b);
+  if (bnorm == 0) {
+    fill(x, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<scalar_t> r(n), z(n), p(n), ap(n);
+
+  // r = b - A x
+  graph::spmv(a, x, r);
+  axpby(1.0, b, -1.0, r);
+
+  auto precondition = [&](std::span<const scalar_t> in, std::span<scalar_t> out) {
+    if (prec) {
+      prec->apply(in, out);
+    } else {
+      copy(in, out);
+    }
+  };
+
+  precondition(r, z);
+  copy(z, p);
+  scalar_t rz = dot(r, z);
+
+  double relres = norm2(r) / bnorm;
+  if (opts.track_history) result.history.push_back(relres);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    if (relres <= opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+    graph::spmv(a, p, ap);
+    const scalar_t pap = dot(p, ap);
+    if (pap == 0 || !std::isfinite(pap)) break;  // breakdown
+    const scalar_t alpha = rz / pap;
+    axpby(alpha, p, 1.0, x);
+    axpby(-alpha, ap, 1.0, r);
+    precondition(r, z);
+    const scalar_t rz_next = dot(r, z);
+    const scalar_t beta = rz_next / rz;
+    rz = rz_next;
+    // p = z + beta p
+    axpby(1.0, z, beta, p);
+    ++result.iterations;
+    relres = norm2(r) / bnorm;
+    if (opts.track_history) result.history.push_back(relres);
+  }
+  result.converged = result.converged || relres <= opts.tolerance;
+  result.relative_residual = relres;
+  return result;
+}
+
+}  // namespace parmis::solver

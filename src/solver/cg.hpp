@@ -1,0 +1,34 @@
+#pragma once
+/// \file cg.hpp
+/// \brief Preconditioned conjugate gradient (the Table V outer solver).
+
+#include <span>
+#include <vector>
+
+#include "graph/crs.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace parmis::solver {
+
+/// Shared Krylov-solver configuration.
+struct IterOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-8;     ///< on ||r|| / ||b||
+  bool track_history = false;  ///< record the residual per iteration
+};
+
+/// Shared Krylov-solver outcome.
+struct IterResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  std::vector<double> history;
+};
+
+/// Solve SPD `a x = b` with (preconditioned) CG, starting from the given
+/// `x`. `prec` may be null (unpreconditioned). Deterministic for any
+/// thread count (all reductions are fixed-order).
+IterResult cg(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+              const IterOptions& opts = {}, const Preconditioner* prec = nullptr);
+
+}  // namespace parmis::solver

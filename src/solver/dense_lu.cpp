@@ -1,0 +1,81 @@
+#include "solver/dense_lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace parmis::solver {
+
+DenseLU::DenseLU(const graph::CrsMatrix& a) : n_(a.num_rows) {
+  assert(a.num_rows == a.num_cols);
+  const std::size_t n = static_cast<std::size_t>(n_);
+  lu_.assign(n * n, 0);
+  perm_.resize(n);
+  for (ordinal_t i = 0; i < n_; ++i) {
+    perm_[static_cast<std::size_t>(i)] = i;
+    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+      lu_[static_cast<std::size_t>(i) * n +
+          static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)])] =
+          a.values[static_cast<std::size_t>(j)];
+    }
+  }
+
+  for (ordinal_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    ordinal_t piv = k;
+    scalar_t best = std::abs(lu_[static_cast<std::size_t>(k) * n + static_cast<std::size_t>(k)]);
+    for (ordinal_t i = k + 1; i < n_; ++i) {
+      const scalar_t cand =
+          std::abs(lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(k)]);
+      if (cand > best) {
+        best = cand;
+        piv = i;
+      }
+    }
+    if (best == 0) throw std::runtime_error("DenseLU: singular matrix");
+    if (piv != k) {
+      for (ordinal_t j = 0; j < n_; ++j) {
+        std::swap(lu_[static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)],
+                  lu_[static_cast<std::size_t>(piv) * n + static_cast<std::size_t>(j)]);
+      }
+      std::swap(perm_[static_cast<std::size_t>(k)], perm_[static_cast<std::size_t>(piv)]);
+    }
+    const scalar_t pivot = lu_[static_cast<std::size_t>(k) * n + static_cast<std::size_t>(k)];
+    for (ordinal_t i = k + 1; i < n_; ++i) {
+      scalar_t& lik = lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(k)];
+      lik /= pivot;
+      if (lik == 0) continue;
+      for (ordinal_t j = k + 1; j < n_; ++j) {
+        lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] -=
+            lik * lu_[static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+void DenseLU::solve(std::span<const scalar_t> b, std::span<scalar_t> x) const {
+  assert(b.size() == static_cast<std::size_t>(n_) && x.size() == static_cast<std::size_t>(n_));
+  const std::size_t n = static_cast<std::size_t>(n_);
+
+  // Forward substitution on the permuted right-hand side (L has unit diag).
+  for (ordinal_t i = 0; i < n_; ++i) {
+    scalar_t acc = b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+    for (ordinal_t j = 0; j < i; ++j) {
+      acc -= lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = acc;
+  }
+  // Back substitution.
+  for (ordinal_t i = n_ - 1; i >= 0; --i) {
+    scalar_t acc = x[static_cast<std::size_t>(i)];
+    for (ordinal_t j = i + 1; j < n_; ++j) {
+      acc -= lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] =
+        acc / lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace parmis::solver

@@ -1,0 +1,31 @@
+#pragma once
+/// \file dense_lu.hpp
+/// \brief Dense LU with partial pivoting, the AMG coarse-level direct solve.
+
+#include <span>
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::solver {
+
+/// Factorization of a (small) square matrix. Intended for AMG coarsest
+/// levels (a few hundred rows); O(n^3) factor, O(n^2) solve.
+class DenseLU {
+ public:
+  /// Factor a sparse matrix densely. Throws std::runtime_error when a zero
+  /// pivot makes the matrix numerically singular.
+  explicit DenseLU(const graph::CrsMatrix& a);
+
+  /// Solve A x = b.
+  void solve(std::span<const scalar_t> b, std::span<scalar_t> x) const;
+
+  [[nodiscard]] ordinal_t size() const { return n_; }
+
+ private:
+  ordinal_t n_;
+  std::vector<scalar_t> lu_;     // row-major, combined L\U
+  std::vector<ordinal_t> perm_;  // row permutation from pivoting
+};
+
+}  // namespace parmis::solver

@@ -1,0 +1,21 @@
+#pragma once
+/// \file gmres.hpp
+/// \brief Restarted, right-preconditioned GMRES (the Table VI outer solver).
+
+#include <span>
+
+#include "graph/crs.hpp"
+#include "solver/cg.hpp"  // IterOptions / IterResult
+#include "solver/preconditioner.hpp"
+
+namespace parmis::solver {
+
+/// Solve `a x = b` with GMRES(restart), right-preconditioned with `prec`
+/// (null = unpreconditioned), starting from the given `x`. Right
+/// preconditioning keeps the monitored residual equal to the true residual.
+/// Deterministic for any thread count.
+IterResult gmres(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                 std::span<scalar_t> x, const IterOptions& opts = {},
+                 const Preconditioner* prec = nullptr, int restart = 50);
+
+}  // namespace parmis::solver

@@ -1,0 +1,43 @@
+#include "solver/jacobi.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/spgemm.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace parmis::solver {
+
+std::vector<scalar_t> inverted_diagonal(const graph::CrsMatrix& a) {
+  std::vector<scalar_t> d = graph::extract_diagonal(a);
+  for (scalar_t& v : d) {
+    if (v == 0) throw std::runtime_error("jacobi: zero diagonal entry");
+    v = 1.0 / v;
+  }
+  return d;
+}
+
+void jacobi_smooth(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag,
+                   std::span<const scalar_t> b, std::span<scalar_t> x, int sweeps,
+                   scalar_t omega) {
+  assert(b.size() == static_cast<std::size_t>(a.num_rows));
+  assert(x.size() == static_cast<std::size_t>(a.num_rows));
+  std::vector<scalar_t> x_next(static_cast<std::size_t>(a.num_rows));
+  for (int s = 0; s < sweeps; ++s) {
+    par::parallel_for(a.num_rows, [&](ordinal_t i) {
+      scalar_t acc = 0;
+      for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+        acc += a.values[static_cast<std::size_t>(j)] *
+               x[static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)])];
+      }
+      x_next[static_cast<std::size_t>(i)] =
+          x[static_cast<std::size_t>(i)] +
+          omega * inv_diag[static_cast<std::size_t>(i)] * (b[static_cast<std::size_t>(i)] - acc);
+    });
+    par::parallel_for(a.num_rows, [&](ordinal_t i) {
+      x[static_cast<std::size_t>(i)] = x_next[static_cast<std::size_t>(i)];
+    });
+  }
+}
+
+}  // namespace parmis::solver

@@ -1,0 +1,21 @@
+#pragma once
+/// \file jacobi.hpp
+/// \brief Damped Jacobi smoothing (the Table V multigrid smoother).
+
+#include <span>
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::solver {
+
+/// Reciprocal diagonal of a; throws std::runtime_error on a zero diagonal.
+[[nodiscard]] std::vector<scalar_t> inverted_diagonal(const graph::CrsMatrix& a);
+
+/// `sweeps` iterations of damped Jacobi: x <- x + omega D^{-1} (b - A x).
+/// Fully parallel and deterministic.
+void jacobi_smooth(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag,
+                   std::span<const scalar_t> b, std::span<scalar_t> x, int sweeps,
+                   scalar_t omega);
+
+}  // namespace parmis::solver

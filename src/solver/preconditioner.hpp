@@ -1,0 +1,30 @@
+#pragma once
+/// \file preconditioner.hpp
+/// \brief Abstract preconditioner interface shared by CG and GMRES.
+
+#include <algorithm>
+#include <span>
+#include <string>
+
+#include "common/config.hpp"
+
+namespace parmis::solver {
+
+/// Applies z = M^{-1} r for some approximation M of the system matrix.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(std::span<const scalar_t> r, std::span<scalar_t> z) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// No-op preconditioner (M = I).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(std::span<const scalar_t> r, std::span<scalar_t> z) const override {
+    std::copy(r.begin(), r.end(), z.begin());
+  }
+  [[nodiscard]] std::string name() const override { return "identity"; }
+};
+
+}  // namespace parmis::solver

@@ -1,0 +1,87 @@
+#include "solver/serial_aggregation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace parmis::solver {
+
+core::Aggregation serial_aggregation(graph::GraphView g) {
+  assert(g.num_rows == g.num_cols);
+  const ordinal_t n = g.num_rows;
+
+  core::Aggregation agg;
+  agg.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
+
+  auto make_root = [&](ordinal_t v, bool absorb_all) {
+    const ordinal_t id = agg.num_aggregates++;
+    agg.roots.push_back(v);
+    agg.labels[static_cast<std::size_t>(v)] = id;
+    for (ordinal_t w : g.row(v)) {
+      if (absorb_all || agg.labels[static_cast<std::size_t>(w)] == invalid_ordinal) {
+        agg.labels[static_cast<std::size_t>(w)] = id;
+      }
+    }
+  };
+
+  // Phase 1: roots with fully free neighborhoods.
+  for (ordinal_t v = 0; v < n; ++v) {
+    if (agg.labels[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    bool all_free = true;
+    for (ordinal_t w : g.row(v)) {
+      if (agg.labels[static_cast<std::size_t>(w)] != invalid_ordinal) {
+        all_free = false;
+        break;
+      }
+    }
+    if (all_free) make_root(v, /*absorb_all=*/true);
+  }
+
+  // Track sizes for phase 2's tie-break.
+  std::vector<ordinal_t> agg_size(static_cast<std::size_t>(agg.num_aggregates), 0);
+  for (ordinal_t v = 0; v < n; ++v) {
+    const ordinal_t a = agg.labels[static_cast<std::size_t>(v)];
+    if (a != invalid_ordinal) ++agg_size[static_cast<std::size_t>(a)];
+  }
+
+  // Phase 2: attach stragglers to the strongest-coupled adjacent aggregate.
+  std::vector<ordinal_t> nbr_aggs;
+  for (ordinal_t v = 0; v < n; ++v) {
+    if (agg.labels[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    nbr_aggs.clear();
+    for (ordinal_t w : g.row(v)) {
+      const ordinal_t a = agg.labels[static_cast<std::size_t>(w)];
+      if (a != invalid_ordinal) nbr_aggs.push_back(a);
+    }
+    if (nbr_aggs.empty()) continue;  // handled in phase 3
+    std::sort(nbr_aggs.begin(), nbr_aggs.end());
+    ordinal_t best = invalid_ordinal, best_coupling = 0, best_size = max_ordinal;
+    std::size_t i = 0;
+    while (i < nbr_aggs.size()) {
+      const ordinal_t a = nbr_aggs[i];
+      std::size_t j = i;
+      while (j < nbr_aggs.size() && nbr_aggs[j] == a) ++j;
+      const ordinal_t coupling = static_cast<ordinal_t>(j - i);
+      if (coupling > best_coupling ||
+          (coupling == best_coupling && agg_size[static_cast<std::size_t>(a)] < best_size)) {
+        best = a;
+        best_coupling = coupling;
+        best_size = agg_size[static_cast<std::size_t>(a)];
+      }
+      i = j;
+    }
+    agg.labels[static_cast<std::size_t>(v)] = best;
+    ++agg_size[static_cast<std::size_t>(best)];
+  }
+
+  // Phase 3: isolated pockets become their own aggregates.
+  for (ordinal_t v = 0; v < n; ++v) {
+    if (agg.labels[static_cast<std::size_t>(v)] == invalid_ordinal) {
+      make_root(v, /*absorb_all=*/false);
+    }
+  }
+
+  return agg;
+}
+
+}  // namespace parmis::solver

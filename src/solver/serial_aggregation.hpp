@@ -1,0 +1,24 @@
+#pragma once
+/// \file serial_aggregation.hpp
+/// \brief Sequential greedy aggregation — the "Serial Agg" baseline of
+/// Table V (MueLu's host-side uncoupled aggregation in the spirit of
+/// Tuminaro-Tong / Wiesner).
+///
+/// Three sequential phases over the vertices in natural order:
+///  1. a vertex whose entire neighborhood is unaggregated becomes a root
+///     and absorbs its neighbors;
+///  2. leftover vertices adjacent to an aggregate join the one with the
+///     strongest coupling (ties: smaller aggregate, then smaller id);
+///  3. remaining vertices (isolated pockets) seed new aggregates with their
+///     unaggregated neighbors.
+/// Deterministic by construction (fully sequential), but O(|V| + |E|)
+/// serial time — the cost Table V's "Agg." column exposes.
+
+#include "core/aggregation.hpp"
+#include "graph/crs.hpp"
+
+namespace parmis::solver {
+
+[[nodiscard]] core::Aggregation serial_aggregation(graph::GraphView g);
+
+}  // namespace parmis::solver

@@ -1,0 +1,55 @@
+#include "solver/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::solver {
+
+scalar_t dot(std::span<const scalar_t> a, std::span<const scalar_t> b) {
+  assert(a.size() == b.size());
+  return par::reduce_sum<scalar_t>(static_cast<std::int64_t>(a.size()), [&](std::int64_t i) {
+    return a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  });
+}
+
+scalar_t norm2(std::span<const scalar_t> a) { return std::sqrt(dot(a, a)); }
+
+void axpby(scalar_t alpha, std::span<const scalar_t> x, scalar_t beta, std::span<scalar_t> y) {
+  assert(x.size() == y.size());
+  par::parallel_for(static_cast<std::int64_t>(x.size()), [&](std::int64_t i) {
+    y[static_cast<std::size_t>(i)] =
+        alpha * x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
+  });
+}
+
+void copy(std::span<const scalar_t> x, std::span<scalar_t> y) {
+  assert(x.size() == y.size());
+  par::parallel_for(static_cast<std::int64_t>(x.size()), [&](std::int64_t i) {
+    y[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+  });
+}
+
+void fill(std::span<scalar_t> x, scalar_t value) {
+  par::parallel_for(static_cast<std::int64_t>(x.size()),
+                    [&](std::int64_t i) { x[static_cast<std::size_t>(i)] = value; });
+}
+
+void scale(std::span<scalar_t> x, scalar_t alpha) {
+  par::parallel_for(static_cast<std::int64_t>(x.size()),
+                    [&](std::int64_t i) { x[static_cast<std::size_t>(i)] *= alpha; });
+}
+
+std::vector<scalar_t> random_vector(ordinal_t n, std::uint64_t seed) {
+  std::vector<scalar_t> v(static_cast<std::size_t>(n));
+  par::parallel_for(n, [&](ordinal_t i) {
+    const std::uint64_t z = rng::splitmix64_mix(seed + static_cast<std::uint64_t>(i));
+    v[static_cast<std::size_t>(i)] = 2.0 * (static_cast<double>(z >> 11) * 0x1.0p-53) - 1.0;
+  });
+  return v;
+}
+
+}  // namespace parmis::solver

@@ -1,0 +1,39 @@
+#pragma once
+/// \file vector_ops.hpp
+/// \brief Dense vector kernels with deterministic reductions.
+///
+/// Krylov iteration counts must not drift with the thread count (that would
+/// break the determinism property Tables V/VI report), so all dot products
+/// and norms go through the fixed-chunk deterministic reduction in
+/// `parallel/parallel_reduce.hpp`.
+
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace parmis::solver {
+
+/// Deterministic dot product.
+[[nodiscard]] scalar_t dot(std::span<const scalar_t> a, std::span<const scalar_t> b);
+
+/// Deterministic Euclidean norm.
+[[nodiscard]] scalar_t norm2(std::span<const scalar_t> a);
+
+/// y = alpha * x + beta * y.
+void axpby(scalar_t alpha, std::span<const scalar_t> x, scalar_t beta, std::span<scalar_t> y);
+
+/// y = x.
+void copy(std::span<const scalar_t> x, std::span<scalar_t> y);
+
+/// x = value everywhere.
+void fill(std::span<scalar_t> x, scalar_t value);
+
+/// x *= alpha.
+void scale(std::span<scalar_t> x, scalar_t alpha);
+
+/// Deterministic pseudo-random vector in [-1, 1) (counter-based), for
+/// right-hand sides and initial guesses in tests/benches.
+[[nodiscard]] std::vector<scalar_t> random_vector(ordinal_t n, std::uint64_t seed);
+
+}  // namespace parmis::solver

@@ -1,0 +1,131 @@
+/// \file test_baselines.cpp
+/// \brief Tests for the comparator algorithms: Bell MIS-k, Luby MIS-1,
+/// MIS-2 via squaring, and serial greedy MIS-2.
+
+#include <gtest/gtest.h>
+
+#include "core/bell_misk.hpp"
+#include "core/luby_mis1.hpp"
+#include "core/mis_spgemm.hpp"
+#include "core/serial_mis2.hpp"
+#include "core/verify.hpp"
+#include "graph/ops.hpp"
+#include "parallel/execution.hpp"
+#include "test_utils.hpp"
+
+namespace parmis::core {
+namespace {
+
+using test::NamedGraph;
+
+TEST(BellMisk, ValidMis2OnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Mis2Result r = bell_misk(ng.g, 2);
+    EXPECT_TRUE(verify_mis2(ng.g, r.in_set)) << ng.name;
+  }
+}
+
+TEST(BellMisk, K1IsValidMis1) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Mis2Result r = bell_misk(ng.g, 1);
+    EXPECT_TRUE(verify_mis1(ng.g, r.in_set)) << ng.name;
+  }
+}
+
+TEST(BellMisk, K3IsDistance3Independent) {
+  // No verifier for k=3; check independence by hand on a long path:
+  // members must be >= 4 apart, and one must exist per 7 vertices.
+  const ordinal_t n = 500;
+  const Mis2Result r = bell_misk(test::path_graph(n), 3);
+  ordinal_t prev = -100;
+  for (ordinal_t v : r.members) {
+    EXPECT_GE(v - prev, 4);
+    prev = v;
+  }
+  EXPECT_GE(r.set_size(), n / 7);
+}
+
+TEST(BellMisk, DeterministicAcrossThreads) {
+  const graph::CrsGraph g = graph::random_geometric_3d(3000, 12.0, 3);
+  Mis2Result serial_r, parallel_r;
+  {
+    par::ScopedExecution scope(par::Backend::Serial, 1);
+    serial_r = bell_misk(g, 2);
+  }
+  {
+    par::ScopedExecution scope(par::Backend::OpenMP, 0);
+    parallel_r = bell_misk(g, 2);
+  }
+  EXPECT_EQ(serial_r.members, parallel_r.members);
+}
+
+TEST(BellMisk, SeedVariesResult) {
+  const graph::CrsGraph g = test::er_graph(200, 0.03, 17);
+  const Mis2Result a = bell_misk(g, 2, 1);
+  const Mis2Result b = bell_misk(g, 2, 2);
+  EXPECT_TRUE(verify_mis2(g, a.in_set));
+  EXPECT_TRUE(verify_mis2(g, b.in_set));
+  // Different seeds almost surely give different (still valid) sets.
+  EXPECT_NE(a.members, b.members);
+}
+
+TEST(LubyMis1, ValidOnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Mis2Result r = luby_mis1(ng.g);
+    EXPECT_TRUE(verify_mis1(ng.g, r.in_set)) << ng.name;
+  }
+}
+
+TEST(LubyMis1, CliqueHasExactlyOne) {
+  EXPECT_EQ(luby_mis1(test::complete_graph(12)).set_size(), 1);
+}
+
+TEST(LubyMis1, IndependentVerticesAllJoin) {
+  EXPECT_EQ(luby_mis1(graph::graph_from_edges(7, {})).set_size(), 7);
+}
+
+TEST(LubyMis1, ConvergesInFewRounds) {
+  const graph::CrsGraph g = graph::random_geometric_3d(20000, 10.0, 9);
+  const Mis2Result r = luby_mis1(g);
+  EXPECT_TRUE(verify_mis1(g, r.in_set));
+  EXPECT_LE(r.iterations, 30);  // O(log n) expected
+}
+
+TEST(Mis2ViaSquaring, ValidMis2OnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Mis2Result r = mis2_via_squaring(ng.g);
+    EXPECT_TRUE(verify_mis2(ng.g, r.in_set)) << ng.name;
+  }
+}
+
+TEST(SerialMis2, ValidOnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Mis2Result r = serial_mis2(ng.g);
+    EXPECT_TRUE(verify_mis2(ng.g, r.in_set)) << ng.name;
+  }
+}
+
+TEST(SerialMis2, GreedyPicksNaturalOrder) {
+  // On a path the natural-order greedy takes 0, 3, 6, ...
+  const Mis2Result r = serial_mis2(test::path_graph(10));
+  EXPECT_EQ(r.members, (std::vector<ordinal_t>{0, 3, 6, 9}));
+}
+
+TEST(QualityParity, AllAlgorithmsProduceSimilarSizes) {
+  // The Table IV claim: KK / CUSP(Bell) / greedy sizes agree closely.
+  const graph::CrsGraph g = graph::random_geometric_3d(20000, 16.0, 123);
+  const ordinal_t kk = mis2(g).set_size();
+  const ordinal_t bell = bell_misk(g, 2).set_size();
+  const ordinal_t greedy = serial_mis2(g).set_size();
+  const ordinal_t squared = mis2_via_squaring(g).set_size();
+  const double lo = 0.8 * greedy, hi = 1.25 * greedy;
+  EXPECT_GT(kk, lo);
+  EXPECT_LT(kk, hi);
+  EXPECT_GT(bell, lo);
+  EXPECT_LT(bell, hi);
+  EXPECT_GT(squared, lo);
+  EXPECT_LT(squared, hi);
+}
+
+}  // namespace
+}  // namespace parmis::core

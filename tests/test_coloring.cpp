@@ -1,0 +1,185 @@
+/// \file test_coloring.cpp
+/// \brief Tests for D1/D2 coloring and the D2C aggregation baselines.
+
+#include <gtest/gtest.h>
+
+#include "coloring/d1_coloring.hpp"
+#include "coloring/d2_coloring.hpp"
+#include "coloring/d2c_aggregation.hpp"
+#include "coloring/verify.hpp"
+#include "core/verify.hpp"
+#include "graph/ops.hpp"
+#include "parallel/execution.hpp"
+#include "test_utils.hpp"
+
+namespace parmis::coloring {
+namespace {
+
+using test::NamedGraph;
+
+TEST(GreedyD1, ValidOnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Coloring c = greedy_d1_coloring(ng.g);
+    EXPECT_TRUE(verify_d1_coloring(ng.g, c)) << ng.name;
+  }
+}
+
+TEST(ParallelD1, ValidOnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Coloring c = parallel_d1_coloring(ng.g);
+    EXPECT_TRUE(verify_d1_coloring(ng.g, c)) << ng.name;
+  }
+}
+
+TEST(GreedyD1, ColorCountBounds) {
+  // First-fit never exceeds maxdeg + 1.
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    if (ng.g.num_rows == 0) continue;
+    const Coloring c = greedy_d1_coloring(ng.g);
+    const graph::DegreeStats s = graph::degree_stats(ng.g);
+    EXPECT_LE(c.num_colors, s.max_degree + 1) << ng.name;
+  }
+}
+
+TEST(ParallelD1, ColorCountBounds) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    if (ng.g.num_rows == 0) continue;
+    const Coloring c = parallel_d1_coloring(ng.g);
+    const graph::DegreeStats s = graph::degree_stats(ng.g);
+    EXPECT_LE(c.num_colors, s.max_degree + 1) << ng.name;
+  }
+}
+
+TEST(GreedyD1, BipartiteUsesTwoColors) {
+  const Coloring c = greedy_d1_coloring(test::path_graph(50));
+  EXPECT_EQ(c.num_colors, 2);
+}
+
+TEST(GreedyD1, CliqueNeedsNColors) {
+  const Coloring c = greedy_d1_coloring(test::complete_graph(7));
+  EXPECT_EQ(c.num_colors, 7);
+}
+
+TEST(ParallelD1, DeterministicAcrossThreads) {
+  const graph::CrsGraph g = graph::random_geometric_3d(4000, 14.0, 31);
+  Coloring serial_c, parallel_c;
+  {
+    par::ScopedExecution scope(par::Backend::Serial, 1);
+    serial_c = parallel_d1_coloring(g);
+  }
+  {
+    par::ScopedExecution scope(par::Backend::OpenMP, 0);
+    parallel_c = parallel_d1_coloring(g);
+  }
+  EXPECT_EQ(serial_c.colors, parallel_c.colors);
+  EXPECT_EQ(serial_c.num_colors, parallel_c.num_colors);
+}
+
+TEST(ColorSets, PartitionByColor) {
+  const graph::CrsGraph g = test::er_graph(100, 0.05, 3);
+  const Coloring c = parallel_d1_coloring(g);
+  const ColorSets sets = color_sets(c);
+  EXPECT_EQ(static_cast<ordinal_t>(sets.vertices.size()), g.num_rows);
+  for (ordinal_t col = 0; col < c.num_colors; ++col) {
+    for (offset_t i = sets.offsets[static_cast<std::size_t>(col)];
+         i < sets.offsets[static_cast<std::size_t>(col) + 1]; ++i) {
+      EXPECT_EQ(c.colors[static_cast<std::size_t>(sets.vertices[static_cast<std::size_t>(i)])],
+                col);
+    }
+  }
+}
+
+TEST(GreedyD2, ValidOnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Coloring c = greedy_d2_coloring(ng.g);
+    EXPECT_TRUE(verify_d2_coloring(ng.g, c)) << ng.name;
+  }
+}
+
+TEST(ParallelD2, ValidOnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    const Coloring c = parallel_d2_coloring(ng.g);
+    EXPECT_TRUE(verify_d2_coloring(ng.g, c)) << ng.name;
+  }
+}
+
+TEST(D2Coloring, EachColorClassIsDistance2Independent) {
+  // The property D2C aggregation relies on.
+  const graph::CrsGraph g = test::adjacency_of(graph::laplace2d(15, 15));
+  const Coloring c = parallel_d2_coloring(g);
+  for (ordinal_t col = 0; col < c.num_colors; ++col) {
+    std::vector<char> in_class(static_cast<std::size_t>(g.num_rows), 0);
+    for (ordinal_t v = 0; v < g.num_rows; ++v) {
+      in_class[static_cast<std::size_t>(v)] = c.colors[static_cast<std::size_t>(v)] == col;
+    }
+    EXPECT_TRUE(core::is_distance_k_independent(g, in_class, 2)) << "color " << col;
+  }
+}
+
+TEST(D2Coloring, StarNeedsLeavesPlusHubColors) {
+  // All leaves are pairwise distance 2: every vertex gets its own color.
+  const Coloring c = greedy_d2_coloring(test::star_graph(6));
+  EXPECT_EQ(c.num_colors, 7);
+}
+
+TEST(ParallelD2, DeterministicAcrossThreads) {
+  // Large enough to exercise the speculative (non-fallback) path.
+  const graph::CrsGraph g = graph::random_geometric_2d(60000, 7.0, 41);
+  Coloring serial_c, parallel_c;
+  {
+    par::ScopedExecution scope(par::Backend::Serial, 1);
+    serial_c = parallel_d2_coloring(g);
+  }
+  {
+    par::ScopedExecution scope(par::Backend::OpenMP, 0);
+    parallel_c = parallel_d2_coloring(g);
+  }
+  EXPECT_EQ(serial_c.colors, parallel_c.colors);
+}
+
+TEST(ParallelD2, SpeculativePathValidOnLargeGraphs) {
+  // The family graphs are all below the serial-fallback cutoff; cover the
+  // speculative path explicitly on a mesh and an RGG.
+  const graph::CrsGraph mesh = test::adjacency_of(graph::laplace2d(260, 260));
+  const Coloring cm = parallel_d2_coloring(mesh);
+  EXPECT_GT(cm.rounds, 1);  // really took the speculative path
+  EXPECT_TRUE(verify_d2_coloring(mesh, cm));
+
+  const graph::CrsGraph rgg = graph::random_geometric_3d(70000, 14.0, 9);
+  const Coloring cr = parallel_d2_coloring(rgg);
+  EXPECT_GT(cr.rounds, 1);
+  EXPECT_TRUE(verify_d2_coloring(rgg, cr));
+}
+
+TEST(ParallelD2, WindowedSpeculationColorCountReasonable) {
+  // The window-of-4 speculation may use a few more colors than serial
+  // first-fit, but must stay within a small constant factor.
+  const graph::CrsGraph g = test::adjacency_of(graph::laplace2d(300, 300));
+  const Coloring serial_c = greedy_d2_coloring(g);
+  const Coloring parallel_c = parallel_d2_coloring(g);
+  EXPECT_LE(parallel_c.num_colors, 2 * serial_c.num_colors + 4);
+}
+
+TEST(D2cAggregation, TotalAndValidOnFamily) {
+  for (const NamedGraph& ng : test::test_graph_family()) {
+    if (ng.g.num_rows == 0) continue;
+    for (D2cMode mode : {D2cMode::Serial, D2cMode::Parallel}) {
+      const core::Aggregation agg = aggregate_d2c(ng.g, mode);
+      EXPECT_TRUE(core::verify_aggregation(ng.g, agg))
+          << ng.name << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(D2cAggregation, CoarseningRatioComparableToMis2Agg) {
+  const graph::CrsGraph g = test::adjacency_of(graph::laplace3d(12, 12, 12));
+  const core::Aggregation d2c = aggregate_d2c(g, D2cMode::Serial);
+  const core::Aggregation m2 = core::aggregate_mis2(g);
+  // Both are root+neighborhood schemes on the same mesh: aggregate counts
+  // within a factor ~2 of each other.
+  EXPECT_LT(d2c.num_aggregates, 2 * m2.num_aggregates + 10);
+  EXPECT_LT(m2.num_aggregates, 2 * d2c.num_aggregates + 10);
+}
+
+}  // namespace
+}  // namespace parmis::coloring

@@ -1,0 +1,141 @@
+/// \file test_determinism.cpp
+/// \brief End-to-end determinism sweep: the paper's headline property,
+/// asserted bit-for-bit across backends and thread counts for every
+/// deterministic component.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coloring/d1_coloring.hpp"
+#include "coloring/d2_coloring.hpp"
+#include "core/aggregation.hpp"
+#include "core/bell_misk.hpp"
+#include "core/coarsen.hpp"
+#include "core/luby_mis1.hpp"
+#include "core/mis2.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/registry.hpp"
+#include "parallel/execution.hpp"
+#include "solver/amg.hpp"
+#include "solver/cg.hpp"
+#include "solver/vector_ops.hpp"
+#include "test_utils.hpp"
+
+namespace parmis {
+namespace {
+
+/// Thread configurations swept by every test here.
+std::vector<std::pair<par::Backend, int>> configs() {
+  std::vector<std::pair<par::Backend, int>> c;
+  c.emplace_back(par::Backend::Serial, 1);
+#ifdef PARMIS_HAVE_OPENMP
+  c.emplace_back(par::Backend::OpenMP, 1);
+  c.emplace_back(par::Backend::OpenMP, 3);
+  c.emplace_back(par::Backend::OpenMP, 8);
+  c.emplace_back(par::Backend::OpenMP, 0);  // all hardware threads
+#endif
+  return c;
+}
+
+/// Run `f()` under every config and require identical results.
+template <typename F>
+void expect_invariant(F&& f) {
+  using result_t = decltype(f());
+  bool first = true;
+  result_t reference{};
+  for (const auto& [backend, threads] : configs()) {
+    par::ScopedExecution scope(backend, threads);
+    result_t r = f();
+    if (first) {
+      reference = std::move(r);
+      first = false;
+    } else {
+      EXPECT_EQ(reference, r) << "backend=" << static_cast<int>(backend)
+                              << " threads=" << threads;
+    }
+  }
+}
+
+const graph::CrsGraph& mesh_graph() {
+  static const graph::CrsGraph g = test::adjacency_of(graph::laplace3d(14, 14, 14));
+  return g;
+}
+
+const graph::CrsGraph& rgg_graph() {
+  static const graph::CrsGraph g = graph::random_geometric_3d(6000, 18.0, 2024);
+  return g;
+}
+
+TEST(Determinism, Mis2Members) {
+  expect_invariant([] { return core::mis2(mesh_graph()).members; });
+  expect_invariant([] { return core::mis2(rgg_graph()).members; });
+}
+
+TEST(Determinism, Mis2Iterations) {
+  expect_invariant([] { return core::mis2(rgg_graph()).iterations; });
+}
+
+TEST(Determinism, BellMisk) {
+  expect_invariant([] { return core::bell_misk(rgg_graph(), 2).members; });
+}
+
+TEST(Determinism, LubyMis1) {
+  expect_invariant([] { return core::luby_mis1(rgg_graph()).members; });
+}
+
+TEST(Determinism, AggregationLabels) {
+  expect_invariant([] { return core::aggregate_mis2(mesh_graph()).labels; });
+  expect_invariant([] { return core::aggregate_basic(rgg_graph()).labels; });
+}
+
+TEST(Determinism, CoarseGraphStructure) {
+  expect_invariant([] {
+    const core::Aggregation agg = core::aggregate_mis2(mesh_graph());
+    const graph::CrsGraph c = core::coarse_graph(mesh_graph(), agg);
+    return std::make_pair(c.row_map, c.entries);
+  });
+}
+
+TEST(Determinism, D1D2Colorings) {
+  expect_invariant([] { return coloring::parallel_d1_coloring(rgg_graph()).colors; });
+  expect_invariant([] { return coloring::parallel_d2_coloring(mesh_graph()).colors; });
+}
+
+TEST(Determinism, SurrogateBuilders) {
+  expect_invariant([] {
+    const graph::CrsMatrix m = graph::find_matrix("Geo_1438").build(0.005);
+    return std::make_pair(m.row_map, m.entries);
+  });
+}
+
+TEST(Determinism, AmgIterationCounts) {
+  expect_invariant([] {
+    const graph::CrsMatrix a = graph::laplace3d(10, 10, 10);
+    solver::AmgOptions opts;
+    opts.scheme = solver::AggregationScheme::Mis2Agg;
+    const solver::AmgHierarchy h = solver::AmgHierarchy::build(a, opts);
+    const std::vector<scalar_t> b = solver::random_vector(a.num_rows, 5);
+    std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+    solver::IterOptions cg_opts;
+    cg_opts.tolerance = 1e-10;
+    cg_opts.max_iterations = 200;
+    return solver::cg(a, b, x, cg_opts, &h).iterations;
+  });
+}
+
+TEST(Determinism, RepeatedRunsIdenticalWithinConfig) {
+  // Same-config repeatability (paper: "identical result ... across several
+  // runs in the same architecture").
+  par::ScopedExecution scope(par::Backend::OpenMP, 0);
+  const auto a = core::mis2(rgg_graph());
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto b = core::mis2(rgg_graph());
+    EXPECT_EQ(a.members, b.members);
+    EXPECT_EQ(a.iterations, b.iterations);
+  }
+}
+
+}  // namespace
+}  // namespace parmis

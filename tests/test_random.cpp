@@ -1,0 +1,110 @@
+/// \file test_random.cpp
+/// \brief Tests for the hash/PRNG substrate (paper §V-A's generators).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "random/hash.hpp"
+
+namespace parmis::rng {
+namespace {
+
+TEST(Xorshift, KnownAlgebra) {
+  // xorshift64 is a bijection with 0 as its only fixed point.
+  EXPECT_EQ(xorshift64(0), 0u);
+  EXPECT_NE(xorshift64(1), 1u);
+  // Spot value computed from the 13/7/17 shift triple definition.
+  std::uint64_t x = 1;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  EXPECT_EQ(xorshift64(1), x);
+}
+
+TEST(Xorshift, InjectiveOnSample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 1; i <= 20000; ++i) {
+    EXPECT_TRUE(seen.insert(xorshift64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(XorshiftStar, InjectiveOnSample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 1; i <= 20000; ++i) {
+    EXPECT_TRUE(seen.insert(xorshift64star(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(XorshiftStar, MultiplierApplied) {
+  std::uint64_t x = 5;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  EXPECT_EQ(xorshift64star(5), x * 0x2545F4914F6CDD1DULL);
+}
+
+TEST(IterVertexHash, ChangesWithIterationAndVertex) {
+  // The per-iteration re-randomization (paper §V-A) requires h to vary in
+  // both arguments.
+  EXPECT_NE(hash_xorshift_star(0, 1), hash_xorshift_star(1, 1));
+  EXPECT_NE(hash_xorshift_star(0, 1), hash_xorshift_star(0, 2));
+  EXPECT_NE(hash_xorshift(3, 10), hash_xorshift(4, 10));
+}
+
+TEST(IterVertexHash, Deterministic) {
+  for (std::uint64_t it = 0; it < 5; ++it) {
+    for (std::uint64_t v = 0; v < 100; ++v) {
+      EXPECT_EQ(hash_xorshift_star(it, v), hash_xorshift_star(it, v));
+    }
+  }
+}
+
+TEST(XorshiftStarHash, TopBitsBalanced) {
+  // Algorithm 1 uses the *high* bits as the priority; they must be roughly
+  // uniform across vertices for any fixed iteration.
+  for (std::uint64_t iter : {0ull, 1ull, 7ull}) {
+    std::int64_t ones = 0;
+    const std::int64_t samples = 40000;
+    for (std::int64_t v = 0; v < samples; ++v) {
+      ones += (hash_xorshift_star(iter, static_cast<std::uint64_t>(v)) >> 63) & 1;
+    }
+    const double frac = static_cast<double>(ones) / samples;
+    EXPECT_NEAR(frac, 0.5, 0.02) << "iter " << iter;
+  }
+}
+
+TEST(SplitMix, SequenceMatchesMixer) {
+  SplitMix64 gen(42);
+  const std::uint64_t a = gen.next();
+  EXPECT_EQ(a, splitmix64_mix(42));
+}
+
+TEST(SplitMix, DoublesInUnitInterval) {
+  SplitMix64 gen(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = gen.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(SplitMix, NextBelowInRangeAndCoversValues) {
+  SplitMix64 gen(99);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = gen.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[static_cast<std::size_t>(v)];
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_GT(histogram[static_cast<std::size_t>(b)], 1500) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace parmis::rng

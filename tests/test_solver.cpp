@@ -1,0 +1,355 @@
+/// \file test_solver.cpp
+/// \brief Tests for the solver substrate: vector ops, dense LU, Jacobi,
+/// Gauss-Seidel variants (serial / point multicolor / cluster multicolor),
+/// CG, and GMRES.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/spmv.hpp"
+#include "parallel/execution.hpp"
+#include "solver/cg.hpp"
+#include "solver/cluster_gs.hpp"
+#include "solver/dense_lu.hpp"
+#include "solver/gauss_seidel.hpp"
+#include "solver/gmres.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/vector_ops.hpp"
+#include "test_utils.hpp"
+
+namespace parmis::solver {
+namespace {
+
+double residual_norm(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                     std::span<const scalar_t> x) {
+  std::vector<scalar_t> r(b.size());
+  graph::spmv(a, x, r);
+  axpby(1.0, b, -1.0, r);
+  return norm2(r);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  std::vector<scalar_t> a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(norm2(a), std::sqrt(14.0));
+}
+
+TEST(VectorOps, AxpbyAndScale) {
+  std::vector<scalar_t> x{1, 2}, y{10, 20};
+  axpby(2.0, x, -1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], -8);
+  EXPECT_DOUBLE_EQ(y[1], -16);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[0], -4);
+  fill(y, 7.5);
+  EXPECT_DOUBLE_EQ(y[1], 7.5);
+}
+
+TEST(VectorOps, DotThreadCountInvariant) {
+  const std::vector<scalar_t> a = random_vector(200000, 1);
+  const std::vector<scalar_t> b = random_vector(200000, 2);
+  scalar_t serial_dot, parallel_dot;
+  {
+    par::ScopedExecution scope(par::Backend::Serial, 1);
+    serial_dot = dot(a, b);
+  }
+  {
+    par::ScopedExecution scope(par::Backend::OpenMP, 0);
+    parallel_dot = dot(a, b);
+  }
+  EXPECT_EQ(serial_dot, parallel_dot);  // bitwise
+}
+
+TEST(DenseLU, SolvesSmallSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [4/5, 7/5]
+  const graph::CrsMatrix a =
+      graph::matrix_from_coo(2, 2, {{0, 0, 2}, {0, 1, 1}, {1, 0, 1}, {1, 1, 3}});
+  DenseLU lu(a);
+  std::vector<scalar_t> b{3, 5}, x(2);
+  lu.solve(b, x);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(DenseLU, PivotingHandlesZeroDiagonal) {
+  // [0 1; 1 0] requires a row swap.
+  const graph::CrsMatrix a = graph::matrix_from_coo(2, 2, {{0, 1, 1}, {1, 0, 1}});
+  DenseLU lu(a);
+  std::vector<scalar_t> b{5, 7}, x(2);
+  lu.solve(b, x);
+  EXPECT_NEAR(x[0], 7, 1e-12);
+  EXPECT_NEAR(x[1], 5, 1e-12);
+}
+
+TEST(DenseLU, ThrowsOnSingular) {
+  const graph::CrsMatrix a =
+      graph::matrix_from_coo(2, 2, {{0, 0, 1}, {0, 1, 2}, {1, 0, 2}, {1, 1, 4}});
+  EXPECT_THROW(DenseLU{a}, std::runtime_error);
+}
+
+TEST(DenseLU, RandomSystemsRoundTrip) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const ordinal_t n = 40;
+    rng::SplitMix64 gen(seed);
+    std::vector<graph::Triplet> t;
+    for (ordinal_t i = 0; i < n; ++i) {
+      t.push_back({i, i, 5.0 + gen.next_double()});  // dominant diagonal
+      for (int k = 0; k < 4; ++k) {
+        t.push_back({i, static_cast<ordinal_t>(gen.next_below(n)), gen.next_double() - 0.5});
+      }
+    }
+    const graph::CrsMatrix a = graph::matrix_from_coo(n, n, t);
+    DenseLU lu(a);
+    const std::vector<scalar_t> x_true = random_vector(n, seed + 10);
+    std::vector<scalar_t> b(n), x(n);
+    graph::spmv(a, x_true, b);
+    lu.solve(b, x);
+    for (ordinal_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-9);
+    }
+  }
+}
+
+TEST(Jacobi, ReducesResidualMonotonically) {
+  const graph::CrsMatrix a = graph::laplace2d(12, 12);
+  const std::vector<scalar_t> inv_diag = inverted_diagonal(a);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 4);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+  double prev = residual_norm(a, b, x);
+  for (int step = 0; step < 5; ++step) {
+    jacobi_smooth(a, inv_diag, b, x, 2, 2.0 / 3.0);
+    const double cur = residual_norm(a, b, x);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SerialGS, ConvergesOnSPD) {
+  const graph::CrsMatrix a = graph::laplace2d(10, 10);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 5);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+  const double r0 = residual_norm(a, b, x);
+  for (int s = 0; s < 30; ++s) serial_gs_sweep(a, b, x, SweepDirection::Forward);
+  EXPECT_LT(residual_norm(a, b, x), 0.05 * r0);
+}
+
+TEST(PointMulticolorGS, MatchesSerialReductionRate) {
+  // Multicolor GS is GS in a permuted order: per-sweep residual reduction
+  // should be in the same ballpark as serial GS on a mesh.
+  const graph::CrsMatrix a = graph::laplace2d(16, 16);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 6);
+
+  std::vector<scalar_t> xs(static_cast<std::size_t>(a.num_rows), 0);
+  std::vector<scalar_t> xm = xs;
+  PointMulticolorGS mgs(a);
+  for (int s = 0; s < 10; ++s) {
+    serial_gs_sweep(a, b, xs, SweepDirection::Forward);
+    mgs.sweep(a, b, xm, SweepDirection::Forward);
+  }
+  const double rs = residual_norm(a, b, xs);
+  const double rm = residual_norm(a, b, xm);
+  EXPECT_LT(rm, 3.0 * rs + 1e-12);
+}
+
+TEST(PointMulticolorGS, SingleColorPerClassUpdatesAreExactGS) {
+  // On a graph with an independent-set partition, rows of one color never
+  // read each other's x: one sweep must equal serial GS applied in the
+  // color-class order. Verify on a small case via explicit reorder.
+  const graph::CrsMatrix a = graph::laplace2d(6, 6);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 7);
+  PointMulticolorGS mgs(a);
+
+  std::vector<scalar_t> x1(static_cast<std::size_t>(a.num_rows), 0);
+  {
+    par::ScopedExecution scope(par::Backend::Serial, 1);
+    mgs.sweep(a, b, x1, SweepDirection::Forward);
+  }
+  std::vector<scalar_t> x2(static_cast<std::size_t>(a.num_rows), 0);
+  {
+    par::ScopedExecution scope(par::Backend::OpenMP, 0);
+    mgs.sweep(a, b, x2, SweepDirection::Forward);
+  }
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_EQ(x1[i], x2[i]);  // bitwise: no same-color coupling
+  }
+}
+
+TEST(ClusterGS, ConvergesAndBeatsPointGSInIterations) {
+  // The Algorithm 4 claim: cluster GS preconditions better than point GS.
+  const graph::CrsMatrix a = graph::laplace3d(12, 12, 12);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 8);
+
+  IterOptions opts;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 500;
+
+  std::vector<scalar_t> xp(static_cast<std::size_t>(a.num_rows), 0);
+  PointGsPreconditioner point_prec(a);
+  const IterResult point_result = gmres(a, b, xp, opts, &point_prec);
+
+  std::vector<scalar_t> xc(static_cast<std::size_t>(a.num_rows), 0);
+  ClusterGsPreconditioner cluster_prec(a);
+  const IterResult cluster_result = gmres(a, b, xc, opts, &cluster_prec);
+
+  EXPECT_TRUE(point_result.converged);
+  EXPECT_TRUE(cluster_result.converged);
+  EXPECT_LE(cluster_result.iterations, point_result.iterations);
+}
+
+TEST(ClusterGS, SingletonClustersReduceToPointGS) {
+  // With aggregates of size 1 the cluster method *is* point multicolor GS.
+  // Force that by clustering a graph with no edges inside aggregates:
+  // every aggregate in a complete graph's MIS-2 aggregation is the whole
+  // graph, so instead use an edgeless graph where every vertex is its own
+  // aggregate: one Jacobi-like sweep must solve the diagonal system.
+  const graph::CrsMatrix a =
+      graph::matrix_from_coo(4, 4, {{0, 0, 2}, {1, 1, 4}, {2, 2, 5}, {3, 3, 8}});
+  ClusterMulticolorGS gs(a);
+  EXPECT_EQ(gs.num_clusters(), 4);
+  std::vector<scalar_t> b{2, 4, 10, 16}, x(4, 0.0);
+  gs.sweep(a, b, x, SweepDirection::Forward);
+  EXPECT_DOUBLE_EQ(x[0], 1);
+  EXPECT_DOUBLE_EQ(x[1], 1);
+  EXPECT_DOUBLE_EQ(x[2], 2);
+  EXPECT_DOUBLE_EQ(x[3], 2);
+}
+
+TEST(ClusterGS, DeterministicAcrossThreads) {
+  const graph::CrsMatrix a =
+      graph::laplacian_matrix(graph::random_geometric_3d(3000, 12.0, 19), 0.5);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 9);
+  ClusterMulticolorGS gs(a);
+  std::vector<scalar_t> x1(static_cast<std::size_t>(a.num_rows), 0), x2 = x1;
+  {
+    par::ScopedExecution scope(par::Backend::Serial, 1);
+    gs.symmetric_sweep(a, b, x1);
+  }
+  {
+    par::ScopedExecution scope(par::Backend::OpenMP, 0);
+    gs.symmetric_sweep(a, b, x2);
+  }
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(Cg, SolvesLaplaceToTightTolerance) {
+  const graph::CrsMatrix a = graph::laplace3d(8, 8, 8);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 10);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+  IterOptions opts;
+  opts.tolerance = 1e-10;
+  opts.max_iterations = 2000;
+  const IterResult r = cg(a, b, x, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(a, b, x) / norm2(b), 1e-9);
+}
+
+TEST(Cg, PreconditioningReducesIterations) {
+  const graph::CrsMatrix a = graph::laplace2d(40, 40);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 11);
+  IterOptions opts;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 3000;
+
+  std::vector<scalar_t> x0(static_cast<std::size_t>(a.num_rows), 0);
+  const IterResult plain = cg(a, b, x0, opts);
+
+  std::vector<scalar_t> x1(static_cast<std::size_t>(a.num_rows), 0);
+  PointGsPreconditioner prec(a);
+  const IterResult preconditioned = cg(a, b, x1, opts, &prec);
+
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(preconditioned.converged);
+  EXPECT_LT(preconditioned.iterations, plain.iterations);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const graph::CrsMatrix a = graph::laplace2d(5, 5);
+  std::vector<scalar_t> b(static_cast<std::size_t>(a.num_rows), 0);
+  std::vector<scalar_t> x = random_vector(a.num_rows, 12);
+  const IterResult r = cg(a, b, x);
+  EXPECT_TRUE(r.converged);
+  for (scalar_t v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Cg, HistoryTracksMonotoneTail)  {
+  const graph::CrsMatrix a = graph::laplace2d(15, 15);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 13);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+  IterOptions opts;
+  opts.track_history = true;
+  opts.tolerance = 1e-10;
+  opts.max_iterations = 1000;
+  const IterResult r = cg(a, b, x, opts);
+  ASSERT_GT(r.history.size(), 2u);
+  EXPECT_LT(r.history.back(), r.history.front());
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  // Laplace + skew perturbation: still nonsingular, not symmetric.
+  graph::CrsMatrix a = graph::laplace2d(12, 12);
+  for (ordinal_t i = 0; i < a.num_rows; ++i) {
+    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+      const ordinal_t c = a.entries[static_cast<std::size_t>(j)];
+      if (c > i) a.values[static_cast<std::size_t>(j)] *= 1.25;
+    }
+  }
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 14);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+  IterOptions opts;
+  opts.tolerance = 1e-9;
+  opts.max_iterations = 2000;
+  const IterResult r = gmres(a, b, x, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(residual_norm(a, b, x) / norm2(b), 1e-8);
+}
+
+TEST(Gmres, RestartStillConverges) {
+  const graph::CrsMatrix a = graph::laplace2d(20, 20);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 15);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+  IterOptions opts;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 5000;
+  const IterResult r = gmres(a, b, x, opts, nullptr, 10);  // tiny restart
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Gmres, RightPreconditionedResidualIsTrueResidual) {
+  const graph::CrsMatrix a = graph::laplace2d(15, 15);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 16);
+  std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+  PointGsPreconditioner prec(a);
+  IterOptions opts;
+  opts.tolerance = 1e-9;
+  opts.max_iterations = 1000;
+  const IterResult r = gmres(a, b, x, opts, &prec);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(residual_norm(a, b, x) / norm2(b), r.relative_residual,
+              1e-6 + 0.5 * r.relative_residual);
+}
+
+TEST(Gmres, IterationCountThreadInvariant) {
+  const graph::CrsMatrix a = graph::laplace2d(25, 25);
+  const std::vector<scalar_t> b = random_vector(a.num_rows, 17);
+  IterOptions opts;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 2000;
+  int serial_iters, parallel_iters;
+  {
+    par::ScopedExecution scope(par::Backend::Serial, 1);
+    std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+    serial_iters = gmres(a, b, x, opts).iterations;
+  }
+  {
+    par::ScopedExecution scope(par::Backend::OpenMP, 0);
+    std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+    parallel_iters = gmres(a, b, x, opts).iterations;
+  }
+  EXPECT_EQ(serial_iters, parallel_iters);
+}
+
+}  // namespace
+}  // namespace parmis::solver

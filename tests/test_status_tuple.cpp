@@ -1,0 +1,121 @@
+/// \file test_status_tuple.cpp
+/// \brief Property tests for the compressed status tuple (paper §V-C and
+/// Eq. 1): round trips, ordering isomorphism, and IN/OUT non-collision.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "core/status_tuple.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::core {
+namespace {
+
+TEST(TupleCodec, IdBitsFormula) {
+  // b = ceil(log2(n + 2)).
+  EXPECT_EQ(TupleCodec<std::uint32_t>(0).id_bits(), 1);
+  EXPECT_EQ(TupleCodec<std::uint32_t>(1).id_bits(), 2);
+  EXPECT_EQ(TupleCodec<std::uint32_t>(2).id_bits(), 2);
+  EXPECT_EQ(TupleCodec<std::uint32_t>(6).id_bits(), 3);
+  EXPECT_EQ(TupleCodec<std::uint32_t>(7).id_bits(), 4);   // 7+2 = 9 > 8
+  EXPECT_EQ(TupleCodec<std::uint32_t>(14).id_bits(), 4);
+  EXPECT_EQ(TupleCodec<std::uint32_t>(1000000).id_bits(), 20);
+}
+
+TEST(TupleCodec, StatusPredicatesDisjoint) {
+  using C = TupleCodec<std::uint32_t>;
+  EXPECT_TRUE(C::is_in(C::in_value));
+  EXPECT_TRUE(C::is_out(C::out_value));
+  EXPECT_FALSE(C::is_undecided(C::in_value));
+  EXPECT_FALSE(C::is_undecided(C::out_value));
+  EXPECT_TRUE(C::is_undecided(1));
+}
+
+class CodecProperty : public ::testing::TestWithParam<ordinal_t> {};
+
+TEST_P(CodecProperty, PackNeverCollidesWithInOrOut) {
+  // Eq. (1): for any priority and any valid id, the packed word differs
+  // from both IN (0) and OUT (max).
+  const ordinal_t n = GetParam();
+  const TupleCodec<std::uint32_t> codec(n);
+  const std::uint64_t priorities[] = {0ull, 1ull, ~0ull, 0x8000000000000000ull,
+                                      rng::xorshift64star(12345)};
+  const ordinal_t ids[] = {0, n / 2, n - 1};
+  for (std::uint64_t p : priorities) {
+    for (ordinal_t id : ids) {
+      if (id < 0 || id >= n) continue;
+      const std::uint32_t w = codec.pack(p, id);
+      EXPECT_FALSE(TupleCodec<std::uint32_t>::is_in(w)) << n << " " << p << " " << id;
+      EXPECT_FALSE(TupleCodec<std::uint32_t>::is_out(w)) << n << " " << p << " " << id;
+    }
+  }
+}
+
+TEST_P(CodecProperty, IdRoundTrips) {
+  const ordinal_t n = GetParam();
+  const TupleCodec<std::uint32_t> codec(n);
+  for (ordinal_t id : {ordinal_t{0}, n / 3, n - 1}) {
+    if (id < 0 || id >= n) continue;
+    EXPECT_EQ(codec.id(codec.pack(0xDEADBEEFCAFEBABEull, id)), id);
+  }
+}
+
+TEST_P(CodecProperty, OrderIsLexicographic) {
+  // Packed comparison == (priority, id) lexicographic comparison, where
+  // "priority" means the truncated high bits actually stored.
+  const ordinal_t n = GetParam();
+  if (n < 4) return;
+  const TupleCodec<std::uint32_t> codec(n);
+  rng::SplitMix64 gen(n);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t pa = gen.next(), pb = gen.next();
+    const ordinal_t ia = static_cast<ordinal_t>(gen.next_below(static_cast<std::uint64_t>(n)));
+    const ordinal_t ib = static_cast<ordinal_t>(gen.next_below(static_cast<std::uint64_t>(n)));
+    const std::uint32_t wa = codec.pack(pa, ia);
+    const std::uint32_t wb = codec.pack(pb, ib);
+    const auto key = [&](std::uint64_t p, ordinal_t id) {
+      return std::make_tuple(codec.priority(codec.pack(p, id)), id);
+    };
+    EXPECT_EQ(wa < wb, key(pa, ia) < key(pb, ib)) << pa << " " << pb << " " << ia << " " << ib;
+  }
+}
+
+TEST_P(CodecProperty, DistinctIdsNeverTie) {
+  const ordinal_t n = GetParam();
+  if (n < 2) return;
+  const TupleCodec<std::uint32_t> codec(n);
+  // Same priority, different ids.
+  EXPECT_NE(codec.pack(42, 0), codec.pack(42, 1));
+  EXPECT_NE(codec.pack(~0ull, n - 2), codec.pack(~0ull, n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CodecProperty,
+                         ::testing::Values(1, 2, 3, 6, 7, 100, 1023, 1024, 65536, 1000000,
+                                           50000000));
+
+TEST(TupleCodec, Wide64BitWordWorksToo) {
+  const TupleCodec<std::uint64_t> codec(1000000);
+  const std::uint64_t w = codec.pack(0xFFFFFFFFFFFFFFFFull, 999999);
+  EXPECT_TRUE(TupleCodec<std::uint64_t>::is_undecided(w));
+  EXPECT_EQ(codec.id(w), 999999);
+  EXPECT_EQ(codec.priority_bits(), 64 - codec.id_bits());
+}
+
+TEST(WideTuple, LexicographicOrder) {
+  EXPECT_LT(WideTuple::in(), WideTuple::undecided(0, 0));
+  EXPECT_LT(WideTuple::undecided(~0ull, max_ordinal - 1), WideTuple::out());
+  EXPECT_LT(WideTuple::undecided(0x1000000000000000ull, 5),
+            WideTuple::undecided(0x2000000000000000ull, 1));
+  // Equal priorities: id breaks the tie.
+  EXPECT_LT(WideTuple::undecided(7ull << 32, 1), WideTuple::undecided(7ull << 32, 2));
+}
+
+TEST(WideTuple, EqualityIsFieldwise) {
+  EXPECT_EQ(WideTuple::undecided(42ull << 32, 3), WideTuple::undecided(42ull << 32, 3));
+  EXPECT_FALSE(WideTuple::undecided(42ull << 32, 3) == WideTuple::undecided(42ull << 32, 4));
+}
+
+}  // namespace
+}  // namespace parmis::core
