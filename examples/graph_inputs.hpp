@@ -1,0 +1,73 @@
+#pragma once
+/// \file graph_inputs.hpp
+/// \brief Shared graph-spec loader for the example binaries.
+///
+/// Spec syntax (the same across parmis_tool and graph_partition):
+///   path/to/matrix.mtx          any Matrix Market coordinate file
+///   gen:laplace3d:NX            NX^3 7-point grid
+///   gen:laplace2d:NX            NX^2 5-point grid
+///   gen:elasticity:NX           NX^3 27-point, 3 dof
+///   gen:rgg:N:DEG               3D random geometric graph
+///   reg:NAME                    a Table II surrogate (e.g. reg:Serena)
+///
+/// Every input is symmetrized and stripped of self loops, so general
+/// matrices are accepted.
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/matrix_market.hpp"
+#include "graph/ops.hpp"
+#include "graph/registry.hpp"
+#include "graph/rgg.hpp"
+
+namespace parmis::examples {
+
+/// Build the adjacency described by `spec`; `scale` applies to registry
+/// surrogates only (fraction of the paper |V|). Throws std::runtime_error
+/// on a malformed spec, unknown generator/registry name, or unreadable
+/// file, so batch drivers can report the spec and keep going.
+inline graph::CrsGraph load_graph(const std::string& spec, double scale = 1.0) {
+  // idx-th colon-separated field; empty when the spec has too few fields.
+  auto field = [&](std::size_t idx) -> std::string {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < idx; ++i) {
+      pos = spec.find(':', pos);
+      if (pos == std::string::npos) return "";
+      ++pos;
+    }
+    const std::size_t end = spec.find(':', pos);
+    return spec.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
+  };
+  auto bad_spec = [&](const char* why) {
+    return std::runtime_error("bad graph spec '" + spec + "': " + why);
+  };
+
+  graph::CrsMatrix m;
+  if (spec.rfind("gen:", 0) == 0) {
+    const std::string kind = field(1);
+    if (kind == "laplace3d" || kind == "laplace2d" || kind == "elasticity") {
+      const ordinal_t nx = std::atoi(field(2).c_str());
+      if (nx < 2) throw bad_spec("needs a grid size >= 2, e.g. gen:laplace2d:100");
+      m = kind == "laplace3d"   ? graph::laplace3d(nx, nx, nx)
+          : kind == "laplace2d" ? graph::laplace2d(nx, nx)
+                                : graph::elasticity3d(nx, nx, nx);
+    } else if (kind == "rgg") {
+      const ordinal_t n = std::atoi(field(2).c_str());
+      const double deg = std::atof(field(3).c_str());
+      if (n < 1 || deg <= 0) throw bad_spec("needs N and DEG, e.g. gen:rgg:100000:14");
+      return graph::random_geometric_3d(n, deg, 1);
+    } else {
+      throw bad_spec("unknown generator");
+    }
+  } else if (spec.rfind("reg:", 0) == 0) {
+    m = graph::find_matrix(spec.substr(4)).build(scale);
+  } else {
+    m = graph::read_matrix_market(spec);
+  }
+  return graph::remove_self_loops(graph::symmetrize(graph::GraphView(m)));
+}
+
+}  // namespace parmis::examples

@@ -1,39 +1,157 @@
 /// \file graph_partition.cpp
-/// \brief The multilevel-partitioning use case end to end: partition a
-/// mesh-like graph into k parts with MIS-2 coarsening (paper §II/§VII,
-/// Gilbert et al.) and compare against heavy-edge-matching coarsening.
+/// \brief Batch partitioning driver over the pluggable `Partitioner`
+/// registry: run any set of registered algorithms over any set of graphs
+/// and print a quality comparison table (paper §II/§VII use case).
 ///
-/// Run: ./graph_partition [n] [k]
+/// Usage:
+///   graph_partition [--algos=a,b,...|all] [--graphs=SPEC,SPEC,...]
+///                   [--k=K] [--scale=F] [--json] [--list]
+///
+/// Graph SPECs are shared with parmis_tool (see graph_inputs.hpp):
+///   file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |
+///   gen:rgg:N:DEG | reg:NAME | reg:table2 (all Table II surrogates)
+///
+/// Examples:
+///   graph_partition --list
+///   graph_partition --algos=multilevel-mis2,ldg,lp-grow --k=8
+///   graph_partition --graphs=reg:Serena,gen:laplace2d:300 --scale=0.05 --json
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "common/timer.hpp"
-#include "graph/rgg.hpp"
-#include "partition/partitioner.hpp"
+#include "graph_inputs.hpp"
+#include "partition/interface.hpp"
+
+namespace {
+
+using namespace parmis;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--algos=a,b,...|all] [--graphs=SPEC,...] [--k=K] [--scale=F]\n"
+               "          [--json] [--list]\n"
+               "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
+               "        gen:rgg:N:DEG | reg:NAME | reg:table2\n",
+               argv0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace parmis;
-  const ordinal_t n = argc > 1 ? static_cast<ordinal_t>(std::atoi(argv[1])) : 100000;
-  const ordinal_t k = argc > 2 ? static_cast<ordinal_t>(std::atoi(argv[2])) : 8;
+  std::vector<std::string> algos;
+  std::vector<std::string> graphs;
+  ordinal_t k = 8;
+  double scale = 0.05;
+  bool json = false;
 
-  const graph::CrsGraph g = graph::random_geometric_3d(n, 14.0, 11);
-  const std::int64_t edges = g.num_entries() / 2;
-  std::printf("partitioning RGG: %d vertices, %lld edges into k=%d parts\n", g.num_rows,
-              static_cast<long long>(edges), k);
-
-  for (partition::CoarseningScheme scheme :
-       {partition::CoarseningScheme::Mis2Aggregation,
-        partition::CoarseningScheme::HeavyEdgeMatching}) {
-    partition::PartitionOptions opts;
-    opts.coarsening = scheme;
-    Timer t;
-    const partition::Partition p = partition::partition_graph(g, k, opts);
-    std::printf("  %-18s: cut %8lld (%.2f%% of edges), imbalance %5.2f%%, %.3f s\n",
-                scheme == partition::CoarseningScheme::Mis2Aggregation ? "MIS-2 coarsening"
-                                                                       : "HEM coarsening",
-                static_cast<long long>(p.edge_cut), 100.0 * p.edge_cut / edges,
-                100.0 * p.imbalance, t.seconds());
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (!std::strncmp(s, "--algos=", 8)) {
+      const std::string v = s + 8;
+      algos = v == "all" ? partition::partitioner_names() : split_csv(v);
+    } else if (!std::strncmp(s, "--graphs=", 9)) {
+      graphs = split_csv(s + 9);
+    } else if (!std::strncmp(s, "--k=", 4)) {
+      k = static_cast<ordinal_t>(std::atoi(s + 4));
+    } else if (!std::strncmp(s, "--scale=", 8)) {
+      scale = std::atof(s + 8);
+    } else if (!std::strcmp(s, "--json")) {
+      json = true;
+    } else if (!std::strcmp(s, "--list")) {
+      std::printf("registered partitioners:\n");
+      for (const partition::PartitionerSpec& spec : partition::partitioner_registry()) {
+        std::printf("  %-16s %s\n", spec.name.c_str(), spec.description.c_str());
+      }
+      return 0;
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
   }
-  return 0;
+  if (k < 1) {
+    std::fprintf(stderr, "--k must be a positive integer\n");
+    return 1;
+  }
+  if (algos.empty()) algos = partition::partitioner_names();
+  if (graphs.empty()) graphs = {"gen:rgg:100000:14"};
+
+  // reg:table2 expands to the full Table II suite.
+  {
+    std::vector<std::string> expanded;
+    for (const std::string& spec : graphs) {
+      if (spec == "reg:table2") {
+        for (const graph::MatrixSpec& m : graph::table2_matrices()) {
+          expanded.push_back("reg:" + m.name);
+        }
+      } else {
+        expanded.push_back(spec);
+      }
+    }
+    graphs = std::move(expanded);
+  }
+
+  // Fail fast on unknown algorithm names before loading any graph.
+  std::vector<std::unique_ptr<partition::Partitioner>> partitioners;
+  for (const std::string& name : algos) {
+    try {
+      partitioners.push_back(partition::make_partitioner(name));
+    } catch (const std::out_of_range& e) {
+      std::fprintf(stderr, "%s (try --list)\n", e.what());
+      return 1;
+    }
+  }
+
+  bool any_failed = false;
+  for (const std::string& spec : graphs) {
+    graph::CrsGraph g;
+    try {
+      g = examples::load_graph(spec, scale);
+    } catch (const std::exception& e) {
+      // Report and keep going: a typo in one spec must not throw away the
+      // rest of a long batch.
+      std::fprintf(stderr, "cannot load '%s': %s\n", spec.c_str(), e.what());
+      any_failed = true;
+      continue;
+    }
+    const partition::WeightedGraph wg = partition::WeightedGraph::unit(std::move(g));
+    // --json keeps stdout pure JSON-lines (one object per run) so the
+    // output pipes straight into jq; the human table goes to stdout only
+    // in the default mode.
+    if (!json) {
+      std::printf("\n%s: %d vertices, %lld edges, k=%d\n", spec.c_str(), wg.graph.num_rows,
+                  static_cast<long long>(wg.graph.num_entries() / 2), k);
+      std::printf("  %-16s %12s %7s %10s %9s %7s %6s %9s\n", "algorithm", "cut", "cut%",
+                  "commvol", "boundary%", "imbal%", "empty", "time(s)");
+    }
+    for (const auto& p : partitioners) {
+      const partition::PartitionResult r = p->run(wg, k);
+      const partition::QualityReport& q = r.quality;
+      if (json) {
+        std::printf("{\"graph\":\"%s\",\"algorithm\":\"%s\",\"seconds\":%.6f,\"quality\":%s}\n",
+                    spec.c_str(), p->name().c_str(), r.seconds, q.to_json().c_str());
+      } else {
+        std::printf("  %-16s %12lld %6.2f%% %10lld %8.2f%% %6.2f%% %6d %9.3f\n",
+                    p->name().c_str(), static_cast<long long>(q.edge_cut),
+                    100.0 * q.cut_fraction(), static_cast<long long>(q.comm_volume),
+                    100.0 * q.boundary_fraction, 100.0 * q.imbalance, q.empty_parts, r.seconds);
+      }
+    }
+  }
+  return any_failed ? 1 : 0;
 }

@@ -13,7 +13,10 @@
 ///   gen:rgg:N:DEG               3D random geometric graph
 ///   reg:NAME                    a Table II surrogate (e.g. reg:Serena)
 ///
-/// command: stats | mis2 | aggregate | color-d1 | color-d2 | partition K
+/// command: stats | mis2 | aggregate | color-d1 | color-d2 | partition K [ALGO]
+///
+/// `partition` accepts any registered partitioner name (see
+/// `graph_partition --list`); the default is multilevel-mis2.
 ///
 /// The input matrix is symmetrized and stripped of self loops before any
 /// graph algorithm runs, so general matrices are accepted.
@@ -30,65 +33,32 @@
 #include "core/aggregation.hpp"
 #include "core/mis2.hpp"
 #include "core/verify.hpp"
-#include "graph/generators.hpp"
-#include "graph/matrix_market.hpp"
-#include "graph/ops.hpp"
-#include "graph/registry.hpp"
-#include "graph/rgg.hpp"
-#include "partition/partitioner.hpp"
+#include "graph_inputs.hpp"
+#include "partition/interface.hpp"
 
 namespace {
 
 using namespace parmis;
-
-graph::CrsGraph load_graph(const std::string& spec) {
-  auto field = [&](std::size_t idx) {
-    std::size_t pos = 0;
-    for (std::size_t i = 0; i < idx; ++i) pos = spec.find(':', pos) + 1;
-    const std::size_t end = spec.find(':', pos);
-    return spec.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
-  };
-
-  graph::CrsMatrix m;
-  if (spec.rfind("gen:", 0) == 0) {
-    const std::string kind = field(1);
-    if (kind == "laplace3d") {
-      const ordinal_t nx = std::atoi(field(2).c_str());
-      m = graph::laplace3d(nx, nx, nx);
-    } else if (kind == "laplace2d") {
-      const ordinal_t nx = std::atoi(field(2).c_str());
-      m = graph::laplace2d(nx, nx);
-    } else if (kind == "elasticity") {
-      const ordinal_t nx = std::atoi(field(2).c_str());
-      m = graph::elasticity3d(nx, nx, nx);
-    } else if (kind == "rgg") {
-      const ordinal_t n = std::atoi(field(2).c_str());
-      const double deg = std::atof(field(3).c_str());
-      return graph::random_geometric_3d(n, deg, 1);
-    } else {
-      std::fprintf(stderr, "unknown generator '%s'\n", kind.c_str());
-      std::exit(1);
-    }
-  } else if (spec.rfind("reg:", 0) == 0) {
-    m = graph::find_matrix(spec.substr(4)).build(1.0);
-  } else {
-    m = graph::read_matrix_market(spec);
-  }
-  return graph::remove_self_loops(graph::symmetrize(graph::GraphView(m)));
-}
+using examples::load_graph;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <input> <stats|mis2|aggregate|color-d1|color-d2|partition K>\n"
+                 "usage: %s <input> <stats|mis2|aggregate|color-d1|color-d2|partition K [ALGO]>\n"
                  "  input: file.mtx | gen:laplace3d:NX | gen:laplace2d:NX |\n"
                  "         gen:elasticity:NX | gen:rgg:N:DEG | reg:NAME\n",
                  argv[0]);
     return 1;
   }
-  const graph::CrsGraph g = load_graph(argv[1]);
+  graph::CrsGraph g;
+  try {
+    g = load_graph(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot load '%s': %s\n", argv[1], e.what());
+    return 1;
+  }
   const std::string cmd = argv[2];
 
   const graph::DegreeStats stats = graph::degree_stats(g);
@@ -119,11 +89,25 @@ int main(int argc, char** argv) {
                 c.rounds, timer.seconds(), coloring::verify_d2_coloring(g, c) ? "yes" : "NO");
   } else if (cmd == "partition") {
     const ordinal_t k = argc > 3 ? static_cast<ordinal_t>(std::atoi(argv[3])) : 8;
-    const partition::Partition p = partition::partition_graph(g, k);
-    std::printf("partition k=%d: edge cut %lld (%.2f%% of edges), imbalance %.2f%%, %.3f s\n", k,
-                static_cast<long long>(p.edge_cut),
-                100.0 * static_cast<double>(p.edge_cut) / std::max<std::int64_t>(1, g.num_entries() / 2),
-                100.0 * p.imbalance, timer.seconds());
+    if (k < 1) {
+      std::fprintf(stderr, "partition: K must be a positive integer\n");
+      return 1;
+    }
+    const std::string algo = argc > 4 ? argv[4] : "multilevel-mis2";
+    std::unique_ptr<partition::Partitioner> p;
+    try {
+      p = partition::make_partitioner(algo);
+    } catch (const std::out_of_range& e) {
+      std::fprintf(stderr, "%s (see graph_partition --list)\n", e.what());
+      return 1;
+    }
+    const partition::WeightedGraph wg = partition::WeightedGraph::unit(std::move(g));
+    const partition::PartitionResult r = p->run(wg, k);
+    std::printf("partition k=%d (%s): edge cut %lld (%.2f%% of edges), comm volume %lld,\n"
+                "  boundary %.2f%%, imbalance %.2f%%, %.3f s\n",
+                k, algo.c_str(), static_cast<long long>(r.quality.edge_cut),
+                100.0 * r.quality.cut_fraction(), static_cast<long long>(r.quality.comm_volume),
+                100.0 * r.quality.boundary_fraction, 100.0 * r.quality.imbalance, r.seconds);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 1;

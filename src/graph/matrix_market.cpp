@@ -18,6 +18,34 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Strip a trailing CR (CRLF files) and any trailing spaces/tabs.
+void rstrip(std::string& s) {
+  while (!s.empty() && (s.back() == '\r' || s.back() == ' ' || s.back() == '\t')) {
+    s.pop_back();
+  }
+}
+
+/// True for lines that carry no data: empty/whitespace-only or %-comments.
+/// The MM spec only allows comments before the size line, but files in the
+/// wild (and SuiteSparse exports passed through editors) put them anywhere.
+bool is_blank_or_comment(const std::string& s) {
+  for (char c : s) {
+    if (c == '%') return true;
+    if (c != ' ' && c != '\t') return false;
+  }
+  return true;  // empty or all whitespace
+}
+
+/// Next data line (blank lines, comments, and CR endings removed); false
+/// at end of file.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    rstrip(line);
+    if (!is_blank_or_comment(line)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 CrsMatrix read_matrix_market(const std::string& path) {
@@ -26,6 +54,7 @@ CrsMatrix read_matrix_market(const std::string& path) {
 
   std::string line;
   if (!std::getline(in, line)) throw std::runtime_error("matrix_market: empty file " + path);
+  rstrip(line);
 
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
@@ -46,10 +75,9 @@ CrsMatrix read_matrix_market(const std::string& path) {
     throw std::runtime_error("matrix_market: unsupported symmetry " + symmetry);
   }
 
-  // Skip comments.
-  do {
-    if (!std::getline(in, line)) throw std::runtime_error("matrix_market: missing size line");
-  } while (!line.empty() && line[0] == '%');
+  // Size line: first line after the header that is not blank and not a
+  // %-comment (tolerates CRLF endings and stray blank lines).
+  if (!next_data_line(in, line)) throw std::runtime_error("matrix_market: missing size line");
 
   std::istringstream size_line(line);
   std::int64_t nrows = 0, ncols = 0, nnz = 0;
@@ -58,14 +86,18 @@ CrsMatrix read_matrix_market(const std::string& path) {
     throw std::runtime_error("matrix_market: bad size line");
   }
 
+  // Entries are parsed line by line so blank lines and late comments are
+  // skipped rather than corrupting the coordinate stream.
   std::vector<Triplet> triplets;
   triplets.reserve(static_cast<std::size_t>(symmetry == "symmetric" ? 2 * nnz : nnz));
   for (std::int64_t k = 0; k < nnz; ++k) {
+    if (!next_data_line(in, line)) throw std::runtime_error("matrix_market: truncated entries");
+    std::istringstream entry(line);
     std::int64_t r = 0, c = 0;
     scalar_t v = 1.0;
-    if (!(in >> r >> c)) throw std::runtime_error("matrix_market: truncated entries");
+    if (!(entry >> r >> c)) throw std::runtime_error("matrix_market: malformed entry line");
     if (field != "pattern") {
-      if (!(in >> v)) throw std::runtime_error("matrix_market: truncated values");
+      if (!(entry >> v)) throw std::runtime_error("matrix_market: truncated values");
     }
     if (r < 1 || r > nrows || c < 1 || c > ncols) {
       throw std::runtime_error("matrix_market: entry out of range");

@@ -17,6 +17,14 @@ WeightedGraph WeightedGraph::unit(graph::CrsGraph g) {
   return w;
 }
 
+WeightedGraph WeightedGraph::unit(graph::GraphView g) {
+  if (g.num_rows == 0) return unit(graph::CrsGraph{});
+  return unit(graph::CrsGraph{
+      g.num_rows, g.num_cols,
+      std::vector<offset_t>(g.row_map, g.row_map + g.num_rows + 1),
+      std::vector<ordinal_t>(g.entries, g.entries + g.num_entries())});
+}
+
 WeightedGraph coarsen_weighted(const WeightedGraph& fine, const std::vector<ordinal_t>& labels,
                                ordinal_t num_coarse) {
   const graph::GraphView g = fine.graph;

@@ -33,6 +33,10 @@ struct WeightedGraph {
 
   /// Unit-weight wrapper around an unweighted graph.
   [[nodiscard]] static WeightedGraph unit(graph::CrsGraph g);
+
+  /// Unit-weight deep copy of a structure view. Safe on default-constructed
+  /// (null) views: returns an empty weighted graph.
+  [[nodiscard]] static WeightedGraph unit(graph::GraphView g);
 };
 
 /// Quotient of `fine` under `labels` (an aggregation/matching assignment

@@ -1,0 +1,150 @@
+#include "partition/interface.hpp"
+
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "partition/label_prop.hpp"
+#include "partition/streaming.hpp"
+
+namespace parmis::partition {
+
+PartitionResult Partitioner::run(const WeightedGraph& g, ordinal_t k,
+                                 const PartitionOptions& opts) const {
+  if (k < 1) {
+    throw std::invalid_argument("partitioner '" + name() + "': k must be >= 1, got " +
+                                std::to_string(k));
+  }
+  Timer t;
+  PartitionResult r = partition(g, k, opts);
+  r.seconds = t.seconds();
+  r.k = k;
+  if (r.part.size() != static_cast<std::size_t>(g.graph.num_rows)) {
+    throw std::runtime_error("partitioner '" + name() + "' returned a labeling of wrong size");
+  }
+  for (ordinal_t p : r.part) {
+    if (p < 0 || p >= k) {
+      throw std::runtime_error("partitioner '" + name() + "' produced an out-of-range label");
+    }
+  }
+  r.quality = evaluate_partition(g, r.part, k);
+  return r;
+}
+
+namespace {
+
+/// The existing multilevel recursive-bisection path, wrapped as the first
+/// registered implementation (one entry per coarsening scheme).
+class MultilevelPartitioner final : public Partitioner {
+ public:
+  MultilevelPartitioner(std::string name, CoarseningScheme scheme)
+      : name_(std::move(name)), scheme_(scheme) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] PartitionResult partition(const WeightedGraph& g, ordinal_t k,
+                                          const PartitionOptions& opts) const override {
+    PartitionOptions o = opts;
+    o.coarsening = scheme_;
+    PartitionResult r;
+    r.part = partition_labels_weighted(g, k, o);
+    r.k = k;
+    return r;
+  }
+
+ private:
+  std::string name_;
+  CoarseningScheme scheme_;
+};
+
+/// Adapter for algorithms written as free labeling functions.
+class FunctionPartitioner final : public Partitioner {
+ public:
+  using Fn = std::vector<ordinal_t> (*)(const WeightedGraph&, ordinal_t,
+                                        const PartitionOptions&);
+  FunctionPartitioner(std::string name, Fn fn) : name_(std::move(name)), fn_(fn) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] PartitionResult partition(const WeightedGraph& g, ordinal_t k,
+                                          const PartitionOptions& opts) const override {
+    PartitionResult r;
+    r.part = fn_(g, k, opts);
+    r.k = k;
+    return r;
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+PartitionerSpec multilevel_spec(std::string name, std::string description,
+                                CoarseningScheme scheme) {
+  PartitionerSpec spec;
+  spec.name = name;
+  spec.description = std::move(description);
+  spec.make = [name, scheme]() -> std::unique_ptr<Partitioner> {
+    return std::make_unique<MultilevelPartitioner>(name, scheme);
+  };
+  return spec;
+}
+
+PartitionerSpec function_spec(std::string name, std::string description,
+                              FunctionPartitioner::Fn fn) {
+  PartitionerSpec spec;
+  spec.name = name;
+  spec.description = std::move(description);
+  spec.make = [name, fn]() -> std::unique_ptr<Partitioner> {
+    return std::make_unique<FunctionPartitioner>(name, fn);
+  };
+  return spec;
+}
+
+std::vector<PartitionerSpec> make_registry() {
+  std::vector<PartitionerSpec> specs;
+  specs.push_back(multilevel_spec(
+      "multilevel-mis2",
+      "multilevel recursive bisection, MIS-2 aggregation coarsening (the paper's scheme)",
+      CoarseningScheme::Mis2Aggregation));
+  specs.push_back(multilevel_spec(
+      "multilevel-hem",
+      "multilevel recursive bisection, heavy-edge-matching coarsening (classical baseline)",
+      CoarseningScheme::HeavyEdgeMatching));
+  specs.push_back(function_spec(
+      "ldg", "streaming linear deterministic greedy (Stanton-Kliot), hashed stream order",
+      &ldg_partition));
+  specs.push_back(function_spec(
+      "lp-grow", "BFS region growing from farthest-point seeds + label-propagation refinement",
+      &lp_grow_partition));
+  specs.push_back(function_spec(
+      "block", "contiguous vertex-id blocks balanced by weight (zero-information baseline)",
+      &block_partition));
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<PartitionerSpec>& partitioner_registry() {
+  static const std::vector<PartitionerSpec> registry = make_registry();
+  return registry;
+}
+
+std::vector<std::string> partitioner_names() {
+  std::vector<std::string> names;
+  names.reserve(partitioner_registry().size());
+  for (const PartitionerSpec& s : partitioner_registry()) names.push_back(s.name);
+  return names;
+}
+
+const PartitionerSpec& find_partitioner(const std::string& name) {
+  for (const PartitionerSpec& s : partitioner_registry()) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("unknown partitioner: " + name);
+}
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
+  return find_partitioner(name).make();
+}
+
+}  // namespace parmis::partition

@@ -1,0 +1,252 @@
+#include "partition/label_prop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/traversal.hpp"
+#include "parallel/parallel_for.hpp"
+#include "partition/part_loads.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::partition {
+
+using detail::argmin_load;
+
+namespace {
+
+/// Farthest-point (k-center) seed sampling over BFS hop distances. Seeds
+/// land in distinct components first (unreachable counts as infinitely
+/// far), then spread within components. Serial and deterministic.
+std::vector<ordinal_t> sample_seeds(const graph::CrsGraph& g, ordinal_t k, std::uint64_t seed) {
+  const ordinal_t n = g.num_rows;
+  auto far = [](ordinal_t d) { return d == invalid_ordinal ? max_ordinal : d; };
+
+  std::vector<ordinal_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(k));
+  const ordinal_t first = graph::pseudo_peripheral_vertex(
+      g, static_cast<ordinal_t>(rng::hash_xorshift_star(seed, 0) %
+                                static_cast<std::uint64_t>(n)));
+  seeds.push_back(first);
+
+  std::vector<ordinal_t> dist = graph::bfs_distances(g, first);
+  while (static_cast<ordinal_t>(seeds.size()) < k) {
+    ordinal_t next = 0;
+    for (ordinal_t v = 1; v < n; ++v) {
+      if (far(dist[static_cast<std::size_t>(v)]) > far(dist[static_cast<std::size_t>(next)])) {
+        next = v;
+      }
+    }
+    seeds.push_back(next);
+    const std::vector<ordinal_t> nd = graph::bfs_distances(g, next);
+    for (ordinal_t v = 0; v < n; ++v) {
+      dist[static_cast<std::size_t>(v)] =
+          std::min(far(dist[static_cast<std::size_t>(v)]), far(nd[static_cast<std::size_t>(v)]));
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::vector<ordinal_t> lp_grow_partition(const WeightedGraph& g, ordinal_t k,
+                                         const PartitionOptions& opts) {
+  const ordinal_t n = g.graph.num_rows;
+  std::vector<ordinal_t> part(static_cast<std::size_t>(n), 0);
+  if (n == 0 || k <= 1) return part;
+  std::fill(part.begin(), part.end(), invalid_ordinal);
+
+  const std::int64_t total = g.total_vertex_weight();
+  const std::int64_t capacity = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround((1.0 + opts.imbalance_tolerance) * static_cast<double>(total) / k)));
+
+  std::vector<std::int64_t> load(static_cast<std::size_t>(k), 0);
+  const std::vector<ordinal_t> seeds = sample_seeds(g.graph, std::min(k, n), opts.seed);
+  for (ordinal_t i = 0; i < static_cast<ordinal_t>(seeds.size()); ++i) {
+    const ordinal_t s = seeds[static_cast<std::size_t>(i)];
+    part[static_cast<std::size_t>(s)] = i;
+    load[static_cast<std::size_t>(i)] += g.vertex_weight[static_cast<std::size_t>(s)];
+  }
+
+  // --- synchronous region growth. Each round proposes labels for the
+  // unassigned frontier in parallel from the previous round's snapshot,
+  // then commits serially in vertex order.
+  std::vector<ordinal_t> proposal(static_cast<std::size_t>(n));
+  for (;;) {
+    par::parallel_for(n, [&](ordinal_t v) {
+      proposal[static_cast<std::size_t>(v)] = invalid_ordinal;
+      if (part[static_cast<std::size_t>(v)] != invalid_ordinal) return;
+      // Reused per-thread scratch; proposals are pure functions of the
+      // snapshot, so scratch reuse cannot affect the result.
+      static thread_local std::vector<std::int64_t> affinity;
+      affinity.assign(static_cast<std::size_t>(k), 0);
+      bool labeled_neighbor = false;
+      for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+        const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+        const ordinal_t pu = part[static_cast<std::size_t>(u)];
+        if (pu == invalid_ordinal) continue;
+        labeled_neighbor = true;
+        affinity[static_cast<std::size_t>(pu)] += g.edge_weight[static_cast<std::size_t>(j)];
+      }
+      if (!labeled_neighbor) return;
+      // Best under-capacity part by affinity; ties to the lighter part,
+      // then the smaller id (implicit in the ascending scan).
+      ordinal_t best = invalid_ordinal;
+      for (ordinal_t p = 0; p < k; ++p) {
+        if (affinity[static_cast<std::size_t>(p)] == 0) continue;
+        if (load[static_cast<std::size_t>(p)] >= capacity) continue;
+        if (best == invalid_ordinal ||
+            affinity[static_cast<std::size_t>(p)] > affinity[static_cast<std::size_t>(best)] ||
+            (affinity[static_cast<std::size_t>(p)] == affinity[static_cast<std::size_t>(best)] &&
+             load[static_cast<std::size_t>(p)] < load[static_cast<std::size_t>(best)])) {
+          best = p;
+        }
+      }
+      if (best == invalid_ordinal) {
+        // Every adjacent part is at capacity: overflow into the lightest
+        // adjacent one so the frontier never wedges; refinement and the
+        // capacity check below pull the balance back.
+        for (ordinal_t p = 0; p < k; ++p) {
+          if (affinity[static_cast<std::size_t>(p)] == 0) continue;
+          if (best == invalid_ordinal ||
+              load[static_cast<std::size_t>(p)] < load[static_cast<std::size_t>(best)]) {
+            best = p;
+          }
+        }
+      }
+      proposal[static_cast<std::size_t>(v)] = best;
+    });
+
+    bool progress = false;
+    for (ordinal_t v = 0; v < n; ++v) {
+      const ordinal_t p = proposal[static_cast<std::size_t>(v)];
+      if (p == invalid_ordinal || part[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+      part[static_cast<std::size_t>(v)] = p;
+      load[static_cast<std::size_t>(p)] += g.vertex_weight[static_cast<std::size_t>(v)];
+      progress = true;
+    }
+    if (!progress) break;
+  }
+
+  // Leftovers (vertices in components that hold no seed): lightest part.
+  for (ordinal_t v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    const ordinal_t p = argmin_load(load);
+    part[static_cast<std::size_t>(v)] = p;
+    load[static_cast<std::size_t>(p)] += g.vertex_weight[static_cast<std::size_t>(v)];
+  }
+
+  // --- rebalance. The growth overflow rule can leave parts well over
+  // capacity (a region wedged between capped neighbors dumps its whole
+  // interior into one part). Overloaded parts shed boundary vertices to
+  // their most-connected under-capacity neighbor part; if an overloaded
+  // part has no under-capacity neighbor at all, vertices fall back to the
+  // globally lightest part. Serial sweeps in vertex order: deterministic.
+  {
+    std::vector<std::int64_t> affinity(static_cast<std::size_t>(k), 0);
+    for (int sweep = 0; sweep < 64; ++sweep) {
+      bool overloaded = false;
+      for (std::int64_t l : load) overloaded |= l > capacity;
+      if (!overloaded) break;
+      std::int64_t moved = 0;
+      for (ordinal_t v = 0; v < n; ++v) {
+        const ordinal_t cur = part[static_cast<std::size_t>(v)];
+        if (load[static_cast<std::size_t>(cur)] <= capacity) continue;
+        const std::int64_t wv = g.vertex_weight[static_cast<std::size_t>(v)];
+        std::fill(affinity.begin(), affinity.end(), 0);
+        for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+          const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+          affinity[static_cast<std::size_t>(part[static_cast<std::size_t>(u)])] +=
+              g.edge_weight[static_cast<std::size_t>(j)];
+        }
+        ordinal_t best = invalid_ordinal;
+        for (ordinal_t p = 0; p < k; ++p) {
+          if (p == cur || affinity[static_cast<std::size_t>(p)] == 0) continue;
+          if (load[static_cast<std::size_t>(p)] + wv > capacity) continue;
+          if (best == invalid_ordinal ||
+              affinity[static_cast<std::size_t>(p)] > affinity[static_cast<std::size_t>(best)]) {
+            best = p;
+          }
+        }
+        if (best == invalid_ordinal) continue;
+        part[static_cast<std::size_t>(v)] = best;
+        load[static_cast<std::size_t>(cur)] -= wv;
+        load[static_cast<std::size_t>(best)] += wv;
+        ++moved;
+      }
+      if (moved == 0) {
+        // No overloaded part touches an under-capacity one: teleport
+        // (disconnected shed) — balance beats contiguity here.
+        for (ordinal_t v = 0; v < n; ++v) {
+          const ordinal_t cur = part[static_cast<std::size_t>(v)];
+          if (load[static_cast<std::size_t>(cur)] <= capacity) continue;
+          const std::int64_t wv = g.vertex_weight[static_cast<std::size_t>(v)];
+          const ordinal_t p = argmin_load(load);
+          if (p == cur || load[static_cast<std::size_t>(p)] + wv > capacity) continue;
+          part[static_cast<std::size_t>(v)] = p;
+          load[static_cast<std::size_t>(cur)] -= wv;
+          load[static_cast<std::size_t>(p)] += wv;
+        }
+        break;
+      }
+    }
+  }
+
+  // --- capacity-aware label-propagation refinement. The parallel phase
+  // only nominates candidates from the snapshot; the serial commit
+  // re-evaluates each candidate against the live labeling, so the cut
+  // never worsens and the result stays deterministic.
+  std::vector<char> candidate(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> affinity(static_cast<std::size_t>(k), 0);
+  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+    par::parallel_for(n, [&](ordinal_t v) {
+      // Cheap over-approximation from the snapshot: a vertex can only gain
+      // by moving if the weight it sends to other parts combined exceeds
+      // what stays home. The serial commit re-checks exactly.
+      const ordinal_t cur = part[static_cast<std::size_t>(v)];
+      std::int64_t cur_aff = 0;
+      std::int64_t other_total = 0;
+      for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+        const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+        const std::int64_t w = g.edge_weight[static_cast<std::size_t>(j)];
+        if (part[static_cast<std::size_t>(u)] == cur) {
+          cur_aff += w;
+        } else {
+          other_total += w;
+        }
+      }
+      candidate[static_cast<std::size_t>(v)] = other_total > cur_aff ? 1 : 0;
+    });
+
+    std::int64_t moved = 0;
+    for (ordinal_t v = 0; v < n; ++v) {
+      if (!candidate[static_cast<std::size_t>(v)]) continue;
+      const ordinal_t cur = part[static_cast<std::size_t>(v)];
+      std::fill(affinity.begin(), affinity.end(), 0);
+      for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+        const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+        affinity[static_cast<std::size_t>(part[static_cast<std::size_t>(u)])] +=
+            g.edge_weight[static_cast<std::size_t>(j)];
+      }
+      const std::int64_t wv = g.vertex_weight[static_cast<std::size_t>(v)];
+      ordinal_t best = cur;
+      for (ordinal_t p = 0; p < k; ++p) {
+        if (p == cur) continue;
+        if (load[static_cast<std::size_t>(p)] + wv > capacity) continue;
+        if (affinity[static_cast<std::size_t>(p)] > affinity[static_cast<std::size_t>(best)]) {
+          best = p;
+        }
+      }
+      if (best != cur) {
+        part[static_cast<std::size_t>(v)] = best;
+        load[static_cast<std::size_t>(cur)] -= wv;
+        load[static_cast<std::size_t>(best)] += wv;
+        ++moved;
+      }
+    }
+    if (moved == 0) break;
+  }
+  return part;
+}
+
+}  // namespace parmis::partition

@@ -1,0 +1,22 @@
+#pragma once
+/// \file part_loads.hpp
+/// \brief Shared load-balancing helper for the partitioning algorithms.
+
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace parmis::partition::detail {
+
+/// Part with the smallest load, ties to the smaller id. The tie rule is
+/// load-bearing for determinism: every algorithm that falls back to "the
+/// lightest part" must break ties identically.
+inline ordinal_t argmin_load(const std::vector<std::int64_t>& load) {
+  ordinal_t best = 0;
+  for (ordinal_t p = 1; p < static_cast<ordinal_t>(load.size()); ++p) {
+    if (load[static_cast<std::size_t>(p)] < load[static_cast<std::size_t>(best)]) best = p;
+  }
+  return best;
+}
+
+}  // namespace parmis::partition::detail

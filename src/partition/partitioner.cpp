@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/aggregation.hpp"
 #include "graph/ops.hpp"
@@ -283,26 +284,56 @@ Bisection multilevel_bisect(const WeightedGraph& g, const PartitionOptions& opts
   return multilevel_bisect_frac(g, 0.5, opts);
 }
 
-Partition partition_graph(graph::GraphView g, ordinal_t k, const PartitionOptions& opts) {
-  assert(k >= 1);
+std::int64_t cut_weight_kway(const WeightedGraph& g, std::span<const ordinal_t> part) {
+  std::int64_t cut = 0;
+  for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
+    for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+      const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+      if (part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)]) {
+        cut += g.edge_weight[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return cut / 2;
+}
+
+double imbalance_weighted(const WeightedGraph& g, std::span<const ordinal_t> part, ordinal_t k) {
+  if (part.empty() || k <= 0) return 0;
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(k), 0);
+  for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
+    weight[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight[static_cast<std::size_t>(v)];
+  }
+  const std::int64_t max_w = *std::max_element(weight.begin(), weight.end());
+  const double ideal = static_cast<double>(g.total_vertex_weight()) / k;
+  return ideal > 0 ? static_cast<double>(max_w) / ideal - 1.0 : 0.0;
+}
+
+std::vector<ordinal_t> partition_labels_weighted(const WeightedGraph& g, ordinal_t k,
+                                                 const PartitionOptions& opts) {
+  if (k < 1) throw std::invalid_argument("partition_labels_weighted: k must be >= 1");
+  std::vector<ordinal_t> part(static_cast<std::size_t>(g.graph.num_rows), 0);
+  if (g.graph.num_rows == 0 || k == 1) return part;
+
+  std::vector<ordinal_t> identity(static_cast<std::size_t>(g.graph.num_rows));
+  std::iota(identity.begin(), identity.end(), 0);
+  partition_recursive(g, identity, k, 0, opts, part);
+  return part;
+}
+
+Partition partition_weighted(const WeightedGraph& g, ordinal_t k, const PartitionOptions& opts) {
   Partition p;
   p.k = k;
-  p.part.assign(static_cast<std::size_t>(g.num_rows), 0);
-  if (g.num_rows == 0 || k == 1) {
-    return p;
-  }
-
-  WeightedGraph wg = WeightedGraph::unit(
-      graph::CrsGraph{g.num_rows, g.num_cols,
-                      std::vector<offset_t>(g.row_map, g.row_map + g.num_rows + 1),
-                      std::vector<ordinal_t>(g.entries, g.entries + g.num_entries())});
-  std::vector<ordinal_t> identity(static_cast<std::size_t>(g.num_rows));
-  std::iota(identity.begin(), identity.end(), 0);
-  partition_recursive(wg, identity, k, 0, opts, p.part);
-
-  p.edge_cut = edge_cut(g, p.part);
-  p.imbalance = imbalance(p.part, k);
+  p.part = partition_labels_weighted(g, k, opts);
+  p.edge_cut = cut_weight_kway(g, p.part);
+  p.imbalance = imbalance_weighted(g, p.part, k);
   return p;
+}
+
+Partition partition_graph(graph::GraphView g, ordinal_t k, const PartitionOptions& opts) {
+  // With unit weights the weighted cut and imbalance coincide with the
+  // unweighted definitions this entry point has always reported.
+  return partition_weighted(WeightedGraph::unit(g), k, opts);
 }
 
 }  // namespace parmis::partition

@@ -53,6 +53,15 @@ struct Partition {
 /// once).
 [[nodiscard]] std::int64_t cut_weight(const WeightedGraph& g, std::span<const char> side);
 
+/// Weighted edge cut of a k-way partition (each undirected edge counted
+/// once).
+[[nodiscard]] std::int64_t cut_weight_kway(const WeightedGraph& g,
+                                           std::span<const ordinal_t> part);
+
+/// Vertex-weighted max-part imbalance of a k-way partition.
+[[nodiscard]] double imbalance_weighted(const WeightedGraph& g, std::span<const ordinal_t> part,
+                                        ordinal_t k);
+
 /// Edge cut of a k-way partition on an unweighted graph view.
 [[nodiscard]] std::int64_t edge_cut(graph::GraphView g, std::span<const ordinal_t> part);
 
@@ -74,5 +83,16 @@ std::int64_t refine_bisection(const WeightedGraph& g, Bisection& b, int passes,
 /// power of two; parts are weight-proportional).
 [[nodiscard]] Partition partition_graph(graph::GraphView g, ordinal_t k,
                                         const PartitionOptions& opts = {});
+
+/// Multilevel k-way partitioning of a weighted graph. Cut and imbalance in
+/// the result are vertex/edge-weighted.
+[[nodiscard]] Partition partition_weighted(const WeightedGraph& g, ordinal_t k,
+                                           const PartitionOptions& opts = {});
+
+/// Labels-only variant of `partition_weighted` (no metric pass) — the
+/// pluggable `Partitioner` registry (interface.hpp) wraps this and computes
+/// the full QualityReport itself, so metrics are evaluated exactly once.
+[[nodiscard]] std::vector<ordinal_t> partition_labels_weighted(const WeightedGraph& g, ordinal_t k,
+                                                               const PartitionOptions& opts = {});
 
 }  // namespace parmis::partition

@@ -1,0 +1,112 @@
+#include "partition/quality.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+#include "parallel/parallel_reduce.hpp"
+
+namespace parmis::partition {
+
+double QualityReport::cut_fraction() const {
+  if (total_edge_weight == 0) return 0.0;
+  return static_cast<double>(edge_cut) / static_cast<double>(total_edge_weight);
+}
+
+std::string QualityReport::to_json() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"k\":%d,\"num_vertices\":%d,\"num_edges\":%lld,"
+                "\"total_edge_weight\":%lld,\"edge_cut\":%lld,"
+                "\"cut_fraction\":%.6f,\"comm_volume\":%lld,\"boundary_vertices\":%lld,"
+                "\"boundary_fraction\":%.6f,\"max_part_weight\":%lld,\"min_part_weight\":%lld,"
+                "\"empty_parts\":%d,\"imbalance\":%.6f}",
+                k, num_vertices, static_cast<long long>(num_edges),
+                static_cast<long long>(total_edge_weight),
+                static_cast<long long>(edge_cut), cut_fraction(),
+                static_cast<long long>(comm_volume), static_cast<long long>(boundary_vertices),
+                boundary_fraction, static_cast<long long>(max_part_weight),
+                static_cast<long long>(min_part_weight), empty_parts, imbalance);
+  return buf;
+}
+
+QualityReport evaluate_partition(const WeightedGraph& g, std::span<const ordinal_t> part,
+                                 ordinal_t k) {
+  const ordinal_t n = g.graph.num_rows;
+  assert(part.size() == static_cast<std::size_t>(n));
+  QualityReport r;
+  r.k = k;
+  r.num_vertices = n;
+  r.num_edges = g.graph.num_entries() / 2;
+  if (n == 0 || k <= 0) return r;
+  r.total_edge_weight = par::reduce_sum<std::int64_t>(n, [&](ordinal_t v) {
+    std::int64_t w = 0;
+    for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+      w += g.edge_weight[static_cast<std::size_t>(j)];
+    }
+    return w;
+  }) / 2;
+
+  // Per-vertex contributions are pure functions of (graph, part), so the
+  // chunked reductions are bit-identical on every backend and thread count.
+  r.edge_cut = par::reduce_sum<std::int64_t>(n, [&](ordinal_t v) {
+    const ordinal_t pv = part[static_cast<std::size_t>(v)];
+    std::int64_t cut = 0;
+    for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+      const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+      if (part[static_cast<std::size_t>(u)] != pv) {
+        cut += g.edge_weight[static_cast<std::size_t>(j)];
+      }
+    }
+    return cut;
+  }) / 2;
+
+  r.boundary_vertices = par::count_if(n, [&](ordinal_t v) {
+    const ordinal_t pv = part[static_cast<std::size_t>(v)];
+    for (ordinal_t u : g.graph.row(v)) {
+      if (part[static_cast<std::size_t>(u)] != pv) return true;
+    }
+    return false;
+  });
+  r.boundary_fraction = static_cast<double>(r.boundary_vertices) / n;
+
+  r.comm_volume = par::reduce_sum<std::int64_t>(n, [&](ordinal_t v) {
+    const ordinal_t pv = part[static_cast<std::size_t>(v)];
+    // Distinct remote parts adjacent to v — the halo copies a distributed
+    // SpMV would ship for this vertex. Reused per-thread scratch; the
+    // count is a pure function of (graph, part), so reuse cannot affect
+    // the result.
+    static thread_local std::vector<ordinal_t> remote;
+    remote.clear();
+    for (ordinal_t u : g.graph.row(v)) {
+      const ordinal_t pu = part[static_cast<std::size_t>(u)];
+      if (pu != pv) remote.push_back(pu);
+    }
+    std::sort(remote.begin(), remote.end());
+    return static_cast<std::int64_t>(
+        std::unique(remote.begin(), remote.end()) - remote.begin());
+  });
+
+  // Part weights: a serial histogram (k is small; determinism is free).
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(k), 0);
+  std::int64_t total = 0;
+  for (ordinal_t v = 0; v < n; ++v) {
+    const ordinal_t w = g.vertex_weight[static_cast<std::size_t>(v)];
+    weight[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] += w;
+    total += w;
+  }
+  r.max_part_weight = *std::max_element(weight.begin(), weight.end());
+  r.min_part_weight = *std::min_element(weight.begin(), weight.end());
+  for (std::int64_t w : weight) r.empty_parts += w == 0;
+  const double ideal = static_cast<double>(total) / k;
+  r.imbalance = ideal > 0 ? static_cast<double>(r.max_part_weight) / ideal - 1.0 : 0.0;
+  return r;
+}
+
+QualityReport evaluate_partition(graph::GraphView g, std::span<const ordinal_t> part,
+                                 ordinal_t k) {
+  return evaluate_partition(WeightedGraph::unit(g), part, k);
+}
+
+}  // namespace parmis::partition

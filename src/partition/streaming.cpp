@@ -1,0 +1,139 @@
+#include "partition/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "partition/part_loads.hpp"
+#include "random/hash.hpp"
+
+namespace parmis::partition {
+
+using detail::argmin_load;
+
+std::vector<ordinal_t> ldg_partition(const WeightedGraph& g, ordinal_t k,
+                                     const PartitionOptions& opts) {
+  const ordinal_t n = g.graph.num_rows;
+  std::vector<ordinal_t> part(static_cast<std::size_t>(n), 0);
+  if (n == 0 || k <= 1) return part;
+  std::fill(part.begin(), part.end(), invalid_ordinal);
+
+  // Deterministic hashed stream order: a fixed pseudo-random shuffle keyed
+  // by the seed, ties (hash collisions) broken by vertex id.
+  std::vector<ordinal_t> order(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> key(static_cast<std::size_t>(n));
+  par::parallel_for(n, [&](ordinal_t v) {
+    order[static_cast<std::size_t>(v)] = v;
+    key[static_cast<std::size_t>(v)] =
+        rng::hash_xorshift_star(opts.seed, static_cast<std::uint64_t>(v));
+  });
+  std::sort(order.begin(), order.end(), [&](ordinal_t a, ordinal_t b) {
+    const std::uint64_t ka = key[static_cast<std::size_t>(a)];
+    const std::uint64_t kb = key[static_cast<std::size_t>(b)];
+    return ka != kb ? ka < kb : a < b;
+  });
+
+  const std::int64_t total = g.total_vertex_weight();
+  const double capacity = std::max(
+      1.0, (1.0 + opts.imbalance_tolerance) * static_cast<double>(total) / k);
+  const std::int64_t capacity_int = static_cast<std::int64_t>(std::llround(capacity));
+
+  std::vector<std::int64_t> load(static_cast<std::size_t>(k), 0);
+  std::vector<ordinal_t> choice(static_cast<std::size_t>(ldg_batch_size));
+  std::vector<ordinal_t> prev;  // previous pass's assignment (restreams)
+
+  for (int pass = 0; pass <= ldg_restream_passes; ++pass) {
+    // Pass 0 scores against the in-progress assignment (earlier batches
+    // only); restream passes score against the previous pass's complete
+    // labeling, so batch scoring loses no information.
+    const std::vector<ordinal_t>& reference = pass == 0 ? part : prev;
+    std::fill(load.begin(), load.end(), 0);
+    if (pass > 0) std::fill(part.begin(), part.end(), invalid_ordinal);
+
+    for (ordinal_t start = 0; start < n; start += ldg_batch_size) {
+      const ordinal_t end = std::min<ordinal_t>(n, start + ldg_batch_size);
+
+      // Score the batch in parallel against a frozen snapshot: `reference`
+      // holds either earlier batches (pass 0) or the whole previous pass,
+      // and `load` is not updated until the serial commit below, so every
+      // score is a pure function of the snapshot — identical on any
+      // backend and thread count.
+      par::parallel_for_range(start, end, [&](ordinal_t i) {
+        const ordinal_t v = order[static_cast<std::size_t>(i)];
+        // Reused per-thread scratch: the scores are pure functions of the
+        // snapshot, so scratch reuse cannot affect the result.
+        static thread_local std::vector<std::int64_t> affinity;
+        affinity.assign(static_cast<std::size_t>(k), 0);
+        for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
+          const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
+          const ordinal_t pu = reference[static_cast<std::size_t>(u)];
+          if (pu != invalid_ordinal) {
+            affinity[static_cast<std::size_t>(pu)] += g.edge_weight[static_cast<std::size_t>(j)];
+          }
+        }
+        ordinal_t best = invalid_ordinal;
+        double best_score = 0.0;
+        for (ordinal_t p = 0; p < k; ++p) {
+          const std::int64_t lp = load[static_cast<std::size_t>(p)];
+          if (lp >= capacity_int) continue;
+          if (affinity[static_cast<std::size_t>(p)] == 0) continue;
+          const double score = static_cast<double>(affinity[static_cast<std::size_t>(p)]) *
+                               (1.0 - static_cast<double>(lp) / capacity);
+          // Ties: lighter part first, then smaller id (p ascending means
+          // the first strict improvement wins, so both rules are implicit).
+          if (best == invalid_ordinal || score > best_score ||
+              (score == best_score && lp < load[static_cast<std::size_t>(best)])) {
+            best = p;
+            best_score = score;
+          }
+        }
+        // No informative neighbor (or every attractive part full): defer
+        // to the commit loop, which spreads by live load.
+        choice[static_cast<std::size_t>(i - start)] = best;
+      });
+
+      // Serial commit in stream order; vertices without a scored choice —
+      // and choices the in-batch commits have since filled — go to the
+      // lightest part. Deterministic: fixed order, no dependence on how
+      // the scoring loop was scheduled.
+      for (ordinal_t i = start; i < end; ++i) {
+        const ordinal_t v = order[static_cast<std::size_t>(i)];
+        ordinal_t p = choice[static_cast<std::size_t>(i - start)];
+        const std::int64_t wv = g.vertex_weight[static_cast<std::size_t>(v)];
+        if (p == invalid_ordinal || load[static_cast<std::size_t>(p)] + wv > capacity_int) {
+          p = argmin_load(load);
+        }
+        part[static_cast<std::size_t>(v)] = p;
+        load[static_cast<std::size_t>(p)] += wv;
+      }
+    }
+    prev = part;
+  }
+  return part;
+}
+
+std::vector<ordinal_t> block_partition(const WeightedGraph& g, ordinal_t k,
+                                       const PartitionOptions& opts) {
+  (void)opts;
+  const ordinal_t n = g.graph.num_rows;
+  std::vector<ordinal_t> part(static_cast<std::size_t>(n), 0);
+  if (n == 0 || k <= 1) return part;
+
+  // Greedy prefix cut: walk vertices in id order, advancing to the next
+  // part once the running weight passes the next ideal boundary.
+  const std::int64_t total = g.total_vertex_weight();
+  std::int64_t prefix = 0;
+  ordinal_t p = 0;
+  for (ordinal_t v = 0; v < n; ++v) {
+    // Boundary of part p: (p + 1) / k of the total weight.
+    while (p + 1 < k &&
+           prefix * static_cast<std::int64_t>(k) >= total * static_cast<std::int64_t>(p + 1)) {
+      ++p;
+    }
+    part[static_cast<std::size_t>(v)] = p;
+    prefix += g.vertex_weight[static_cast<std::size_t>(v)];
+  }
+  return part;
+}
+
+}  // namespace parmis::partition

@@ -1,0 +1,132 @@
+/// \file test_matrix_market.cpp
+/// \brief Regression tests for Matrix Market robustness: files in the wild
+/// carry CRLF endings, blank lines, and %-comments after the header, all
+/// of which the reader must tolerate.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/matrix_market.hpp"
+
+namespace parmis::graph {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+void expect_same_matrix(const CrsMatrix& a, const CrsMatrix& b) {
+  EXPECT_EQ(b.num_rows, a.num_rows);
+  EXPECT_EQ(b.num_cols, a.num_cols);
+  EXPECT_EQ(b.row_map, a.row_map);
+  EXPECT_EQ(b.entries, a.entries);
+  ASSERT_EQ(b.values.size(), a.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.values[i], a.values[i]);
+  }
+}
+
+/// Round-trip a matrix through write_matrix_market, then mangle the text
+/// with a line transformer and read it back.
+template <typename Mangle>
+CrsMatrix roundtrip_mangled(const CrsMatrix& a, const char* name, Mangle&& mangle) {
+  const std::string clean = temp_path("parmis_mm_clean.mtx");
+  write_matrix_market(clean, a);
+  std::ifstream in(clean);
+  std::ostringstream mangled;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    mangle(line_no++, line, mangled);
+  }
+  in.close();
+  const std::string path = temp_path(name);
+  {
+    std::ofstream out(path, std::ios::binary);  // binary: keep our \r exact
+    out << mangled.str();
+  }
+  const CrsMatrix b = read_matrix_market(path);
+  std::remove(clean.c_str());
+  std::remove(path.c_str());
+  return b;
+}
+
+TEST(MatrixMarketHardening, CrlfLineEndings) {
+  const CrsMatrix a = laplace2d(5, 4);
+  const CrsMatrix b = roundtrip_mangled(
+      a, "parmis_mm_crlf.mtx",
+      [](std::size_t, const std::string& line, std::ostringstream& out) {
+        out << line << "\r\n";
+      });
+  expect_same_matrix(a, b);
+}
+
+TEST(MatrixMarketHardening, BlankLinesEverywhere) {
+  const CrsMatrix a = laplace2d(4, 4);
+  const CrsMatrix b = roundtrip_mangled(
+      a, "parmis_mm_blank.mtx",
+      [](std::size_t i, const std::string& line, std::ostringstream& out) {
+        if (i == 1) out << "\n   \n";  // before the size line
+        out << line << "\n";
+        if (i % 3 == 0) out << "\n";  // sprinkled through the entries
+      });
+  expect_same_matrix(a, b);
+}
+
+TEST(MatrixMarketHardening, CommentsAfterHeaderAndBetweenEntries) {
+  const CrsMatrix a = laplace2d(3, 5);
+  const CrsMatrix b = roundtrip_mangled(
+      a, "parmis_mm_comments.mtx",
+      [](std::size_t i, const std::string& line, std::ostringstream& out) {
+        if (i == 1) out << "% late header comment\n%\n";
+        out << line << "\n";
+        if (i == 4) out << "  % indented comment between entries\n";
+      });
+  expect_same_matrix(a, b);
+}
+
+TEST(MatrixMarketHardening, AllThreeAtOnce) {
+  const CrsMatrix a = elasticity3d(2, 2, 2);
+  const CrsMatrix b = roundtrip_mangled(
+      a, "parmis_mm_tricky.mtx",
+      [](std::size_t i, const std::string& line, std::ostringstream& out) {
+        if (i == 1) out << "\r\n% comment after header\r\n";
+        out << line << "\r\n";
+        if (i % 5 == 2) out << "\r\n% noise\r\n";
+      });
+  expect_same_matrix(a, b);
+}
+
+TEST(MatrixMarketHardening, TruncatedEntriesStillRejected) {
+  const std::string path = temp_path("parmis_mm_trunc.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "3 3 3\n";
+    out << "1 1 1.0\n\n% only one of three entries\n";
+  }
+  EXPECT_THROW(read_matrix_market(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarketHardening, MalformedEntryLineRejected) {
+  const std::string path = temp_path("parmis_mm_malformed.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "2 2 2\n";
+    out << "1 1 1.0\n";
+    out << "oops\n";
+  }
+  EXPECT_THROW(read_matrix_market(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace parmis::graph
