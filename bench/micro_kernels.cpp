@@ -1,12 +1,15 @@
 /// \file micro_kernels.cpp
 /// \brief google-benchmark microbenchmarks for the primitives the paper's
 /// cost analysis (§IV) charges: prefix sums, worklist compaction, the hash
-/// generators, tuple packing, SpMV/SpGEMM, and small end-to-end MIS-2.
+/// generators, tuple packing, SpMV/SpGEMM, small end-to-end MIS-2, and the
+/// warm-vs-cold handle-reuse comparison (the zero-allocation contract).
 
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "core/aggregation.hpp"
+#include "core/coarsen.hpp"
 #include "core/mis2.hpp"
 #include "core/status_tuple.hpp"
 #include "graph/generators.hpp"
@@ -109,5 +112,86 @@ void BM_mis2_laplace3d(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_entries());
 }
 BENCHMARK(BM_mis2_laplace3d)->Arg(32)->Arg(64);
+
+// --- Warm vs cold handle reuse ------------------------------------------
+//
+// The Context/handle API exists so repeated invocations (a multilevel
+// hierarchy, AMG setup, a high-traffic service) stop paying the scratch
+// allocation + first-touch cost on every call. These pairs quantify the
+// saving: "cold" constructs a fresh handle per run (the old free-function
+// behavior), "warm" reuses one handle whose scratch capacity is stable.
+
+void BM_mis2_handle_cold(benchmark::State& state) {
+  const ordinal_t n = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsGraph g = graph::random_geometric_3d(n, 16.0, 5);
+  for (auto _ : state) {
+    core::Mis2Handle handle;
+    benchmark::DoNotOptimize(handle.run(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_mis2_handle_cold)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_mis2_handle_warm(benchmark::State& state) {
+  const ordinal_t n = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsGraph g = graph::random_geometric_3d(n, 16.0, 5);
+  core::Mis2Handle handle;
+  handle.run(g);  // prime the scratch
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(handle.run(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_mis2_handle_warm)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_aggregate_handle_cold(benchmark::State& state) {
+  const ordinal_t n = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsGraph g = graph::random_geometric_3d(n, 16.0, 5);
+  for (auto _ : state) {
+    core::CoarsenHandle handle;
+    benchmark::DoNotOptimize(handle.aggregate_mis2(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_aggregate_handle_cold)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_aggregate_handle_warm(benchmark::State& state) {
+  const ordinal_t n = static_cast<ordinal_t>(state.range(0));
+  const graph::CrsGraph g = graph::random_geometric_3d(n, 16.0, 5);
+  core::CoarsenHandle handle;
+  handle.aggregate_mis2(g);  // prime the scratch
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(handle.aggregate_mis2(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_aggregate_handle_warm)->Arg(1 << 14)->Arg(1 << 17);
+
+// Full multilevel hierarchies with one handle across all levels vs a fresh
+// handle per build — the hierarchy case the redesign targets.
+void BM_multilevel_handle_cold(benchmark::State& state) {
+  const graph::CrsGraph g = graph::random_geometric_3d(1 << 15, 16.0, 5);
+  core::MultilevelOptions opts;
+  opts.target_vertices = 64;
+  for (auto _ : state) {
+    core::CoarsenHandle handle;
+    benchmark::DoNotOptimize(core::multilevel_coarsen(g, opts, handle));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_multilevel_handle_cold);
+
+void BM_multilevel_handle_warm(benchmark::State& state) {
+  const graph::CrsGraph g = graph::random_geometric_3d(1 << 15, 16.0, 5);
+  core::MultilevelOptions opts;
+  opts.target_vertices = 64;
+  core::CoarsenHandle handle;
+  benchmark::DoNotOptimize(core::multilevel_coarsen(g, opts, handle));  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::multilevel_coarsen(g, opts, handle));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_entries());
+}
+BENCHMARK(BM_multilevel_handle_warm);
 
 }  // namespace

@@ -1,31 +1,41 @@
 /// \file multilevel_coarsening.cpp
 /// \brief The multilevel-partitioning use case (paper §II, Gilbert et al.):
-/// recursively coarsen a graph with MIS-2 aggregation until it is small
-/// enough for a direct method, reporting per-level statistics.
+/// recursively coarsen a graph until it is small enough for a direct
+/// method, reporting per-level statistics. The per-level scheme comes from
+/// the core Coarsener registry ("mis2", "mis2-basic", "hem").
 ///
-/// Run: ./multilevel_coarsening [n] [target]
+/// Run: ./multilevel_coarsening [n] [target] [coarsener]
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "common/timer.hpp"
 #include "core/coarsen.hpp"
+#include "core/coarsener.hpp"
 #include "graph/rgg.hpp"
 
 int main(int argc, char** argv) {
   using namespace parmis;
   const ordinal_t n = argc > 1 ? static_cast<ordinal_t>(std::atoi(argv[1])) : 200000;
   const ordinal_t target = argc > 2 ? static_cast<ordinal_t>(std::atoi(argv[2])) : 64;
+  const std::string coarsener = argc > 3 ? argv[3] : "mis2";
 
   // A mesh-like unstructured graph (what a partitioner would see).
   const graph::CrsGraph g = graph::random_geometric_3d(n, 16.0, 1);
   std::printf("input: %d vertices, %lld edges\n", g.num_rows,
               static_cast<long long>(g.num_entries() / 2));
+  std::printf("coarsener: %s (%s)\n", coarsener.c_str(),
+              core::find_coarsener(coarsener).description.c_str());
 
   core::MultilevelOptions opts;
   opts.target_vertices = target;
+  opts.coarsener = coarsener;
+  // One handle across all levels: every aggregation after the first level
+  // reuses the same scratch (the Context/handle API's reuse contract).
+  core::CoarsenHandle handle;
   Timer timer;
-  const core::MultilevelHierarchy h = core::multilevel_coarsen(g, opts);
+  const core::MultilevelHierarchy h = core::multilevel_coarsen(g, opts, handle);
   const double elapsed = timer.seconds();
 
   std::printf("%-6s %12s %14s %10s %8s\n", "level", "vertices", "edges", "ratio", "mis2-it");

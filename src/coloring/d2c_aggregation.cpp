@@ -24,15 +24,17 @@ core::Aggregation aggregate_d2c(graph::GraphView g, D2cMode mode,
 
   // Root growth, one color class at a time. Members of a class are
   // pairwise distance-2 independent, so their neighbor claims can't
-  // collide and this loop is deterministic.
+  // collide and this loop is deterministic. The compaction scratch is
+  // hoisted out of the color loop and reused across rounds.
+  std::vector<ordinal_t> accepted;
+  std::vector<std::int64_t> flags;
   for (ordinal_t c = 0; c < coloring.num_colors; ++c) {
     const offset_t begin = sets.offsets[static_cast<std::size_t>(c)];
     const offset_t end = sets.offsets[static_cast<std::size_t>(c) + 1];
 
     // Accept roots: unaggregated vertices of this color with enough
     // unaggregated neighbors; assign compact ids in vertex order.
-    std::vector<ordinal_t> accepted;
-    par::compact_into(
+    par::compact_into_scratch(
         static_cast<ordinal_t>(end - begin),
         [&](ordinal_t i) {
           const ordinal_t v = sets.vertices[static_cast<std::size_t>(begin + i)];
@@ -44,7 +46,7 @@ core::Aggregation aggregate_d2c(graph::GraphView g, D2cMode mode,
           return unagg >= min_root_neighbors;
         },
         [&](ordinal_t i) { return sets.vertices[static_cast<std::size_t>(begin + i)]; },
-        accepted);
+        accepted, flags);
 
     const ordinal_t base = agg.num_aggregates;
     par::parallel_for(static_cast<ordinal_t>(accepted.size()), [&](ordinal_t i) {

@@ -13,7 +13,11 @@
 /// Leftover vertices join *any* adjacent aggregate with a first-come
 /// atomic claim — the step that makes this scheme nondeterministic in the
 /// paper (no checkmark in Table V's "Det." column); we reproduce that
-/// property faithfully rather than fixing it.
+/// property faithfully rather than fixing it. That nondeterminism is also
+/// why this scheme is *not* registered in the core `Coarsener` registry
+/// (core/coarsener.hpp), whose contract requires bit-identical labels
+/// across backends and thread counts; it stays reachable through
+/// `solver::run_aggregation` for the Table V comparison.
 
 #include "core/aggregation.hpp"
 #include "graph/crs.hpp"

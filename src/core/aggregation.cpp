@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 #include "parallel/parallel_scan.hpp"
+#include "random/hash.hpp"
 
 namespace parmis::core {
 
@@ -27,20 +29,17 @@ void grow_initial_aggregates(graph::GraphView g, const Mis2Result& mis,
   });
 }
 
-}  // namespace
-
-Aggregation aggregate_basic(graph::GraphView g, const Mis2Options& opts) {
-  return aggregate_from_mis(g, mis2(g, opts));
-}
-
-Aggregation aggregate_from_mis(graph::GraphView g, const Mis2Result& mis) {
+/// Algorithm 2 body on an already-computed MIS-2, writing into `agg` and
+/// using `snapshot` as the immutable-label scratch.
+void build_basic(graph::GraphView g, const Mis2Result& mis, Aggregation& agg,
+                 std::vector<ordinal_t>& snapshot) {
   assert(g.num_rows == g.num_cols);
   const ordinal_t n = g.num_rows;
 
-  Aggregation agg;
   agg.phase1_iterations = mis.iterations;
+  agg.phase2_iterations = 0;
   agg.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
-  agg.roots = mis.members;
+  agg.roots.assign(mis.members.begin(), mis.members.end());
   agg.num_aggregates = mis.set_size();
   grow_initial_aggregates(g, mis, agg.labels);
 
@@ -48,7 +47,7 @@ Aggregation aggregate_from_mis(graph::GraphView g, const Mis2Result& mis) {
   // ("any neighbor" in the paper; lowest-index makes it deterministic).
   // Maximality guarantees such a neighbor exists: every vertex is within
   // two hops of a root, and the middle vertex of that path is labeled.
-  std::vector<ordinal_t> snapshot = agg.labels;
+  snapshot.assign(agg.labels.begin(), agg.labels.end());
   par::parallel_for(n, [&](ordinal_t v) {
     if (snapshot[static_cast<std::size_t>(v)] != invalid_ordinal) return;
     for (ordinal_t w : g.row(v)) {
@@ -60,35 +59,56 @@ Aggregation aggregate_from_mis(graph::GraphView g, const Mis2Result& mis) {
     }
     assert(false && "maximality violated: leftover vertex with no labeled neighbor");
   });
-  return agg;
 }
 
-Aggregation aggregate_mis2(graph::GraphView g, const Mis2Options& opts) {
+}  // namespace
+
+std::size_t CoarsenHandle::scratch_bytes() const {
+  return mis2_.scratch_bytes() + active_.capacity() * sizeof(char) +
+         (tent_.capacity() + agg_size_.capacity() + accepted_.capacity() + mate_.capacity() +
+          order_.capacity()) *
+             sizeof(ordinal_t) +
+         flags_.capacity() * sizeof(std::int64_t);
+}
+
+const Aggregation& CoarsenHandle::aggregate_basic(graph::GraphView g) {
+  Context::Scope scope(context());
+  mis2_.run(g);
+  build_basic(g, mis2_.result(), agg_, tent_);
+  return agg_;
+}
+
+const Aggregation& CoarsenHandle::aggregate_mis2(graph::GraphView g) {
+  Context::Scope scope(context());
   assert(g.num_rows == g.num_cols);
   const ordinal_t n = g.num_rows;
+  Aggregation& agg = agg_;
 
   // --- Phase 1: initial aggregates from MIS-2 roots + neighbors ---------
-  const Mis2Result mis1 = mis2(g, opts);
+  const Mis2Result& mis1 = mis2_.run(g);
 
-  Aggregation agg;
   agg.phase1_iterations = mis1.iterations;
   agg.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
   grow_initial_aggregates(g, mis1, agg.labels);
+  // The phase-2 masked run below overwrites the handle's MIS-2 result, so
+  // copy out what phase 3 needs from mis1 (roots in member order).
+  agg.roots.assign(mis1.members.begin(), mis1.members.end());
+  const ordinal_t base = mis1.set_size();
 
   // --- Phase 2: secondary aggregates on the leftover-induced subgraph ---
-  std::vector<char> active(static_cast<std::size_t>(n));
+  active_.resize(static_cast<std::size_t>(n));
   par::parallel_for(n, [&](ordinal_t v) {
-    active[static_cast<std::size_t>(v)] =
+    active_[static_cast<std::size_t>(v)] =
         agg.labels[static_cast<std::size_t>(v)] == invalid_ordinal ? 1 : 0;
   });
 
-  const Mis2Result mis2_result = mis2_masked(g, active, opts);
+  const Mis2Result& mis2_result = mis2_.run_masked(g, active_);
   agg.phase2_iterations = mis2_result.iterations;
 
   auto unagg_neighbors = [&](ordinal_t r) {
     ordinal_t count = 0;
     for (ordinal_t w : g.row(r)) {
-      if (active[static_cast<std::size_t>(w)]) ++count;
+      if (active_[static_cast<std::size_t>(w)]) ++count;
     }
     return count;
   };
@@ -96,39 +116,38 @@ Aggregation aggregate_mis2(graph::GraphView g, const Mis2Options& opts) {
   // Keep only secondary roots with at least 2 leftover neighbors; smaller
   // aggregates would increase fill-in during multigrid smoothing (paper
   // §III-B).
-  std::vector<ordinal_t> accepted;
-  par::compact_into(
+  par::compact_into_scratch(
       static_cast<ordinal_t>(mis2_result.members.size()),
       [&](ordinal_t i) {
         return unagg_neighbors(mis2_result.members[static_cast<std::size_t>(i)]) >= 2;
       },
-      [&](ordinal_t i) { return mis2_result.members[static_cast<std::size_t>(i)]; }, accepted);
+      [&](ordinal_t i) { return mis2_result.members[static_cast<std::size_t>(i)]; }, accepted_,
+      flags_);
 
-  const ordinal_t base = mis1.set_size();
-  par::parallel_for(static_cast<ordinal_t>(accepted.size()), [&](ordinal_t i) {
-    const ordinal_t r = accepted[static_cast<std::size_t>(i)];
+  par::parallel_for(static_cast<ordinal_t>(accepted_.size()), [&](ordinal_t i) {
+    const ordinal_t r = accepted_[static_cast<std::size_t>(i)];
     const ordinal_t id = base + i;
     agg.labels[static_cast<std::size_t>(r)] = id;
     for (ordinal_t w : g.row(r)) {
-      if (active[static_cast<std::size_t>(w)]) {
+      if (active_[static_cast<std::size_t>(w)]) {
         agg.labels[static_cast<std::size_t>(w)] = id;
       }
     }
   });
 
-  agg.num_aggregates = base + static_cast<ordinal_t>(accepted.size());
-  agg.roots = mis1.members;
-  agg.roots.insert(agg.roots.end(), accepted.begin(), accepted.end());
+  agg.num_aggregates = base + static_cast<ordinal_t>(accepted_.size());
+  agg.roots.insert(agg.roots.end(), accepted_.begin(), accepted_.end());
 
   // --- Phase 3: cleanup against immutable tentative labels ---------------
-  const std::vector<ordinal_t> tent = agg.labels;
+  tent_.assign(agg.labels.begin(), agg.labels.end());
+  const std::vector<ordinal_t>& tent = tent_;
 
   // Aggregate sizes under the tentative labels (serial histogram: O(n)
   // integer counting, negligible next to the coupling pass).
-  std::vector<ordinal_t> agg_size(static_cast<std::size_t>(agg.num_aggregates), 0);
+  agg_size_.assign(static_cast<std::size_t>(agg.num_aggregates), 0);
   for (ordinal_t v = 0; v < n; ++v) {
     const ordinal_t a = tent[static_cast<std::size_t>(v)];
-    if (a != invalid_ordinal) ++agg_size[static_cast<std::size_t>(a)];
+    if (a != invalid_ordinal) ++agg_size_[static_cast<std::size_t>(a)];
   }
 
   par::parallel_for(n, [&](ordinal_t v) {
@@ -153,7 +172,7 @@ Aggregation aggregate_mis2(graph::GraphView g, const Mis2Options& opts) {
       std::size_t j = i;
       while (j < nbr_labels.size() && nbr_labels[j] == a) ++j;
       const ordinal_t coupling = static_cast<ordinal_t>(j - i);
-      const ordinal_t size = agg_size[static_cast<std::size_t>(a)];
+      const ordinal_t size = agg_size_[static_cast<std::size_t>(a)];
       // Max coupling; tie -> min tentative size; tie -> min id (ids are
       // scanned ascending, so strict inequalities keep the first).
       if (coupling > best_coupling ||
@@ -168,6 +187,83 @@ Aggregation aggregate_mis2(graph::GraphView g, const Mis2Options& opts) {
   });
 
   return agg;
+}
+
+const Aggregation& CoarsenHandle::aggregate_hem(graph::GraphView g,
+                                                std::span<const ordinal_t> edge_weight,
+                                                std::uint64_t seed) {
+  assert(g.num_rows == g.num_cols);
+  assert(edge_weight.empty() ||
+         edge_weight.size() == static_cast<std::size_t>(g.num_entries()));
+  const ordinal_t n = g.num_rows;
+  Aggregation& agg = agg_;
+  agg.phase1_iterations = 0;
+  agg.phase2_iterations = 0;
+
+  mate_.assign(static_cast<std::size_t>(n), invalid_ordinal);
+
+  // Hashed visit order decorrelates the matching from vertex numbering.
+  order_.resize(static_cast<std::size_t>(n));
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [&](ordinal_t a, ordinal_t b) {
+    const std::uint64_t ha = rng::hash_xorshift_star(seed, static_cast<std::uint64_t>(a));
+    const std::uint64_t hb = rng::hash_xorshift_star(seed, static_cast<std::uint64_t>(b));
+    return ha != hb ? ha < hb : a < b;
+  });
+
+  for (ordinal_t v : order_) {
+    if (mate_[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    ordinal_t best = invalid_ordinal;
+    ordinal_t best_w = 0;
+    for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
+      const ordinal_t u = g.entries[static_cast<std::size_t>(j)];
+      if (mate_[static_cast<std::size_t>(u)] != invalid_ordinal) continue;
+      const ordinal_t w = edge_weight.empty() ? 1 : edge_weight[static_cast<std::size_t>(j)];
+      if (w > best_w || (w == best_w && (best == invalid_ordinal || u < best))) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best != invalid_ordinal) {
+      mate_[static_cast<std::size_t>(v)] = best;
+      mate_[static_cast<std::size_t>(best)] = v;
+    }
+  }
+
+  // Assign coarse ids: pairs and singletons in vertex order; the root of
+  // each aggregate is its lower-numbered member.
+  agg.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
+  agg.roots.clear();
+  ordinal_t num_coarse = 0;
+  for (ordinal_t v = 0; v < n; ++v) {
+    if (agg.labels[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
+    const ordinal_t id = num_coarse++;
+    agg.labels[static_cast<std::size_t>(v)] = id;
+    agg.roots.push_back(v);
+    const ordinal_t u = mate_[static_cast<std::size_t>(v)];
+    if (u != invalid_ordinal) agg.labels[static_cast<std::size_t>(u)] = id;
+  }
+  agg.num_aggregates = num_coarse;
+  return agg;
+}
+
+Aggregation aggregate_basic(graph::GraphView g, const Mis2Options& opts) {
+  CoarsenHandle handle(opts);
+  handle.aggregate_basic(g);
+  return handle.take_aggregation();
+}
+
+Aggregation aggregate_from_mis(graph::GraphView g, const Mis2Result& mis) {
+  Aggregation agg;
+  std::vector<ordinal_t> snapshot;
+  build_basic(g, mis, agg, snapshot);
+  return agg;
+}
+
+Aggregation aggregate_mis2(graph::GraphView g, const Mis2Options& opts) {
+  CoarsenHandle handle(opts);
+  handle.aggregate_mis2(g);
+  return handle.take_aggregation();
 }
 
 AggregationStats aggregation_stats(const Aggregation& agg) {

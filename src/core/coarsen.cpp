@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 
+#include "core/coarsener.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace parmis::core {
@@ -95,16 +97,21 @@ graph::CrsGraph coarse_graph(graph::GraphView g, const Aggregation& agg) {
   return c;
 }
 
-MultilevelHierarchy multilevel_coarsen(graph::GraphView g, const MultilevelOptions& opts) {
+MultilevelHierarchy multilevel_coarsen(graph::GraphView g, const MultilevelOptions& opts,
+                                       CoarsenHandle& handle) {
   MultilevelHierarchy h;
   graph::GraphView view = g;
+  const std::unique_ptr<Coarsener> coarsener = make_coarsener(opts.coarsener);
+  CoarsenOptions copts;
+  copts.mis2 = opts.mis2;
+  copts.hem_seed = opts.mis2.seed + 1;
 
   for (int level = 0; level < opts.max_levels; ++level) {
     if (view.num_rows <= opts.target_vertices) break;
 
     CoarsenLevel lvl;
-    lvl.aggregation = opts.use_algorithm3 ? aggregate_mis2(view, opts.mis2)
-                                          : aggregate_basic(view, opts.mis2);
+    (void)coarsener->run(view, {}, handle, copts);
+    lvl.aggregation = handle.take_aggregation();  // move, not copy: the level owns it
     // Stall guard: require at least 5% reduction to continue.
     if (lvl.aggregation.num_aggregates >= view.num_rows ||
         static_cast<double>(lvl.aggregation.num_aggregates) > 0.95 * view.num_rows) {
@@ -117,6 +124,11 @@ MultilevelHierarchy multilevel_coarsen(graph::GraphView g, const MultilevelOptio
     view = h.levels.back().graph;
   }
   return h;
+}
+
+MultilevelHierarchy multilevel_coarsen(graph::GraphView g, const MultilevelOptions& opts) {
+  CoarsenHandle handle(opts.mis2);
+  return multilevel_coarsen(g, opts, handle);
 }
 
 }  // namespace parmis::core

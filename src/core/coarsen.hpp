@@ -9,6 +9,7 @@
 /// Gauss-Seidel, and — applied recursively — the coarsening loop used in
 /// multilevel partitioning (Gilbert et al., the paper's §II/VII use case).
 
+#include <string>
 #include <vector>
 
 #include "core/aggregation.hpp"
@@ -36,13 +37,16 @@ struct CoarsenLevel {
   graph::CrsGraph graph;     ///< the coarse graph it produced
 };
 
-/// Recursive MIS-2 coarsening: aggregate + contract until the graph has at
-/// most `target_vertices` vertices or `max_levels` levels were produced or
+/// Recursive coarsening: aggregate + contract until the graph has at most
+/// `target_vertices` vertices or `max_levels` levels were produced or
 /// coarsening stalls (< 5% reduction).
 struct MultilevelOptions {
   ordinal_t target_vertices = 64;
   int max_levels = 64;
-  bool use_algorithm3 = true;  ///< Algorithm 3 vs Algorithm 2 aggregation
+  /// Registry name of the per-level coarsening scheme (see
+  /// `core/coarsener.hpp`): "mis2" (Algorithm 3, the default), "mis2-basic"
+  /// (Algorithm 2), "hem", or any future registered scheme.
+  std::string coarsener = "mis2";
   Mis2Options mis2;
 };
 
@@ -58,6 +62,14 @@ struct MultilevelHierarchy {
   }
 };
 
+/// Recursive coarsening through a caller-provided handle: every level's
+/// aggregation reuses the handle's scratch, so only the per-level coarse
+/// graphs themselves allocate.
+[[nodiscard]] MultilevelHierarchy multilevel_coarsen(graph::GraphView g,
+                                                     const MultilevelOptions& opts,
+                                                     CoarsenHandle& handle);
+
+/// Recursive coarsening with a transient handle.
 [[nodiscard]] MultilevelHierarchy multilevel_coarsen(graph::GraphView g,
                                                      const MultilevelOptions& opts = {});
 

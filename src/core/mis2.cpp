@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-#include "core/status_tuple.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 #include "parallel/parallel_scan.hpp"
@@ -10,6 +9,14 @@
 #include "random/hash.hpp"
 
 namespace parmis::core {
+
+std::size_t Mis2Workspace::capacity_bytes() const {
+  return row_packed.capacity() * sizeof(status_word_t) +
+         col_packed.capacity() * sizeof(status_word_t) +
+         row_wide.capacity() * sizeof(WideTuple) + col_wide.capacity() * sizeof(WideTuple) +
+         wl1.capacity() * sizeof(ordinal_t) + wl2.capacity() * sizeof(ordinal_t) +
+         compacted.capacity() * sizeof(ordinal_t) + flags.capacity() * sizeof(std::int64_t);
+}
 
 namespace {
 
@@ -22,8 +29,11 @@ struct PackedPolicy {
   PriorityScheme scheme;
   std::uint64_t seed;
 
-  PackedPolicy(ordinal_t n, const Mis2Options& opts)
-      : codec(n), scheme(opts.priority), seed(opts.seed) {}
+  PackedPolicy(ordinal_t n, const Mis2Options& opts, std::uint64_t ctx_seed)
+      : codec(n), scheme(opts.priority), seed(opts.seed ^ ctx_seed) {}
+
+  static std::vector<tuple_t>& rows(Mis2Workspace& ws) { return ws.row_packed; }
+  static std::vector<tuple_t>& cols(Mis2Workspace& ws) { return ws.col_packed; }
 
   [[nodiscard]] tuple_t fresh(ordinal_t v, int iter) const {
     const std::uint64_t it =
@@ -54,7 +64,11 @@ struct WidePolicy {
   PriorityScheme scheme;
   std::uint64_t seed;
 
-  WidePolicy(ordinal_t, const Mis2Options& opts) : scheme(opts.priority), seed(opts.seed) {}
+  WidePolicy(ordinal_t, const Mis2Options& opts, std::uint64_t ctx_seed)
+      : scheme(opts.priority), seed(opts.seed ^ ctx_seed) {}
+
+  static std::vector<tuple_t>& rows(Mis2Workspace& ws) { return ws.row_wide; }
+  static std::vector<tuple_t>& cols(Mis2Workspace& ws) { return ws.col_wide; }
 
   [[nodiscard]] tuple_t fresh(ordinal_t v, int iter) const {
     const std::uint64_t it =
@@ -77,16 +91,18 @@ struct WidePolicy {
 };
 
 /// Algorithm 1 body, shared by all option combinations. `Masked` selects
-/// induced-subgraph semantics; `P` selects the tuple representation.
+/// induced-subgraph semantics; `P` selects the tuple representation. All
+/// scratch lives in `ws` (resized, never reallocated when warm); the
+/// result is written into `result` in place.
 template <typename P, bool Masked>
-Mis2Result mis2_impl(graph::GraphView g, const Mis2Options& opts,
-                     std::span<const char> active) {
+void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
+               std::span<const char> active, Mis2Workspace& ws, Mis2Result& result) {
   assert(g.num_rows == g.num_cols);
   if constexpr (Masked) {
     assert(active.size() == static_cast<std::size_t>(g.num_rows));
   }
   const ordinal_t n = g.num_rows;
-  const P pol(n, opts);
+  const P pol(n, opts, ctx.seed);
   using tuple_t = typename P::tuple_t;
 
   auto is_active = [&](ordinal_t v) {
@@ -98,8 +114,10 @@ Mis2Result mis2_impl(graph::GraphView g, const Mis2Options& opts,
     }
   };
 
-  std::vector<tuple_t> row_t(static_cast<std::size_t>(n));
-  std::vector<tuple_t> col_m(static_cast<std::size_t>(n));
+  std::vector<tuple_t>& row_t = P::rows(ws);
+  std::vector<tuple_t>& col_m = P::cols(ws);
+  row_t.resize(static_cast<std::size_t>(n));
+  col_m.resize(static_cast<std::size_t>(n));
   par::parallel_for(n, [&](ordinal_t v) {
     // Inactive vertices are permanently OUT; their col_m is never consulted
     // because masked neighbor loops skip them entirely.
@@ -109,10 +127,11 @@ Mis2Result mis2_impl(graph::GraphView g, const Mis2Options& opts,
   });
 
   // Whether the SIMD inner loops are eligible: packed tuples, no mask, and
-  // the paper's average-degree heuristic (§V-D).
+  // the paper's average-degree heuristic (§V-D) — threshold from the
+  // executing context.
   const bool use_simd = [&] {
     if constexpr (P::is_packed && !Masked) {
-      return opts.simd && g.avg_degree() >= par::simd_degree_threshold;
+      return opts.simd && g.avg_degree() >= ctx.simd_degree_threshold;
     } else {
       return false;
     }
@@ -185,26 +204,30 @@ Mis2Result mis2_impl(graph::GraphView g, const Mis2Options& opts,
   int iter = 0;
   if (opts.use_worklists) {
     // §V-B: worklist1 = undecided rows, worklist2 = live columns.
-    std::vector<ordinal_t> wl1, wl2, next;
-    par::compact_into(
-        n, [&](ordinal_t v) { return is_active(v); }, [](ordinal_t v) { return v; }, wl1);
-    wl2 = wl1;
+    std::vector<ordinal_t>& wl1 = ws.wl1;
+    std::vector<ordinal_t>& wl2 = ws.wl2;
+    std::vector<ordinal_t>& next = ws.compacted;
+    par::compact_into_scratch(
+        n, [&](ordinal_t v) { return is_active(v); }, [](ordinal_t v) { return v; }, wl1,
+        ws.flags);
+    wl2.assign(wl1.begin(), wl1.end());
 
     // Persistent compaction buffers: the scan runs every iteration, so the
-    // flag/output storage is allocated once and reused (worklists only
+    // flag/output storage is sized once per run and reused (worklists only
     // shrink).
-    std::vector<std::int64_t> flags(wl1.size());
+    ws.flags.resize(wl1.size());
     next.resize(wl1.size());
     auto filter_worklist = [&](std::vector<ordinal_t>& wl, auto&& keep) {
       const std::int64_t len = static_cast<std::int64_t>(wl.size());
       par::parallel_for(len, [&](std::int64_t i) {
-        flags[static_cast<std::size_t>(i)] = keep(wl[static_cast<std::size_t>(i)]) ? 1 : 0;
+        ws.flags[static_cast<std::size_t>(i)] = keep(wl[static_cast<std::size_t>(i)]) ? 1 : 0;
       });
       const std::int64_t total = par::exclusive_scan_inplace(
-          std::span<std::int64_t>(flags.data(), static_cast<std::size_t>(len)));
+          std::span<std::int64_t>(ws.flags.data(), static_cast<std::size_t>(len)));
       par::parallel_for(len, [&](std::int64_t i) {
-        const std::int64_t pos = flags[static_cast<std::size_t>(i)];
-        const std::int64_t pos_next = (i + 1 < len) ? flags[static_cast<std::size_t>(i) + 1] : total;
+        const std::int64_t pos = ws.flags[static_cast<std::size_t>(i)];
+        const std::int64_t pos_next =
+            (i + 1 < len) ? ws.flags[static_cast<std::size_t>(i) + 1] : total;
         if (pos_next != pos) next[static_cast<std::size_t>(pos)] = wl[static_cast<std::size_t>(i)];
       });
       wl.resize(static_cast<std::size_t>(total));
@@ -253,35 +276,51 @@ Mis2Result mis2_impl(graph::GraphView g, const Mis2Options& opts,
 
   // --- Extract result ----------------------------------------------------
 
-  Mis2Result result;
   result.iterations = iter;
   result.in_set.assign(static_cast<std::size_t>(n), 0);
   par::parallel_for(n, [&](ordinal_t v) {
     result.in_set[static_cast<std::size_t>(v)] = P::is_in(row_t[static_cast<std::size_t>(v)]) ? 1 : 0;
   });
-  par::compact_into(
+  par::compact_into_scratch(
       n, [&](ordinal_t v) { return result.in_set[static_cast<std::size_t>(v)] != 0; },
-      [](ordinal_t v) { return v; }, result.members);
-  return result;
+      [](ordinal_t v) { return v; }, result.members, ws.flags);
 }
 
 template <bool Masked>
-Mis2Result dispatch(graph::GraphView g, const Mis2Options& opts, std::span<const char> active) {
+void dispatch(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
+              std::span<const char> active, Mis2Workspace& ws, Mis2Result& result) {
   if (opts.packed_tuples) {
-    return mis2_impl<PackedPolicy, Masked>(g, opts, active);
+    mis2_impl<PackedPolicy, Masked>(g, opts, ctx, active, ws, result);
+  } else {
+    mis2_impl<WidePolicy, Masked>(g, opts, ctx, active, ws, result);
   }
-  return mis2_impl<WidePolicy, Masked>(g, opts, active);
 }
 
 }  // namespace
 
+const Mis2Result& Mis2Handle::run(graph::GraphView g) {
+  Context::Scope scope(ctx_);
+  dispatch<false>(g, opts_, ctx_, {}, ws_, result_);
+  return result_;
+}
+
+const Mis2Result& Mis2Handle::run_masked(graph::GraphView g, std::span<const char> active) {
+  Context::Scope scope(ctx_);
+  dispatch<true>(g, opts_, ctx_, active, ws_, result_);
+  return result_;
+}
+
 Mis2Result mis2(graph::GraphView g, const Mis2Options& opts) {
-  return dispatch<false>(g, opts, {});
+  Mis2Handle handle(opts);
+  handle.run(g);
+  return handle.take_result();
 }
 
 Mis2Result mis2_masked(graph::GraphView g, std::span<const char> active,
                        const Mis2Options& opts) {
-  return dispatch<true>(g, opts, active);
+  Mis2Handle handle(opts);
+  handle.run_masked(g, active);
+  return handle.take_result();
 }
 
 }  // namespace parmis::core

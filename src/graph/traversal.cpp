@@ -1,39 +1,121 @@
 #include "graph/traversal.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <span>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_scan.hpp"
 
 namespace parmis::graph {
 
-std::vector<ordinal_t> bfs_distances(GraphView g, ordinal_t source) {
-  assert(source >= 0 && source < g.num_rows);
-  std::vector<ordinal_t> dist(static_cast<std::size_t>(g.num_rows), invalid_ordinal);
-  std::vector<ordinal_t> frontier{source};
-  std::vector<ordinal_t> next;
-  dist[static_cast<std::size_t>(source)] = 0;
-  ordinal_t level = 0;
-  while (!frontier.empty()) {
-    ++level;
-    next.clear();
-    for (ordinal_t v : frontier) {
-      for (ordinal_t w : g.row(v)) {
-        if (dist[static_cast<std::size_t>(w)] == invalid_ordinal) {
-          dist[static_cast<std::size_t>(w)] = level;
-          next.push_back(w);
-        }
+/// Serial frontier expansion, used below the parallel threshold.
+namespace {
+
+void bfs_level_serial(GraphView g, std::vector<ordinal_t>& dist,
+                      const std::vector<ordinal_t>& frontier, std::vector<ordinal_t>& next,
+                      ordinal_t level) {
+  next.clear();
+  for (ordinal_t v : frontier) {
+    for (ordinal_t w : g.row(v)) {
+      if (dist[static_cast<std::size_t>(w)] == invalid_ordinal) {
+        dist[static_cast<std::size_t>(w)] = level;
+        next.push_back(w);
       }
     }
-    frontier.swap(next);
   }
+}
+
+/// Frontier size below which the parallel machinery (degree scan + gather
+/// + claim + compaction) costs more than the serial loop.
+constexpr std::size_t bfs_parallel_threshold = 512;
+
+}  // namespace
+
+void bfs_distances_into(GraphView g, ordinal_t source, std::vector<ordinal_t>& dist,
+                        BfsWorkspace& ws) {
+  assert(source >= 0 && source < g.num_rows);
+  dist.assign(static_cast<std::size_t>(g.num_rows), invalid_ordinal);
+  ws.frontier.assign(1, source);
+  dist[static_cast<std::size_t>(source)] = 0;
+  ordinal_t level = 0;
+  while (!ws.frontier.empty()) {
+    ++level;
+    const std::int64_t m = static_cast<std::int64_t>(ws.frontier.size());
+    if (ws.frontier.size() < bfs_parallel_threshold || !par::Execution::is_parallel()) {
+      bfs_level_serial(g, dist, ws.frontier, ws.next, level);
+      ws.frontier.swap(ws.next);
+      continue;
+    }
+
+    // 1. Gather every frontier neighbor into one contiguous candidate
+    //    array (degree scan + race-free scatter: each frontier vertex owns
+    //    a disjoint slice).
+    ws.cand_offsets.resize(static_cast<std::size_t>(m));
+    par::parallel_for(m, [&](std::int64_t i) {
+      const ordinal_t v = ws.frontier[static_cast<std::size_t>(i)];
+      ws.cand_offsets[static_cast<std::size_t>(i)] = g.row_map[v + 1] - g.row_map[v];
+    });
+    const offset_t total = par::exclusive_scan_inplace(
+        std::span<offset_t>(ws.cand_offsets.data(), static_cast<std::size_t>(m)));
+    ws.candidates.resize(static_cast<std::size_t>(total));
+    par::parallel_for(m, [&](std::int64_t i) {
+      const ordinal_t v = ws.frontier[static_cast<std::size_t>(i)];
+      offset_t o = ws.cand_offsets[static_cast<std::size_t>(i)];
+      for (ordinal_t w : g.row(v)) {
+        ws.candidates[static_cast<std::size_t>(o++)] = w;
+      }
+    });
+
+    // 2. Claim undiscovered candidates with a relaxed CAS. Duplicate
+    //    candidates race for the claim, but every winner writes the same
+    //    value (`level`), so the distance labels are exact BFS levels
+    //    regardless of scheduling; only which duplicate *position* enters
+    //    the next frontier varies, and nothing downstream observes
+    //    frontier order.
+    ws.flags.resize(static_cast<std::size_t>(total));
+    par::parallel_for(total, [&](offset_t j) {
+      const ordinal_t c = ws.candidates[static_cast<std::size_t>(j)];
+      std::atomic_ref<ordinal_t> slot(dist[static_cast<std::size_t>(c)]);
+      ordinal_t expected = invalid_ordinal;
+      const bool won =
+          slot.load(std::memory_order_relaxed) == invalid_ordinal &&
+          slot.compare_exchange_strong(expected, level, std::memory_order_relaxed);
+      ws.flags[static_cast<std::size_t>(j)] = won ? 1 : 0;
+    });
+
+    // 3. Compact the winners into the next frontier.
+    const std::int64_t nf = par::exclusive_scan_inplace(
+        std::span<std::int64_t>(ws.flags.data(), static_cast<std::size_t>(total)));
+    ws.next.resize(static_cast<std::size_t>(nf));
+    par::parallel_for(total, [&](offset_t j) {
+      const std::int64_t pos = ws.flags[static_cast<std::size_t>(j)];
+      const std::int64_t pos_next =
+          (j + 1 < total) ? ws.flags[static_cast<std::size_t>(j) + 1] : nf;
+      if (pos_next != pos) {
+        ws.next[static_cast<std::size_t>(pos)] = ws.candidates[static_cast<std::size_t>(j)];
+      }
+    });
+    ws.frontier.swap(ws.next);
+  }
+}
+
+std::vector<ordinal_t> bfs_distances(GraphView g, ordinal_t source) {
+  std::vector<ordinal_t> dist;
+  BfsWorkspace ws;
+  bfs_distances_into(g, source, dist, ws);
   return dist;
 }
 
 ordinal_t pseudo_peripheral_vertex(GraphView g, ordinal_t start) {
   ordinal_t current = start;
   ordinal_t ecc = -1;
+  std::vector<ordinal_t> dist;
+  BfsWorkspace ws;
   // Repeatedly jump to the farthest vertex until eccentricity stops
   // growing; converges in a handful of sweeps on mesh-like graphs.
   for (int sweep = 0; sweep < 8; ++sweep) {
-    const std::vector<ordinal_t> dist = bfs_distances(g, current);
+    bfs_distances_into(g, current, dist, ws);
     ordinal_t far = current, far_d = 0;
     for (ordinal_t v = 0; v < g.num_rows; ++v) {
       const ordinal_t d = dist[static_cast<std::size_t>(v)];

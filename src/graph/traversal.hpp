@@ -3,14 +3,36 @@
 /// \brief BFS utilities and connected components (substrate for the
 /// multilevel partitioner and for structural tests).
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/crs.hpp"
 
 namespace parmis::graph {
 
+/// Scratch for the level-synchronous parallel BFS, reusable across
+/// traversals (the farthest-point seed sampler runs k of them back to
+/// back).
+struct BfsWorkspace {
+  std::vector<ordinal_t> frontier;
+  std::vector<ordinal_t> next;
+  std::vector<ordinal_t> candidates;
+  std::vector<offset_t> cand_offsets;
+  std::vector<std::int64_t> flags;
+};
+
 /// BFS hop distances from `source`; unreachable vertices get -1.
 [[nodiscard]] std::vector<ordinal_t> bfs_distances(GraphView g, ordinal_t source);
+
+/// BFS hop distances written into `dist` (resized to `g.num_rows`), with
+/// caller-provided scratch: warm repeated traversals are allocation-free.
+/// Each level expands the whole frontier in parallel; newly discovered
+/// vertices are claimed with relaxed atomic compare-and-swap, so only the
+/// *order* of the internal frontier depends on the race winner — the
+/// distance labels themselves are exact BFS levels and therefore
+/// bit-identical for any backend and thread count.
+void bfs_distances_into(GraphView g, ordinal_t source, std::vector<ordinal_t>& dist,
+                        BfsWorkspace& ws);
 
 /// A vertex approximately maximizing eccentricity, found by repeated BFS
 /// ("pseudo-peripheral"); the classic seed for graph-growing bisection.

@@ -1,0 +1,62 @@
+#include "parallel/context.hpp"
+
+namespace parmis {
+
+Context Context::default_ctx() {
+  Context ctx;
+  ctx.backend = par::Execution::backend();
+  ctx.num_threads = par::Execution::thread_setting();
+  return ctx;
+}
+
+Context Context::serial() {
+  Context ctx;
+  ctx.backend = par::Backend::Serial;
+  ctx.num_threads = 1;
+  return ctx;
+}
+
+Context Context::openmp(int threads) {
+  Context ctx;
+  ctx.backend = par::Backend::OpenMP;
+  ctx.num_threads = threads;
+  return ctx;
+}
+
+Context::Validation Context::validate() const {
+  Validation v;
+  v.requested = backend;
+  v.effective = backend;
+#ifndef PARMIS_HAVE_OPENMP
+  if (backend == par::Backend::OpenMP) {
+    v.effective = par::Backend::Serial;
+    v.fell_back = true;
+    v.message = "OpenMP backend requested but this build has no PARMIS_HAVE_OPENMP; "
+                "falling back to Serial";
+  }
+#endif
+  if (v.effective == par::Backend::Serial) {
+    v.effective_threads = 1;
+  } else {
+    v.effective_threads = num_threads > 0 ? num_threads : par::Execution::max_threads();
+  }
+  return v;
+}
+
+Context::Scope::Scope(const Context& ctx)
+    // Save the *requested* backend, not the effective one: restoring
+    // through set_backend() then reproduces both fields exactly, so a
+    // surrounding fallback (requested OpenMP, effective Serial) stays
+    // visible through requested_backend() after the scope exits.
+    : saved_backend_(par::Execution::requested_backend()),
+      saved_threads_(par::Execution::thread_setting()) {
+  par::Execution::set_backend(ctx.backend);
+  par::Execution::set_num_threads(ctx.num_threads);
+}
+
+Context::Scope::~Scope() {
+  par::Execution::set_backend(saved_backend_);
+  par::Execution::set_num_threads(saved_threads_);
+}
+
+}  // namespace parmis

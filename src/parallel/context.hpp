@@ -1,0 +1,98 @@
+#pragma once
+/// \file context.hpp
+/// \brief Explicit, value-type execution contexts.
+///
+/// The library's parallel primitives historically read one global
+/// configuration (`par::Execution`). That singleton still exists — it is
+/// what `Context::default_ctx()` snapshots — but the core algorithms now
+/// take a `Context` by value and *pin* it for the duration of a call with
+/// `Context::Scope`, so two callers (a multilevel hierarchy on OpenMP and a
+/// service thread forced Serial, say) no longer fight over process-global
+/// state. A `Context` is cheap to copy, compare, and store inside handles
+/// (`core::Mis2Handle`, `core::CoarsenHandle`).
+///
+/// Determinism contract: every algorithm in this library produces
+/// bit-identical results under any `Context`, so the context only selects
+/// *how* the work runs (backend, thread count, SIMD eligibility), never
+/// *what* it computes. The one exception is `seed`, which is deliberately
+/// part of the result: it is folded into the priority hashes so distinct
+/// seeds give distinct (but individually reproducible) outputs.
+
+#include <cstdint>
+#include <string>
+
+#include "parallel/execution.hpp"
+#include "parallel/simd.hpp"
+
+namespace parmis {
+
+/// Value-type execution configuration, threaded explicitly through the
+/// core API (MIS-2, aggregation, coarsening, and everything built on them).
+struct Context {
+  /// Requested backend. May silently be unavailable in this build; use
+  /// `validate()` to learn what will actually run.
+  par::Backend backend =
+#ifdef PARMIS_HAVE_OPENMP
+      par::Backend::OpenMP;
+#else
+      par::Backend::Serial;
+#endif
+
+  /// OpenMP worker-thread count; `<= 0` means the hardware default.
+  int num_threads = 0;
+
+  /// Average-degree threshold for the vector-level (SIMD) inner loops
+  /// (paper §V-D). Kernels compare `avg_degree() >= simd_degree_threshold`.
+  double simd_degree_threshold = par::simd_degree_threshold;
+
+  /// Extra seed folded into every priority hash issued under this context
+  /// (XORed with per-call option seeds). 0 reproduces the paper's
+  /// generator.
+  std::uint64_t seed = 0;
+
+  /// Snapshot of the process-global `par::Execution` configuration — the
+  /// migration bridge: code that never mentions contexts keeps its exact
+  /// pre-Context behavior.
+  [[nodiscard]] static Context default_ctx();
+
+  /// Single-threaded reference context.
+  [[nodiscard]] static Context serial();
+
+  /// OpenMP context with `threads` workers (`<= 0` = hardware default).
+  /// In builds without PARMIS_HAVE_OPENMP this request falls back to
+  /// Serial at activation; `validate()` reports the fallback.
+  [[nodiscard]] static Context openmp(int threads = 0);
+
+  /// What this context resolves to in the current build.
+  struct Validation {
+    par::Backend requested{par::Backend::Serial};  ///< what the context asked for
+    par::Backend effective{par::Backend::Serial};  ///< what will actually run
+    int effective_threads{1};  ///< resolved worker count (>= 1)
+    bool fell_back{false};     ///< requested backend unavailable in this build
+    std::string message;       ///< human-readable summary (non-empty iff fell_back)
+  };
+
+  /// Resolve the requested configuration against compiled-in backend
+  /// support without mutating any global state.
+  [[nodiscard]] Validation validate() const;
+
+  /// RAII activation: pins the global execution configuration to this
+  /// context for the current scope, restoring the previous configuration
+  /// on destruction. This is how explicit contexts reach the
+  /// `parallel_for`/`reduce`/`scan` primitive layer.
+  class Scope {
+   public:
+    explicit Scope(const Context& ctx);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    par::Backend saved_backend_;
+    int saved_threads_;
+  };
+
+  friend bool operator==(const Context&, const Context&) = default;
+};
+
+}  // namespace parmis

@@ -8,13 +8,20 @@ namespace parmis::par {
 
 namespace {
 
+// Thread-local: each OS thread owns its execution configuration, so two
+// threads pinning different Contexts (one handle per thread) never race or
+// observe each other's backend mid-run. OpenMP worker threads spawned by a
+// parallel region never consult this state — only the thread entering the
+// region does.
 #ifdef PARMIS_HAVE_OPENMP
-Backend g_backend = Backend::OpenMP;
+thread_local Backend g_backend = Backend::OpenMP;
 #else
-Backend g_backend = Backend::Serial;
+thread_local Backend g_backend = Backend::Serial;
 #endif
 
-int g_threads = 0;  // 0 = hardware default
+thread_local Backend g_requested = g_backend;
+
+thread_local int g_threads = 0;  // 0 = hardware default
 
 int hardware_threads() {
 #ifdef PARMIS_HAVE_OPENMP
@@ -28,11 +35,15 @@ int hardware_threads() {
 
 Backend Execution::backend() { return g_backend; }
 
-void Execution::set_backend(Backend b) {
+Backend Execution::requested_backend() { return g_requested; }
+
+Backend Execution::set_backend(Backend b) {
+  g_requested = b;
 #ifndef PARMIS_HAVE_OPENMP
   b = Backend::Serial;
 #endif
   g_backend = b;
+  return g_backend;
 }
 
 int Execution::num_threads() {
@@ -42,6 +53,8 @@ int Execution::num_threads() {
 
 void Execution::set_num_threads(int n) { g_threads = n > 0 ? n : 0; }
 
+int Execution::thread_setting() { return g_threads; }
+
 int Execution::max_threads() { return hardware_threads(); }
 
 bool Execution::is_parallel() {
@@ -49,13 +62,15 @@ bool Execution::is_parallel() {
 }
 
 ScopedExecution::ScopedExecution(Backend b, int threads)
-    : saved_backend_(Execution::backend()), saved_threads_(g_threads) {
+    : saved_backend_(Execution::backend()), saved_requested_(g_requested),
+      saved_threads_(g_threads) {
   Execution::set_backend(b);
   Execution::set_num_threads(threads);
 }
 
 ScopedExecution::~ScopedExecution() {
   g_backend = saved_backend_;
+  g_requested = saved_requested_;
   g_threads = saved_threads_;
 }
 

@@ -18,24 +18,40 @@ enum class Backend {
   OpenMP,  ///< multi-threaded host backend
 };
 
-/// Runtime-global execution configuration.
+/// Runtime execution configuration, *per OS thread* (thread-local): each
+/// thread that enters the library owns its own backend/thread-count
+/// setting, so concurrent callers pinning different `Context`s never race.
+/// A freshly spawned thread starts from the build default, not from the
+/// spawning thread's setting — capture a `Context` and activate it on the
+/// new thread to hand the configuration over.
 ///
 /// Defaults to the OpenMP backend with all hardware threads when compiled
 /// with PARMIS_HAVE_OPENMP, otherwise Serial.
 class Execution {
  public:
-  /// Currently selected backend.
+  /// Currently selected (effective) backend.
   static Backend backend();
 
-  /// Select the backend. Selecting OpenMP without PARMIS_HAVE_OPENMP
-  /// silently falls back to Serial.
-  static void set_backend(Backend b);
+  /// The backend most recently *requested* through set_backend. Differs
+  /// from backend() exactly when the request fell back (OpenMP requested
+  /// in a build without PARMIS_HAVE_OPENMP).
+  static Backend requested_backend();
+
+  /// Select the backend. Selecting OpenMP without PARMIS_HAVE_OPENMP falls
+  /// back to Serial; the fallback is surfaced through the return value
+  /// (the backend that will actually run) and requested_backend().
+  static Backend set_backend(Backend b);
 
   /// Number of worker threads the OpenMP backend will use.
   static int num_threads();
 
   /// Set OpenMP worker-thread count; `n <= 0` restores the hardware default.
   static void set_num_threads(int n);
+
+  /// The raw thread setting as last passed to set_num_threads (0 =
+  /// hardware default), before backend resolution. Save/restore this, not
+  /// num_threads(), to round-trip the configuration exactly.
+  static int thread_setting();
 
   /// Number of hardware threads available to the OpenMP backend.
   static int max_threads();
@@ -55,6 +71,7 @@ class ScopedExecution {
 
  private:
   Backend saved_backend_;
+  Backend saved_requested_;
   int saved_threads_;
 };
 

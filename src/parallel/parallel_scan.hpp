@@ -115,22 +115,27 @@ T inclusive_scan_inplace(std::span<T> data) {
   return running;
 }
 
-/// Stable parallel stream compaction: appends to `out` every `i in [0, n)`
-/// for which `pred(i)` holds, mapped through `make(i)`, preserving index
-/// order. This is the worklist-maintenance primitive from paper §V-B.
+/// Stable parallel stream compaction with caller-provided flag scratch:
+/// appends to `out` every `i in [0, n)` for which `pred(i)` holds, mapped
+/// through `make(i)`, preserving index order. `flags` is resized to `n`
+/// (reusing its capacity); pass the same vector across calls to make warm
+/// compactions allocation-free. This is the worklist-maintenance primitive
+/// from paper §V-B.
 ///
 /// Deterministic: the output order equals the serial filter order.
 template <typename Index, typename Out, typename Pred, typename Make>
-void compact_into(Index n, Pred&& pred, Make&& make, std::vector<Out>& out) {
+void compact_into_scratch(Index n, Pred&& pred, Make&& make, std::vector<Out>& out,
+                          std::vector<std::int64_t>& flags) {
   const std::int64_t len = static_cast<std::int64_t>(n);
   out.clear();
   if (len == 0) return;
 
-  std::vector<std::int64_t> flags(static_cast<std::size_t>(len));
+  flags.resize(static_cast<std::size_t>(len));
   parallel_for(len, [&](std::int64_t i) {
     flags[static_cast<std::size_t>(i)] = pred(static_cast<Index>(i)) ? 1 : 0;
   });
-  const std::int64_t total = exclusive_scan_inplace(std::span<std::int64_t>(flags));
+  const std::int64_t total = exclusive_scan_inplace(
+      std::span<std::int64_t>(flags.data(), static_cast<std::size_t>(len)));
   out.resize(static_cast<std::size_t>(total));
   parallel_for(len, [&](std::int64_t i) {
     const bool keep = (i + 1 < len ? flags[static_cast<std::size_t>(i) + 1] : total) !=
@@ -140,6 +145,13 @@ void compact_into(Index n, Pred&& pred, Make&& make, std::vector<Out>& out) {
           make(static_cast<Index>(i));
     }
   });
+}
+
+/// `compact_into_scratch` with throwaway flag scratch.
+template <typename Index, typename Out, typename Pred, typename Make>
+void compact_into(Index n, Pred&& pred, Make&& make, std::vector<Out>& out) {
+  std::vector<std::int64_t> flags;
+  compact_into_scratch(n, std::forward<Pred>(pred), std::forward<Make>(make), out, flags);
 }
 
 }  // namespace parmis::par

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <numeric>
 
 #include "parallel/parallel_for.hpp"
-#include "random/hash.hpp"
 
 namespace parmis::partition {
 
@@ -124,47 +122,14 @@ WeightedGraph coarsen_weighted(const WeightedGraph& fine, const std::vector<ordi
 }
 
 Matching heavy_edge_matching(const WeightedGraph& g, std::uint64_t seed) {
-  const ordinal_t n = g.graph.num_rows;
+  // The algorithm lives in core (CoarsenHandle::aggregate_hem, registry
+  // name "hem"); this wrapper keeps the historical Matching-shaped API.
+  core::CoarsenHandle handle;
+  handle.aggregate_hem(g.graph, g.edge_weight, seed);
+  core::Aggregation agg = handle.take_aggregation();
   Matching m;
-  std::vector<ordinal_t> mate(static_cast<std::size_t>(n), invalid_ordinal);
-
-  // Hashed visit order decorrelates the matching from vertex numbering.
-  std::vector<ordinal_t> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](ordinal_t a, ordinal_t b) {
-    const std::uint64_t ha = rng::hash_xorshift_star(seed, static_cast<std::uint64_t>(a));
-    const std::uint64_t hb = rng::hash_xorshift_star(seed, static_cast<std::uint64_t>(b));
-    return ha != hb ? ha < hb : a < b;
-  });
-
-  for (ordinal_t v : order) {
-    if (mate[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
-    ordinal_t best = invalid_ordinal;
-    ordinal_t best_w = 0;
-    for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
-      const ordinal_t u = g.graph.entries[static_cast<std::size_t>(j)];
-      if (mate[static_cast<std::size_t>(u)] != invalid_ordinal) continue;
-      const ordinal_t w = g.edge_weight[static_cast<std::size_t>(j)];
-      if (w > best_w || (w == best_w && (best == invalid_ordinal || u < best))) {
-        best = u;
-        best_w = w;
-      }
-    }
-    if (best != invalid_ordinal) {
-      mate[static_cast<std::size_t>(v)] = best;
-      mate[static_cast<std::size_t>(best)] = v;
-    }
-  }
-
-  // Assign coarse ids: pairs and singletons in vertex order.
-  m.labels.assign(static_cast<std::size_t>(n), invalid_ordinal);
-  for (ordinal_t v = 0; v < n; ++v) {
-    if (m.labels[static_cast<std::size_t>(v)] != invalid_ordinal) continue;
-    const ordinal_t id = m.num_coarse++;
-    m.labels[static_cast<std::size_t>(v)] = id;
-    const ordinal_t u = mate[static_cast<std::size_t>(v)];
-    if (u != invalid_ordinal) m.labels[static_cast<std::size_t>(u)] = id;
-  }
+  m.num_coarse = agg.num_aggregates;
+  m.labels = std::move(agg.labels);
   return m;
 }
 

@@ -33,18 +33,19 @@ PartitionResult Partitioner::run(const WeightedGraph& g, ordinal_t k,
 namespace {
 
 /// The existing multilevel recursive-bisection path, wrapped as the first
-/// registered implementation (one entry per coarsening scheme).
+/// registered implementation (one entry per coarsening scheme; the scheme
+/// is a core `Coarsener` registry name).
 class MultilevelPartitioner final : public Partitioner {
  public:
-  MultilevelPartitioner(std::string name, CoarseningScheme scheme)
-      : name_(std::move(name)), scheme_(scheme) {}
+  MultilevelPartitioner(std::string name, std::string coarsener)
+      : name_(std::move(name)), coarsener_(std::move(coarsener)) {}
 
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] PartitionResult partition(const WeightedGraph& g, ordinal_t k,
                                           const PartitionOptions& opts) const override {
     PartitionOptions o = opts;
-    o.coarsening = scheme_;
+    o.coarsener = coarsener_;
     PartitionResult r;
     r.part = partition_labels_weighted(g, k, o);
     r.k = k;
@@ -53,7 +54,7 @@ class MultilevelPartitioner final : public Partitioner {
 
  private:
   std::string name_;
-  CoarseningScheme scheme_;
+  std::string coarsener_;
 };
 
 /// Adapter for algorithms written as free labeling functions.
@@ -79,12 +80,12 @@ class FunctionPartitioner final : public Partitioner {
 };
 
 PartitionerSpec multilevel_spec(std::string name, std::string description,
-                                CoarseningScheme scheme) {
+                                std::string coarsener) {
   PartitionerSpec spec;
   spec.name = name;
   spec.description = std::move(description);
-  spec.make = [name, scheme]() -> std::unique_ptr<Partitioner> {
-    return std::make_unique<MultilevelPartitioner>(name, scheme);
+  spec.make = [name, coarsener]() -> std::unique_ptr<Partitioner> {
+    return std::make_unique<MultilevelPartitioner>(name, coarsener);
   };
   return spec;
 }
@@ -105,11 +106,15 @@ std::vector<PartitionerSpec> make_registry() {
   specs.push_back(multilevel_spec(
       "multilevel-mis2",
       "multilevel recursive bisection, MIS-2 aggregation coarsening (the paper's scheme)",
-      CoarseningScheme::Mis2Aggregation));
+      "mis2"));
   specs.push_back(multilevel_spec(
       "multilevel-hem",
       "multilevel recursive bisection, heavy-edge-matching coarsening (classical baseline)",
-      CoarseningScheme::HeavyEdgeMatching));
+      "hem"));
+  specs.push_back(multilevel_spec(
+      "multilevel-mis2basic",
+      "multilevel recursive bisection, basic MIS-2 coarsening (Algorithm 2 ablation)",
+      "mis2-basic"));
   specs.push_back(function_spec(
       "ldg", "streaming linear deterministic greedy (Stanton-Kliot), hashed stream order",
       &ldg_partition));

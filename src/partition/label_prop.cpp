@@ -5,6 +5,7 @@
 
 #include "graph/traversal.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
 #include "partition/part_loads.hpp"
 #include "random/hash.hpp"
 
@@ -16,7 +17,11 @@ namespace {
 
 /// Farthest-point (k-center) seed sampling over BFS hop distances. Seeds
 /// land in distinct components first (unreachable counts as infinitely
-/// far), then spread within components. Serial and deterministic.
+/// far), then spread within components. Parallel and deterministic: the
+/// k BFS sweeps run through the level-synchronous parallel BFS with one
+/// reused workspace, the farthest-vertex argmax is a deterministic chunked
+/// reduction (ties to the smallest id, matching the serial scan), and the
+/// running-minimum distance merge is an own-slot parallel loop.
 std::vector<ordinal_t> sample_seeds(const graph::CrsGraph& g, ordinal_t k, std::uint64_t seed) {
   const ordinal_t n = g.num_rows;
   auto far = [](ordinal_t d) { return d == invalid_ordinal ? max_ordinal : d; };
@@ -28,20 +33,29 @@ std::vector<ordinal_t> sample_seeds(const graph::CrsGraph& g, ordinal_t k, std::
                                 static_cast<std::uint64_t>(n)));
   seeds.push_back(first);
 
-  std::vector<ordinal_t> dist = graph::bfs_distances(g, first);
+  graph::BfsWorkspace bfs_ws;
+  std::vector<ordinal_t> dist;
+  std::vector<ordinal_t> nd;
+  graph::bfs_distances_into(g, first, dist, bfs_ws);
   while (static_cast<ordinal_t>(seeds.size()) < k) {
-    ordinal_t next = 0;
-    for (ordinal_t v = 1; v < n; ++v) {
-      if (far(dist[static_cast<std::size_t>(v)]) > far(dist[static_cast<std::size_t>(next)])) {
-        next = v;
-      }
-    }
-    seeds.push_back(next);
-    const std::vector<ordinal_t> nd = graph::bfs_distances(g, next);
-    for (ordinal_t v = 0; v < n; ++v) {
+    // Deterministic parallel argmax of far(dist): strictly-greater join
+    // keeps the smallest index on ties, exactly like the serial scan.
+    using FarthestCandidate = std::pair<ordinal_t, ordinal_t>;  // (far distance, vertex)
+    const FarthestCandidate next = par::parallel_reduce<FarthestCandidate>(
+        n,
+        [&](ordinal_t v) {
+          return FarthestCandidate{far(dist[static_cast<std::size_t>(v)]), v};
+        },
+        [](const FarthestCandidate& a, const FarthestCandidate& b) {
+          return b.first > a.first ? b : a;
+        },
+        FarthestCandidate{-1, 0});
+    seeds.push_back(next.second);
+    graph::bfs_distances_into(g, next.second, nd, bfs_ws);
+    par::parallel_for(n, [&](ordinal_t v) {
       dist[static_cast<std::size_t>(v)] =
           std::min(far(dist[static_cast<std::size_t>(v)]), far(nd[static_cast<std::size_t>(v)]));
-    }
+    });
   }
   return seeds;
 }

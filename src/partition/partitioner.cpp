@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/aggregation.hpp"
+#include "core/coarsener.hpp"
 #include "graph/ops.hpp"
 #include "graph/traversal.hpp"
 #include "random/hash.hpp"
@@ -142,29 +144,44 @@ std::int64_t refine_frac(const WeightedGraph& g, Bisection& b, int passes,
   return moved_total;
 }
 
-/// Coarsening labels for one level under the chosen scheme.
+/// Registry name for the options' coarsening scheme: the explicit
+/// `coarsener` string when set, the enum mapping otherwise.
+const std::string& coarsener_name(const PartitionOptions& opts) {
+  static const std::string mis2_name = "mis2";
+  static const std::string hem_name = "hem";
+  if (!opts.coarsener.empty()) return opts.coarsener;
+  return opts.coarsening == CoarseningScheme::HeavyEdgeMatching ? hem_name : mis2_name;
+}
+
+/// Coarsening labels for one level, routed through the core `Coarsener`
+/// registry. `coarsener` is constructed once per partition call;
+/// `handle` carries the scratch reused across levels and bisection
+/// branches. The labels are *moved* out of the handle (the caller owns
+/// them across the recursive solve), not copied.
 std::pair<std::vector<ordinal_t>, ordinal_t> coarsen_labels(const WeightedGraph& g,
                                                             const PartitionOptions& opts,
-                                                            int level) {
-  if (opts.coarsening == CoarseningScheme::HeavyEdgeMatching) {
-    Matching m = heavy_edge_matching(g, opts.seed + static_cast<std::uint64_t>(level));
-    return {std::move(m.labels), m.num_coarse};
-  }
-  core::Mis2Options mis2_opts = opts.mis2;
-  mis2_opts.seed ^= static_cast<std::uint64_t>(level) * 0x9E3779B97F4A7C15ull;
-  core::Aggregation agg = core::aggregate_mis2(g.graph, mis2_opts);
+                                                            int level,
+                                                            const core::Coarsener& coarsener,
+                                                            core::CoarsenHandle& handle) {
+  core::CoarsenOptions copts;
+  copts.mis2 = opts.mis2;
+  copts.mis2.seed ^= static_cast<std::uint64_t>(level) * 0x9E3779B97F4A7C15ull;
+  copts.hem_seed = opts.seed + static_cast<std::uint64_t>(level);
+  (void)coarsener.run(g.graph, g.edge_weight, handle, copts);
+  core::Aggregation agg = handle.take_aggregation();
   return {std::move(agg.labels), agg.num_aggregates};
 }
 
 Bisection multilevel_bisect_frac(const WeightedGraph& fine, double target_fraction,
-                                 const PartitionOptions& opts) {
+                                 const PartitionOptions& opts, const core::Coarsener& coarsener,
+                                 core::CoarsenHandle& handle) {
   if (fine.graph.num_rows <= opts.coarse_target || opts.max_levels == 0) {
     Bisection b = grow_bisection_frac(fine, target_fraction, opts.seed);
     refine_frac(fine, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
     return b;
   }
 
-  auto [labels, num_coarse] = coarsen_labels(fine, opts, opts.max_levels);
+  auto [labels, num_coarse] = coarsen_labels(fine, opts, opts.max_levels, coarsener, handle);
   if (num_coarse >= fine.graph.num_rows) {
     // Coarsening stalled: solve here directly.
     Bisection b = grow_bisection_frac(fine, target_fraction, opts.seed);
@@ -175,7 +192,8 @@ Bisection multilevel_bisect_frac(const WeightedGraph& fine, double target_fracti
   const WeightedGraph coarse = coarsen_weighted(fine, labels, num_coarse);
   PartitionOptions next = opts;
   next.max_levels = opts.max_levels - 1;
-  const Bisection coarse_b = multilevel_bisect_frac(coarse, target_fraction, next);
+  const Bisection coarse_b =
+      multilevel_bisect_frac(coarse, target_fraction, next, coarsener, handle);
 
   // Project and refine.
   Bisection b;
@@ -191,6 +209,7 @@ Bisection multilevel_bisect_frac(const WeightedGraph& fine, double target_fracti
 
 void partition_recursive(const WeightedGraph& g, std::span<const ordinal_t> to_parent,
                          ordinal_t k, ordinal_t part_offset, const PartitionOptions& opts,
+                         const core::Coarsener& coarsener, core::CoarsenHandle& handle,
                          std::vector<ordinal_t>& out) {
   if (k == 1) {
     for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
@@ -200,7 +219,7 @@ void partition_recursive(const WeightedGraph& g, std::span<const ordinal_t> to_p
   }
   const ordinal_t k0 = k / 2;
   const double frac = static_cast<double>(k0) / static_cast<double>(k);
-  const Bisection b = multilevel_bisect_frac(g, frac, opts);
+  const Bisection b = multilevel_bisect_frac(g, frac, opts, coarsener, handle);
 
   // Split into the two induced weighted subgraphs and recurse.
   for (int s = 0; s < 2; ++s) {
@@ -233,7 +252,7 @@ void partition_recursive(const WeightedGraph& g, std::span<const ordinal_t> to_p
           to_parent[static_cast<std::size_t>(sub.to_original[static_cast<std::size_t>(sv)])];
     }
     partition_recursive(sg, sub_to_parent, s == 0 ? k0 : k - k0,
-                        s == 0 ? part_offset : part_offset + k0, opts, out);
+                        s == 0 ? part_offset : part_offset + k0, opts, coarsener, handle, out);
   }
 }
 
@@ -281,7 +300,9 @@ std::int64_t refine_bisection(const WeightedGraph& g, Bisection& b, int passes,
 }
 
 Bisection multilevel_bisect(const WeightedGraph& g, const PartitionOptions& opts) {
-  return multilevel_bisect_frac(g, 0.5, opts);
+  const std::unique_ptr<core::Coarsener> coarsener = core::make_coarsener(coarsener_name(opts));
+  core::CoarsenHandle handle(opts.mis2);
+  return multilevel_bisect_frac(g, 0.5, opts, *coarsener, handle);
 }
 
 std::int64_t cut_weight_kway(const WeightedGraph& g, std::span<const ordinal_t> part) {
@@ -317,7 +338,12 @@ std::vector<ordinal_t> partition_labels_weighted(const WeightedGraph& g, ordinal
 
   std::vector<ordinal_t> identity(static_cast<std::size_t>(g.graph.num_rows));
   std::iota(identity.begin(), identity.end(), 0);
-  partition_recursive(g, identity, k, 0, opts, part);
+  // One coarsener + one coarsening handle for the whole recursive-
+  // bisection tree: scratch is reused across every level of every
+  // bisection.
+  const std::unique_ptr<core::Coarsener> coarsener = core::make_coarsener(coarsener_name(opts));
+  core::CoarsenHandle handle(opts.mis2);
+  partition_recursive(g, identity, k, 0, opts, *coarsener, handle, part);
   return part;
 }
 

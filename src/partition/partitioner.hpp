@@ -11,6 +11,7 @@
 /// from recursive bisection.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/mis2.hpp"
@@ -19,7 +20,9 @@
 
 namespace parmis::partition {
 
-/// Coarsening scheme used inside the multilevel partitioner.
+/// Coarsening scheme used inside the multilevel partitioner. Maps onto the
+/// core `Coarsener` registry ("mis2" / "hem"); set
+/// `PartitionOptions::coarsener` to reach any other registered scheme.
 enum class CoarseningScheme {
   Mis2Aggregation,    ///< Algorithm 3 (the paper's contribution)
   HeavyEdgeMatching,  ///< classical HEM (the §II comparison point)
@@ -27,6 +30,10 @@ enum class CoarseningScheme {
 
 struct PartitionOptions {
   CoarseningScheme coarsening = CoarseningScheme::Mis2Aggregation;
+  /// Registry name of the coarsening scheme (core/coarsener.hpp). When
+  /// non-empty this overrides `coarsening`, opening the multilevel
+  /// partitioner to every registered coarsener.
+  std::string coarsener;
   ordinal_t coarse_target = 200;   ///< stop coarsening at this many vertices
   int max_levels = 40;
   int refine_passes = 6;           ///< greedy boundary passes per level

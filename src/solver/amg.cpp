@@ -28,7 +28,10 @@ const char* to_string(AggregationScheme s) {
 }
 
 core::Aggregation run_aggregation(graph::GraphView adjacency, AggregationScheme scheme,
-                                  const core::Mis2Options& mis2_opts) {
+                                  const core::Mis2Options& mis2_opts,
+                                  core::CoarsenHandle& handle) {
+  core::CoarsenOptions copts;
+  copts.mis2 = mis2_opts;
   switch (scheme) {
     case AggregationScheme::SerialAgg:
       return serial_aggregation(adjacency);
@@ -37,11 +40,19 @@ core::Aggregation run_aggregation(graph::GraphView adjacency, AggregationScheme 
     case AggregationScheme::NBD2C:
       return coloring::aggregate_d2c(adjacency, coloring::D2cMode::Parallel);
     case AggregationScheme::Mis2Basic:
-      return core::aggregate_basic(adjacency, mis2_opts);
+      (void)core::find_coarsener("mis2-basic").make()->run(adjacency, {}, handle, copts);
+      return handle.take_aggregation();
     case AggregationScheme::Mis2Agg:
-      return core::aggregate_mis2(adjacency, mis2_opts);
+      (void)core::find_coarsener("mis2").make()->run(adjacency, {}, handle, copts);
+      return handle.take_aggregation();
   }
   throw std::invalid_argument("unknown aggregation scheme");
+}
+
+core::Aggregation run_aggregation(graph::GraphView adjacency, AggregationScheme scheme,
+                                  const core::Mis2Options& mis2_opts) {
+  core::CoarsenHandle handle;
+  return run_aggregation(adjacency, scheme, mis2_opts, handle);
 }
 
 namespace {
@@ -93,6 +104,9 @@ AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts
   Timer setup_timer;
 
   graph::CrsMatrix current = std::move(a_fine);
+  // One coarsening handle for the whole setup: MIS-2 scratch is reused
+  // across every level of the hierarchy.
+  core::CoarsenHandle coarsen_handle;
   for (int lvl = 0; lvl < opts.max_levels; ++lvl) {
     AmgLevel level;
     level.a = std::move(current);
@@ -106,7 +120,7 @@ AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts
     if (!coarsest) {
       const graph::CrsGraph adj = graph::remove_self_loops(graph::GraphView(level.a));
       Timer agg_timer;
-      const core::Aggregation agg = run_aggregation(adj, opts.scheme, opts.mis2);
+      const core::Aggregation agg = run_aggregation(adj, opts.scheme, opts.mis2, coarsen_handle);
       h.aggregation_seconds_ += agg_timer.seconds();
       level.num_aggregates = agg.num_aggregates;
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/aggregation.hpp"
+#include "core/coarsener.hpp"
 #include "graph/crs.hpp"
 #include "solver/chebyshev.hpp"
 #include "solver/dense_lu.hpp"
@@ -96,7 +97,15 @@ class AmgHierarchy final : public Preconditioner {
 };
 
 /// Dispatch helper shared with benches/tests: run the chosen aggregation
-/// scheme on an adjacency graph.
+/// scheme on an adjacency graph. The MIS-2 schemes route through the core
+/// `Coarsener` registry ("mis2" / "mis2-basic") via `handle`, whose
+/// scratch is reused across hierarchy levels.
+[[nodiscard]] core::Aggregation run_aggregation(graph::GraphView adjacency,
+                                                AggregationScheme scheme,
+                                                const core::Mis2Options& mis2_opts,
+                                                core::CoarsenHandle& handle);
+
+/// `run_aggregation` with a transient handle.
 [[nodiscard]] core::Aggregation run_aggregation(graph::GraphView adjacency,
                                                 AggregationScheme scheme,
                                                 const core::Mis2Options& mis2_opts);

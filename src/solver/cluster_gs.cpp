@@ -11,14 +11,24 @@
 namespace parmis::solver {
 
 ClusterMulticolorGS::ClusterMulticolorGS(const graph::CrsMatrix& a, Coarsening coarsening,
-                                         const core::Mis2Options& mis2_opts) {
+                                         const core::Mis2Options& mis2_opts)
+    : ClusterMulticolorGS(a, coarsening == Coarsening::Mis2Agg ? "mis2" : "mis2-basic",
+                          mis2_opts) {}
+
+ClusterMulticolorGS::ClusterMulticolorGS(const graph::CrsMatrix& a, const std::string& coarsener,
+                                         const core::Mis2Options& mis2_opts, const Context& ctx) {
   assert(a.num_rows == a.num_cols);
   Timer timer;
+  Context::Scope scope(ctx);  // coloring + member setup run under ctx too
 
-  // Aggregate over the loop-free adjacency (matrix rows carry diagonals).
+  // Aggregate over the loop-free adjacency (matrix rows carry diagonals),
+  // through the registry-named coarsener.
   const graph::CrsGraph adj = graph::remove_self_loops(graph::GraphView(a));
-  aggregation_ = coarsening == Coarsening::Mis2Agg ? core::aggregate_mis2(adj, mis2_opts)
-                                                   : core::aggregate_basic(adj, mis2_opts);
+  core::CoarsenHandle handle(mis2_opts, ctx);
+  core::CoarsenOptions copts;
+  copts.mis2 = mis2_opts;
+  core::find_coarsener(coarsener).make()->run(adj, {}, handle, copts);
+  aggregation_ = handle.take_aggregation();
   members_ = core::aggregate_members(aggregation_);
 
   const graph::CrsGraph coarse = core::coarse_graph(adj, aggregation_);

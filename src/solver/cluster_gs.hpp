@@ -13,10 +13,12 @@
 /// Table VI.
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/aggregation.hpp"
 #include "core/coarsen.hpp"
+#include "core/coarsener.hpp"
 #include "coloring/d1_coloring.hpp"
 #include "graph/crs.hpp"
 #include "solver/gauss_seidel.hpp"
@@ -28,12 +30,19 @@ namespace parmis::solver {
 /// A's structure is unchanged).
 class ClusterMulticolorGS {
  public:
-  /// Choice of coarsening inside setup.
+  /// Choice of coarsening inside setup (maps onto the core `Coarsener`
+  /// registry; the string constructor reaches any registered scheme).
   enum class Coarsening { Mis2Agg, Mis2Basic };
 
   explicit ClusterMulticolorGS(const graph::CrsMatrix& a,
                                Coarsening coarsening = Coarsening::Mis2Agg,
                                const core::Mis2Options& mis2_opts = {});
+
+  /// Setup with a registry-named coarsener ("mis2", "mis2-basic", "hem",
+  /// ...) under an explicit execution context.
+  ClusterMulticolorGS(const graph::CrsMatrix& a, const std::string& coarsener,
+                      const core::Mis2Options& mis2_opts,
+                      const Context& ctx = Context::default_ctx());
 
   /// One cluster multicolor sweep. Backward reverses both the color order
   /// and the row order within each cluster (paper §III-C).

@@ -8,6 +8,7 @@
 
 #include "core/aggregation.hpp"
 #include "core/coarsen.hpp"
+#include "core/coarsener.hpp"
 #include "core/verify.hpp"
 #include "graph/ops.hpp"
 #include "parallel/execution.hpp"
@@ -259,14 +260,19 @@ TEST(Multilevel, ProjectionIsConsistent) {
   }
 }
 
-TEST(Multilevel, Algorithm2AndAlgorithm3BothWork) {
+TEST(Multilevel, EveryRegisteredCoarsenerWorks) {
   const graph::CrsGraph g = test::adjacency_of(graph::laplace3d(10, 10, 10));
-  for (bool alg3 : {false, true}) {
+  for (const std::string& name : coarsener_names()) {
     MultilevelOptions opts;
-    opts.use_algorithm3 = alg3;
+    opts.coarsener = name;
     opts.target_vertices = 50;
     const MultilevelHierarchy h = multilevel_coarsen(g, opts);
-    EXPECT_FALSE(h.levels.empty()) << "alg3=" << alg3;
+    EXPECT_FALSE(h.levels.empty()) << "coarsener=" << name;
+    for (std::size_t l = 0; l < h.levels.size(); ++l) {
+      const graph::GraphView fine = l == 0 ? graph::GraphView(g) : h.levels[l - 1].graph;
+      EXPECT_TRUE(verify_aggregation(fine, h.levels[l].aggregation))
+          << "coarsener=" << name << " level=" << l;
+    }
   }
 }
 
