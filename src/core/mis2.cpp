@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 #include "parallel/parallel_scan.hpp"
@@ -15,7 +16,8 @@ std::size_t Mis2Workspace::capacity_bytes() const {
          col_packed.capacity() * sizeof(status_word_t) +
          row_wide.capacity() * sizeof(WideTuple) + col_wide.capacity() * sizeof(WideTuple) +
          wl1.capacity() * sizeof(ordinal_t) + wl2.capacity() * sizeof(ordinal_t) +
-         compacted.capacity() * sizeof(ordinal_t) + flags.capacity() * sizeof(std::int64_t);
+         compacted.capacity() * sizeof(ordinal_t) + flags.capacity() * sizeof(std::int64_t) +
+         wl1_cost.capacity() * sizeof(offset_t) + wl2_cost.capacity() * sizeof(offset_t);
 }
 
 namespace {
@@ -212,6 +214,31 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
         ws.flags);
     wl2.assign(wl1.begin(), wl1.end());
 
+    // §V-B meets edge balancing: the worklist phases walk each listed
+    // vertex's neighbor row, so equal-count chunks serialize on hub-heavy
+    // lists. Under EdgeBalanced we keep a degree prefix sum per worklist
+    // (rebuilt after every compaction — the lists only shrink, so the
+    // buffers are sized once per run) and split the phases into
+    // equal-degree chunks instead.
+    const bool edge_balanced = par::Execution::schedule() == par::Schedule::EdgeBalanced &&
+                               par::Execution::is_parallel();
+    auto rebuild_cost = [&](const std::vector<ordinal_t>& wl, std::vector<offset_t>& cost) {
+      if (!edge_balanced) return;
+      const std::int64_t len = static_cast<std::int64_t>(wl.size());
+      cost.resize(static_cast<std::size_t>(len) + 1);
+      par::parallel_for(len, [&](std::int64_t i) {
+        const ordinal_t v = wl[static_cast<std::size_t>(i)];
+        cost[static_cast<std::size_t>(i)] = g.row_map[v + 1] - g.row_map[v] + 1;
+      });
+      cost[static_cast<std::size_t>(len)] = 0;
+      par::exclusive_scan_inplace(std::span<offset_t>(cost.data(), static_cast<std::size_t>(len) + 1));
+    };
+    auto cost_ptr = [&](const std::vector<offset_t>& cost) -> const offset_t* {
+      return edge_balanced ? cost.data() : nullptr;
+    };
+    rebuild_cost(wl1, ws.wl1_cost);
+    if (edge_balanced) ws.wl2_cost.assign(ws.wl1_cost.begin(), ws.wl1_cost.end());
+
     // Persistent compaction buffers: the scan runs every iteration, so the
     // flag/output storage is sized once per run and reused (worklists only
     // shrink).
@@ -239,9 +266,12 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
     while (!wl1.empty() && iter < opts.max_iterations) {
       const ordinal_t n1 = static_cast<ordinal_t>(wl1.size());
       const ordinal_t n2 = static_cast<ordinal_t>(wl2.size());
+      // refresh_row is O(1) per vertex — count balancing is already exact.
       par::parallel_for(n1, [&](ordinal_t i) { refresh_row(wl1[static_cast<std::size_t>(i)], iter); });
-      par::parallel_for(n2, [&](ordinal_t i) { refresh_col(wl2[static_cast<std::size_t>(i)]); });
-      par::parallel_for(n1, [&](ordinal_t i) { decide(wl1[static_cast<std::size_t>(i)]); });
+      par::balanced_for(n2, cost_ptr(ws.wl2_cost),
+                        [&](ordinal_t i) { refresh_col(wl2[static_cast<std::size_t>(i)]); });
+      par::balanced_for(n1, cost_ptr(ws.wl1_cost),
+                        [&](ordinal_t i) { decide(wl1[static_cast<std::size_t>(i)]); });
 
       filter_worklist(wl1, [&](ordinal_t v) {
         return P::is_undecided(row_t[static_cast<std::size_t>(v)]);
@@ -249,21 +279,24 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
       filter_worklist(wl2, [&](ordinal_t v) {
         return !P::is_out(col_m[static_cast<std::size_t>(v)]);
       });
+      rebuild_cost(wl1, ws.wl1_cost);
+      rebuild_cost(wl2, ws.wl2_cost);
       ++iter;
     }
   } else {
     // Ablation mode: every vertex processed every iteration (Bell et al.'s
-    // approach), with per-vertex guards instead of worklists.
+    // approach), with per-vertex guards instead of worklists. Full sweeps
+    // balance for free: the graph's own row_map is the degree prefix.
     while (iter < opts.max_iterations) {
       par::parallel_for(n, [&](ordinal_t v) {
         if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) {
           refresh_row(v, iter);
         }
       });
-      par::parallel_for(n, [&](ordinal_t v) {
+      par::balanced_for(n, g.row_map, [&](ordinal_t v) {
         if (is_active(v) && !P::is_out(col_m[static_cast<std::size_t>(v)])) refresh_col(v);
       });
-      par::parallel_for(n, [&](ordinal_t v) {
+      par::balanced_for(n, g.row_map, [&](ordinal_t v) {
         if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) decide(v);
       });
       ++iter;

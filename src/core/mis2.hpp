@@ -98,6 +98,8 @@ struct Mis2Workspace {
   std::vector<ordinal_t> wl2;             ///< live-column worklist (§V-B)
   std::vector<ordinal_t> compacted;       ///< worklist compaction output
   std::vector<std::int64_t> flags;        ///< scan flags for every compaction
+  std::vector<offset_t> wl1_cost;         ///< degree prefix over wl1 (EdgeBalanced)
+  std::vector<offset_t> wl2_cost;         ///< degree prefix over wl2 (EdgeBalanced)
 
   /// Total heap capacity (bytes) currently held. Stable across warm runs:
   /// the zero-allocation reuse contract asserted by the handle tests.

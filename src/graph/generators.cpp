@@ -1,10 +1,14 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <vector>
 
+#include "graph/builders.hpp"
 #include "parallel/parallel_for.hpp"
+#include "random/hash.hpp"
 
 namespace parmis::graph {
 
@@ -165,6 +169,52 @@ CrsMatrix elasticity3d(ordinal_t nx, ordinal_t ny, ordinal_t nz) {
     }
   });
   return m;
+}
+
+CrsGraph power_law_graph(ordinal_t n, double exponent, ordinal_t min_degree,
+                         ordinal_t max_degree, std::uint64_t seed) {
+  assert(n >= 0 && exponent > 1.0 && min_degree >= 1 && max_degree >= min_degree);
+  if (n <= 1) return graph_from_edges(n, {});
+
+  // Inverse-transform Pareto draw per vertex from a counter-based hash, so
+  // the degree sequence (and every arc endpoint) is a pure function of
+  // (seed, vertex) — replayable, thread-free, deterministic.
+  const double inv_alpha = 1.0 / (exponent - 1.0);
+  std::vector<Edge> arcs;  // undirected: graph_from_edges mirrors each stub
+  for (ordinal_t v = 0; v < n; ++v) {
+    const std::uint64_t h = rng::hash_xorshift_star(seed, static_cast<std::uint64_t>(v));
+    // u in (0, 1]: never zero, so the Pareto transform stays finite.
+    const double u =
+        (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+    const double draw = static_cast<double>(min_degree) * std::pow(u, -inv_alpha);
+    const ordinal_t dv = static_cast<ordinal_t>(std::min<double>(
+        static_cast<double>(std::min<ordinal_t>(max_degree, n - 1)), draw));
+    rng::SplitMix64 stream(seed ^ (static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ULL) ^
+                           0xA5A5A5A5A5A5A5A5ULL);
+    for (ordinal_t e = 0; e < dv; ++e) {
+      const ordinal_t w = static_cast<ordinal_t>(stream.next_below(static_cast<std::uint64_t>(n)));
+      if (w != v) arcs.emplace_back(v, w);
+    }
+  }
+  return graph_from_edges(n, arcs);
+}
+
+CrsGraph star_hub_graph(ordinal_t hubs, ordinal_t leaves) {
+  assert(hubs >= 1 && leaves >= 0);
+  const std::int64_t n64 = static_cast<std::int64_t>(hubs) * (leaves + 1);
+  assert(n64 <= max_ordinal);
+  const ordinal_t n = static_cast<ordinal_t>(n64);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (ordinal_t h = 0; h < hubs; ++h) {
+    if (hubs > 1) {
+      edges.emplace_back(h, (h + 1) % hubs);  // ring; hubs==2 duplicates merge
+    }
+    for (ordinal_t l = 0; l < leaves; ++l) {
+      edges.emplace_back(h, hubs + h * leaves + l);
+    }
+  }
+  return graph_from_edges(n, edges);
 }
 
 CrsMatrix laplacian_matrix(GraphView g, scalar_t diag_shift) {

@@ -51,4 +51,26 @@ enum class Stencil3D {
 /// random-geometric surrogates.
 [[nodiscard]] CrsMatrix laplacian_matrix(GraphView g, scalar_t diag_shift);
 
+/// Skewed-degree adjacency with a Pareto (power-law) degree target:
+/// vertex `v` draws `d_v = min_degree · u^(-1/(exponent-1))` (clamped to
+/// `max_degree`) from a counter-based hash of `(seed, v)` and emits `d_v`
+/// hashed arcs; the result is symmetrized with duplicates merged and self
+/// loops dropped, so realized degrees exceed the draw where hubs attract
+/// extra stubs. Deterministic in (n, exponent, min_degree, max_degree,
+/// seed); `exponent` must be > 1 (≈2–2.5 gives the heavy hub tail that
+/// defeats equal-count scheduling). Construction is serial (test/bench
+/// input generator, not a kernel).
+[[nodiscard]] CrsGraph power_law_graph(ordinal_t n, double exponent, ordinal_t min_degree,
+                                       ordinal_t max_degree, std::uint64_t seed);
+
+/// Maximal-skew scheduling adversary: `hubs` hub vertices joined in a
+/// ring, each owning `leaves` private degree-1 leaf vertices. The hubs
+/// occupy the contiguous id block `[0, hubs)` (leaf `j` of hub `h` is
+/// `hubs + h·leaves + j`), so an equal-*count* contiguous partition of the
+/// `hubs · (leaves + 1)` vertices drops every hub row — half the edge
+/// endpoints — into the first chunk, while almost all other rows have
+/// degree 1. Equal-cost partitions split the hub block instead. Degree
+/// locality like this is what degree-sorted real-world orderings exhibit.
+[[nodiscard]] CrsGraph star_hub_graph(ordinal_t hubs, ordinal_t leaves);
+
 }  // namespace parmis::graph

@@ -234,4 +234,31 @@ InducedSubgraph induced_subgraph(GraphView g, const std::vector<char>& include) 
   return result;
 }
 
+CrsGraph relabel(GraphView g, std::span<const ordinal_t> new_id) {
+  assert(new_id.size() == static_cast<std::size_t>(g.num_rows));
+  const ordinal_t n = g.num_rows;
+  CrsGraph r;
+  r.num_rows = n;
+  r.num_cols = g.num_cols;
+  r.row_map.assign(static_cast<std::size_t>(n) + 1, 0);
+  par::parallel_for(n, [&](ordinal_t v) {
+    r.row_map[static_cast<std::size_t>(new_id[static_cast<std::size_t>(v)]) + 1] =
+        g.row_map[v + 1] - g.row_map[v];
+  });
+  for (ordinal_t v = 0; v < n; ++v) {
+    r.row_map[static_cast<std::size_t>(v) + 1] += r.row_map[static_cast<std::size_t>(v)];
+  }
+  r.entries.resize(static_cast<std::size_t>(r.row_map.back()));
+  par::parallel_for(n, [&](ordinal_t v) {
+    const ordinal_t nv = new_id[static_cast<std::size_t>(v)];
+    offset_t o = r.row_map[static_cast<std::size_t>(nv)];
+    for (ordinal_t c : g.row(v)) {
+      r.entries[static_cast<std::size_t>(o++)] = new_id[static_cast<std::size_t>(c)];
+    }
+    std::sort(r.entries.begin() + static_cast<std::ptrdiff_t>(r.row_map[static_cast<std::size_t>(nv)]),
+              r.entries.begin() + static_cast<std::ptrdiff_t>(o));
+  });
+  return r;
+}
+
 }  // namespace parmis::graph

@@ -8,6 +8,7 @@
 /// against MIS-1 on G² (Lemma IV.2) and to implement the Tuminaro–Tong
 /// SpGEMM-based aggregation baseline.
 
+#include <span>
 #include <vector>
 
 #include "graph/crs.hpp"
@@ -47,5 +48,11 @@ struct InducedSubgraph {
 
 /// Subgraph induced by the vertices with `include[v] != 0`.
 [[nodiscard]] InducedSubgraph induced_subgraph(GraphView g, const std::vector<char>& include);
+
+/// Copy of g with vertices renamed through the bijection `new_id`
+/// (old vertex v becomes `new_id[v]`; `new_id.size() == num_rows`).
+/// Output rows sorted. Used to study orderings (degree-sorted, BFS, …)
+/// whose degree locality stresses the loop schedulers.
+[[nodiscard]] CrsGraph relabel(GraphView g, std::span<const ordinal_t> new_id);
 
 }  // namespace parmis::graph

@@ -1,10 +1,14 @@
 #include "graph/spgemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <span>
 
+#include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/parallel_scan.hpp"
 
 namespace parmis::graph {
 
@@ -29,6 +33,32 @@ struct Workspace {
 
 thread_local Workspace t_ws;
 
+std::atomic<std::int64_t> g_rows_traversed{0};
+
+/// Equal-flop chunking cost: prefix of `1 + Σ_{k ∈ A.row(i)} deg_B(k)` —
+/// the exact inner-product work of output row `i`. Only built when the
+/// active schedule consults costs.
+std::vector<offset_t> product_cost_prefix(GraphView a, const offset_t* b_row_map) {
+  std::vector<offset_t> cost(static_cast<std::size_t>(a.num_rows) + 1);
+  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+    offset_t w = 1;
+    for (ordinal_t k : a.row(i)) {
+      w += b_row_map[k + 1] - b_row_map[k];
+    }
+    cost[static_cast<std::size_t>(i)] = w;
+  });
+  cost[static_cast<std::size_t>(a.num_rows)] = 0;
+  par::exclusive_scan_inplace(std::span<offset_t>(cost));
+  return cost;
+}
+
+/// One arena per chunk: rows land in the arena of the chunk that computed
+/// them and are scattered into the final CRS arrays after the length scan.
+struct Arena {
+  std::vector<ordinal_t> cols;
+  std::vector<scalar_t> vals;
+};
+
 }  // namespace
 
 CrsGraph spgemm_symbolic(GraphView a, GraphView b) {
@@ -37,35 +67,50 @@ CrsGraph spgemm_symbolic(GraphView a, GraphView b) {
   c.num_rows = a.num_rows;
   c.num_cols = b.num_cols;
   c.row_map.assign(static_cast<std::size_t>(a.num_rows) + 1, 0);
+  if (a.num_rows == 0) return c;
 
-  auto fill_row = [&](ordinal_t i) {
+  const std::vector<offset_t> cost =
+      par::schedule_uses_costs() ? product_cost_prefix(a, b.row_map) : std::vector<offset_t>{};
+  const offset_t* cost_ptr = cost.empty() ? nullptr : cost.data();
+
+  std::vector<Arena> arenas(static_cast<std::size_t>(par::balanced_chunk_count()));
+  std::vector<int> arena_of(static_cast<std::size_t>(a.num_rows));
+  std::vector<offset_t> arena_off(static_cast<std::size_t>(a.num_rows));
+
+  // The single traversal: pattern of each row, deduplicated with the stamp
+  // workspace, sorted, appended to the chunk's arena.
+  par::balanced_chunks(a.num_rows, cost_ptr, [&](int chunk, ordinal_t lo, ordinal_t hi) {
+    Arena& ar = arenas[static_cast<std::size_t>(chunk)];
     Workspace& ws = t_ws;
     ws.ensure(b.num_cols);
-    ++ws.stamp;
-    ws.touched.clear();
-    for (ordinal_t k : a.row(i)) {
-      for (ordinal_t j : b.row(k)) {
-        if (ws.stamp_of[static_cast<std::size_t>(j)] != ws.stamp) {
-          ws.stamp_of[static_cast<std::size_t>(j)] = ws.stamp;
-          ws.touched.push_back(j);
+    for (ordinal_t i = lo; i < hi; ++i) {
+      ++ws.stamp;
+      ws.touched.clear();
+      for (ordinal_t k : a.row(i)) {
+        for (ordinal_t j : b.row(k)) {
+          if (ws.stamp_of[static_cast<std::size_t>(j)] != ws.stamp) {
+            ws.stamp_of[static_cast<std::size_t>(j)] = ws.stamp;
+            ws.touched.push_back(j);
+          }
         }
       }
+      std::sort(ws.touched.begin(), ws.touched.end());
+      arena_of[static_cast<std::size_t>(i)] = chunk;
+      arena_off[static_cast<std::size_t>(i)] = static_cast<offset_t>(ar.cols.size());
+      ar.cols.insert(ar.cols.end(), ws.touched.begin(), ws.touched.end());
+      c.row_map[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(ws.touched.size());
     }
-  };
-
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
-    fill_row(i);
-    c.row_map[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(t_ws.touched.size());
+    g_rows_traversed.fetch_add(hi - lo, std::memory_order_relaxed);
   });
-  for (ordinal_t i = 0; i < a.num_rows; ++i) {
-    c.row_map[static_cast<std::size_t>(i) + 1] += c.row_map[static_cast<std::size_t>(i)];
-  }
+
+  par::inclusive_scan_inplace(
+      std::span<offset_t>(c.row_map.data() + 1, static_cast<std::size_t>(a.num_rows)));
   c.entries.resize(static_cast<std::size_t>(c.row_map.back()));
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
-    fill_row(i);
-    std::sort(t_ws.touched.begin(), t_ws.touched.end());
-    std::copy(t_ws.touched.begin(), t_ws.touched.end(),
-              c.entries.begin() + static_cast<std::ptrdiff_t>(c.row_map[i]));
+  par::balanced_for(a.num_rows, c.row_map.data(), [&](ordinal_t i) {
+    const Arena& ar = arenas[static_cast<std::size_t>(arena_of[static_cast<std::size_t>(i)])];
+    const offset_t len = c.row_map[i + 1] - c.row_map[i];
+    std::copy_n(ar.cols.begin() + static_cast<std::ptrdiff_t>(arena_off[static_cast<std::size_t>(i)]),
+                len, c.entries.begin() + static_cast<std::ptrdiff_t>(c.row_map[i]));
   });
   return c;
 }
@@ -76,50 +121,67 @@ CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b) {
   c.num_rows = a.num_rows;
   c.num_cols = b.num_cols;
   c.row_map.assign(static_cast<std::size_t>(a.num_rows) + 1, 0);
+  if (a.num_rows == 0) return c;
 
-  auto accumulate_row = [&](ordinal_t i) {
+  const std::vector<offset_t> cost = par::schedule_uses_costs()
+                                         ? product_cost_prefix(GraphView(a), b.row_map.data())
+                                         : std::vector<offset_t>{};
+  const offset_t* cost_ptr = cost.empty() ? nullptr : cost.data();
+
+  std::vector<Arena> arenas(static_cast<std::size_t>(par::balanced_chunk_count()));
+  std::vector<int> arena_of(static_cast<std::size_t>(a.num_rows));
+  std::vector<offset_t> arena_off(static_cast<std::size_t>(a.num_rows));
+
+  // The single traversal. The accumulation order within a row is fixed by
+  // the entry order of A and B (never by scheduling), and columns are
+  // emitted sorted, so entries *and values* are bit-deterministic for any
+  // chunking.
+  par::balanced_chunks(a.num_rows, cost_ptr, [&](int chunk, ordinal_t lo, ordinal_t hi) {
+    Arena& ar = arenas[static_cast<std::size_t>(chunk)];
     Workspace& ws = t_ws;
     ws.ensure(b.num_cols);
-    ++ws.stamp;
-    ws.touched.clear();
-    for (offset_t ja = a.row_map[i]; ja < a.row_map[i + 1]; ++ja) {
-      const ordinal_t k = a.entries[static_cast<std::size_t>(ja)];
-      const scalar_t av = a.values[static_cast<std::size_t>(ja)];
-      for (offset_t jb = b.row_map[k]; jb < b.row_map[k + 1]; ++jb) {
-        const ordinal_t j = b.entries[static_cast<std::size_t>(jb)];
-        const scalar_t bv = b.values[static_cast<std::size_t>(jb)];
-        if (ws.stamp_of[static_cast<std::size_t>(j)] != ws.stamp) {
-          ws.stamp_of[static_cast<std::size_t>(j)] = ws.stamp;
-          ws.acc[static_cast<std::size_t>(j)] = av * bv;
-          ws.touched.push_back(j);
-        } else {
-          ws.acc[static_cast<std::size_t>(j)] += av * bv;
+    for (ordinal_t i = lo; i < hi; ++i) {
+      ++ws.stamp;
+      ws.touched.clear();
+      for (offset_t ja = a.row_map[i]; ja < a.row_map[i + 1]; ++ja) {
+        const ordinal_t k = a.entries[static_cast<std::size_t>(ja)];
+        const scalar_t av = a.values[static_cast<std::size_t>(ja)];
+        for (offset_t jb = b.row_map[k]; jb < b.row_map[k + 1]; ++jb) {
+          const ordinal_t j = b.entries[static_cast<std::size_t>(jb)];
+          const scalar_t bv = b.values[static_cast<std::size_t>(jb)];
+          if (ws.stamp_of[static_cast<std::size_t>(j)] != ws.stamp) {
+            ws.stamp_of[static_cast<std::size_t>(j)] = ws.stamp;
+            ws.acc[static_cast<std::size_t>(j)] = av * bv;
+            ws.touched.push_back(j);
+          } else {
+            ws.acc[static_cast<std::size_t>(j)] += av * bv;
+          }
         }
       }
+      std::sort(ws.touched.begin(), ws.touched.end());
+      arena_of[static_cast<std::size_t>(i)] = chunk;
+      arena_off[static_cast<std::size_t>(i)] = static_cast<offset_t>(ar.cols.size());
+      for (ordinal_t j : ws.touched) {
+        ar.cols.push_back(j);
+        ar.vals.push_back(ws.acc[static_cast<std::size_t>(j)]);
+      }
+      c.row_map[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(ws.touched.size());
     }
-  };
-
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
-    accumulate_row(i);
-    c.row_map[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(t_ws.touched.size());
+    g_rows_traversed.fetch_add(hi - lo, std::memory_order_relaxed);
   });
-  for (ordinal_t i = 0; i < a.num_rows; ++i) {
-    c.row_map[static_cast<std::size_t>(i) + 1] += c.row_map[static_cast<std::size_t>(i)];
-  }
+
+  par::inclusive_scan_inplace(
+      std::span<offset_t>(c.row_map.data() + 1, static_cast<std::size_t>(a.num_rows)));
   c.entries.resize(static_cast<std::size_t>(c.row_map.back()));
   c.values.resize(static_cast<std::size_t>(c.row_map.back()));
-
-  // Note: the numeric accumulation order within a row is fixed by the entry
-  // order of A and B, not by scheduling, so values are bit-deterministic.
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
-    accumulate_row(i);
-    std::sort(t_ws.touched.begin(), t_ws.touched.end());
-    offset_t o = c.row_map[i];
-    for (ordinal_t j : t_ws.touched) {
-      c.entries[static_cast<std::size_t>(o)] = j;
-      c.values[static_cast<std::size_t>(o)] = t_ws.acc[static_cast<std::size_t>(j)];
-      ++o;
-    }
+  par::balanced_for(a.num_rows, c.row_map.data(), [&](ordinal_t i) {
+    const Arena& ar = arenas[static_cast<std::size_t>(arena_of[static_cast<std::size_t>(i)])];
+    const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(arena_off[static_cast<std::size_t>(i)]);
+    const offset_t len = c.row_map[i + 1] - c.row_map[i];
+    std::copy_n(ar.cols.begin() + src, len,
+                c.entries.begin() + static_cast<std::ptrdiff_t>(c.row_map[i]));
+    std::copy_n(ar.vals.begin() + src, len,
+                c.values.begin() + static_cast<std::ptrdiff_t>(c.row_map[i]));
   });
   return c;
 }
@@ -150,7 +212,9 @@ CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const Cr
     return count;
   };
 
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+  // Per-row merge work is degree-shaped; A's row_map is the (half of the)
+  // cost, close enough to balance the sweep.
+  par::balanced_for(a.num_rows, a.row_map.data(), [&](ordinal_t i) {
     c.row_map[static_cast<std::size_t>(i) + 1] = merged_count(i);
   });
   for (ordinal_t i = 0; i < a.num_rows; ++i) {
@@ -159,7 +223,7 @@ CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const Cr
   c.entries.resize(static_cast<std::size_t>(c.row_map.back()));
   c.values.resize(static_cast<std::size_t>(c.row_map.back()));
 
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+  par::balanced_for(a.num_rows, c.row_map.data(), [&](ordinal_t i) {
     auto ra = a.row(i);
     auto rb = b.row(i);
     auto va = a.row_values(i);
@@ -196,30 +260,54 @@ CrsMatrix transpose_matrix(const CrsMatrix& a) {
   t.num_rows = a.num_cols;
   t.num_cols = a.num_rows;
   t.row_map.assign(static_cast<std::size_t>(a.num_cols) + 1, 0);
-  for (offset_t j = 0; j < a.num_entries(); ++j) {
-    ++t.row_map[static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)]) + 1];
-  }
-  for (ordinal_t c = 0; c < a.num_cols; ++c) {
-    t.row_map[static_cast<std::size_t>(c) + 1] += t.row_map[static_cast<std::size_t>(c)];
-  }
   t.entries.resize(static_cast<std::size_t>(a.num_entries()));
   t.values.resize(static_cast<std::size_t>(a.num_entries()));
-  std::vector<offset_t> cursor(t.row_map.begin(), t.row_map.end() - 1);
-  for (ordinal_t i = 0; i < a.num_rows; ++i) {
-    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
-      const ordinal_t col = a.entries[static_cast<std::size_t>(j)];
-      const offset_t o = cursor[static_cast<std::size_t>(col)]++;
-      t.entries[static_cast<std::size_t>(o)] = i;
-      t.values[static_cast<std::size_t>(o)] = a.values[static_cast<std::size_t>(j)];
+  if (a.num_rows == 0 || a.num_cols == 0 || a.num_entries() == 0) return t;
+
+  // Parallel counting sort. Rows are cut into the same cost-balanced
+  // chunks twice (balanced_chunks guarantees identical boundaries for
+  // identical inputs); the histogram pass counts each chunk's entries per
+  // column, the per-column scan turns counts into chunk-local starting
+  // cursors, and the placement pass writes entries at those cursors. A
+  // column's entries arrive ordered by (chunk, row-within-chunk) = source
+  // row ascending for *any* contiguous chunking, so the result — rows
+  // sorted by original row id — is identical to the serial transpose.
+  const std::size_t ncols = static_cast<std::size_t>(a.num_cols);
+  const int nchunks = par::balanced_chunk_count();
+  std::vector<offset_t> counts(static_cast<std::size_t>(nchunks) * ncols, 0);
+
+  par::balanced_chunks(a.num_rows, a.row_map.data(), [&](int chunk, ordinal_t lo, ordinal_t hi) {
+    offset_t* cnt = counts.data() + static_cast<std::size_t>(chunk) * ncols;
+    for (ordinal_t i = lo; i < hi; ++i) {
+      for (ordinal_t col : a.row(i)) {
+        ++cnt[static_cast<std::size_t>(col)];
+      }
     }
-  }
+  });
+
+  par::chunked_cursor_scan(a.num_cols, nchunks, counts, t.row_map);
+  par::inclusive_scan_inplace(
+      std::span<offset_t>(t.row_map.data() + 1, static_cast<std::size_t>(a.num_cols)));
+
+  par::balanced_chunks(a.num_rows, a.row_map.data(), [&](int chunk, ordinal_t lo, ordinal_t hi) {
+    offset_t* cursor = counts.data() + static_cast<std::size_t>(chunk) * ncols;
+    for (ordinal_t i = lo; i < hi; ++i) {
+      for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+        const ordinal_t col = a.entries[static_cast<std::size_t>(j)];
+        const offset_t o = t.row_map[static_cast<std::size_t>(col)] +
+                           cursor[static_cast<std::size_t>(col)]++;
+        t.entries[static_cast<std::size_t>(o)] = i;
+        t.values[static_cast<std::size_t>(o)] = a.values[static_cast<std::size_t>(j)];
+      }
+    }
+  });
   return t;
 }
 
 std::vector<scalar_t> extract_diagonal(const CrsMatrix& a) {
   assert(a.num_rows == a.num_cols);
   std::vector<scalar_t> d(static_cast<std::size_t>(a.num_rows), 0);
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+  par::balanced_for(a.num_rows, a.row_map.data(), [&](ordinal_t i) {
     auto cols = a.row(i);
     auto it = std::lower_bound(cols.begin(), cols.end(), i);
     if (it != cols.end() && *it == i) {
@@ -229,5 +317,11 @@ std::vector<scalar_t> extract_diagonal(const CrsMatrix& a) {
   });
   return d;
 }
+
+std::int64_t spgemm_rows_traversed() {
+  return g_rows_traversed.load(std::memory_order_relaxed);
+}
+
+void spgemm_reset_stats() { g_rows_traversed.store(0, std::memory_order_relaxed); }
 
 }  // namespace parmis::graph

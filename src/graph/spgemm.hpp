@@ -7,7 +7,15 @@
 /// Tuminaro–Tong "MIS-1 of G²" aggregation baseline from the related work.
 /// Rows are computed independently with a per-thread dense accumulator and
 /// emitted sorted, so the product is deterministic for any thread count.
+///
+/// The product is *single-pass*: each row's inner product runs exactly
+/// once, into a per-chunk arena, and a scatter pass copies arenas into the
+/// final CRS arrays after the row-length scan (no symbolic/numeric
+/// re-traversal). Work is split across threads in equal-*flop* chunks
+/// under `Schedule::EdgeBalanced` (see `parallel/balanced_for.hpp`), so a
+/// hub row of a skewed input no longer serializes a whole thread's sweep.
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/crs.hpp"
@@ -30,5 +38,15 @@ namespace parmis::graph {
 
 /// Diagonal of a square matrix; zero where a row has no diagonal entry.
 [[nodiscard]] std::vector<scalar_t> extract_diagonal(const CrsMatrix& a);
+
+/// Instrumentation: number of row inner-products computed by `spgemm` /
+/// `spgemm_symbolic` since the last reset (process-wide, relaxed atomic).
+/// A single-pass product traverses each output row exactly once, so after
+/// one `spgemm(a, b)` the counter advances by exactly `a.num_rows` — the
+/// regression guard against reintroducing the two-pass traversal.
+[[nodiscard]] std::int64_t spgemm_rows_traversed();
+
+/// Reset the `spgemm_rows_traversed` counter to zero.
+void spgemm_reset_stats();
 
 }  // namespace parmis::graph

@@ -2,14 +2,14 @@
 
 #include <cassert>
 
-#include "parallel/parallel_for.hpp"
+#include "parallel/balanced_for.hpp"
 
 namespace parmis::graph {
 
 void spmv(const CrsMatrix& a, std::span<const scalar_t> x, std::span<scalar_t> y) {
   assert(x.size() == static_cast<std::size_t>(a.num_cols));
   assert(y.size() == static_cast<std::size_t>(a.num_rows));
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+  par::balanced_for(a.num_rows, a.row_map.data(), [&](ordinal_t i) {
     scalar_t acc = 0;
     for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
       acc += a.values[static_cast<std::size_t>(j)] *
@@ -23,7 +23,7 @@ void spmv(scalar_t alpha, const CrsMatrix& a, std::span<const scalar_t> x, scala
           std::span<scalar_t> y) {
   assert(x.size() == static_cast<std::size_t>(a.num_cols));
   assert(y.size() == static_cast<std::size_t>(a.num_rows));
-  par::parallel_for(a.num_rows, [&](ordinal_t i) {
+  par::balanced_for(a.num_rows, a.row_map.data(), [&](ordinal_t i) {
     scalar_t acc = 0;
     for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
       acc += a.values[static_cast<std::size_t>(j)] *

@@ -6,6 +6,7 @@ Context Context::default_ctx() {
   Context ctx;
   ctx.backend = par::Execution::backend();
   ctx.num_threads = par::Execution::thread_setting();
+  ctx.schedule = par::Execution::schedule();
   return ctx;
 }
 
@@ -49,14 +50,17 @@ Context::Scope::Scope(const Context& ctx)
     // surrounding fallback (requested OpenMP, effective Serial) stays
     // visible through requested_backend() after the scope exits.
     : saved_backend_(par::Execution::requested_backend()),
-      saved_threads_(par::Execution::thread_setting()) {
+      saved_threads_(par::Execution::thread_setting()),
+      saved_schedule_(par::Execution::schedule()) {
   par::Execution::set_backend(ctx.backend);
   par::Execution::set_num_threads(ctx.num_threads);
+  par::Execution::set_schedule(ctx.schedule);
 }
 
 Context::Scope::~Scope() {
   par::Execution::set_backend(saved_backend_);
   par::Execution::set_num_threads(saved_threads_);
+  par::Execution::set_schedule(saved_schedule_);
 }
 
 }  // namespace parmis

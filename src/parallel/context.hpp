@@ -13,10 +13,13 @@
 ///
 /// Determinism contract: every algorithm in this library produces
 /// bit-identical results under any `Context`, so the context only selects
-/// *how* the work runs (backend, thread count, SIMD eligibility), never
-/// *what* it computes. The one exception is `seed`, which is deliberately
-/// part of the result: it is folded into the priority hashes so distinct
-/// seeds give distinct (but individually reproducible) outputs.
+/// *how* the work runs (backend, thread count, loop schedule, SIMD
+/// eligibility), never *what* it computes. Two exceptions: `seed` is
+/// deliberately part of the result (folded into the priority hashes so
+/// distinct seeds give distinct but individually reproducible outputs),
+/// and `schedule = Dynamic` opts out of reproducible work *placement*
+/// (own-slot kernels still give identical results, but Dynamic is excluded
+/// from the determinism tests — see `par::Schedule`).
 
 #include <cstdint>
 #include <string>
@@ -40,6 +43,13 @@ struct Context {
 
   /// OpenMP worker-thread count; `<= 0` means the hardware default.
   int num_threads = 0;
+
+  /// How parallel loops partition work across threads. `EdgeBalanced`
+  /// splits degree-shaped loops into equal-*cost* chunks (the fast default
+  /// on skewed-degree inputs); `Static` reproduces the historical
+  /// equal-count partition; `Dynamic` is the non-reproducible opt-out.
+  /// Never changes results for Static/EdgeBalanced.
+  par::Schedule schedule = par::Schedule::EdgeBalanced;
 
   /// Average-degree threshold for the vector-level (SIMD) inner loops
   /// (paper §V-D). Kernels compare `avg_degree() >= simd_degree_threshold`.
@@ -90,6 +100,7 @@ struct Context {
    private:
     par::Backend saved_backend_;
     int saved_threads_;
+    par::Schedule saved_schedule_;
   };
 
   friend bool operator==(const Context&, const Context&) = default;

@@ -23,6 +23,8 @@ thread_local Backend g_requested = g_backend;
 
 thread_local int g_threads = 0;  // 0 = hardware default
 
+thread_local Schedule g_schedule = Schedule::EdgeBalanced;
+
 int hardware_threads() {
 #ifdef PARMIS_HAVE_OPENMP
   return omp_get_max_threads();
@@ -55,6 +57,10 @@ void Execution::set_num_threads(int n) { g_threads = n > 0 ? n : 0; }
 
 int Execution::thread_setting() { return g_threads; }
 
+Schedule Execution::schedule() { return g_schedule; }
+
+void Execution::set_schedule(Schedule s) { g_schedule = s; }
+
 int Execution::max_threads() { return hardware_threads(); }
 
 bool Execution::is_parallel() {
@@ -63,15 +69,21 @@ bool Execution::is_parallel() {
 
 ScopedExecution::ScopedExecution(Backend b, int threads)
     : saved_backend_(Execution::backend()), saved_requested_(g_requested),
-      saved_threads_(g_threads) {
+      saved_threads_(g_threads), saved_schedule_(g_schedule) {
   Execution::set_backend(b);
   Execution::set_num_threads(threads);
+}
+
+ScopedExecution::ScopedExecution(Backend b, int threads, Schedule s)
+    : ScopedExecution(b, threads) {
+  Execution::set_schedule(s);
 }
 
 ScopedExecution::~ScopedExecution() {
   g_backend = saved_backend_;
   g_requested = saved_requested_;
   g_threads = saved_threads_;
+  g_schedule = saved_schedule_;
 }
 
 }  // namespace parmis::par

@@ -18,6 +18,22 @@ enum class Backend {
   OpenMP,  ///< multi-threaded host backend
 };
 
+/// How parallel loops partition their iteration space across threads.
+///
+/// `Static` and `EdgeBalanced` are fully deterministic: the chunk
+/// boundaries are a pure function of the range (and, for `EdgeBalanced`,
+/// the caller-supplied cost array), never of thread timing. `Dynamic` is
+/// the explicit opt-out — OpenMP hands chunks to whichever thread is free,
+/// so the work *assignment* is timing-dependent (results of the library's
+/// own kernels are still bit-identical because every loop body writes only
+/// its own slot, but Dynamic is excluded from the determinism contract and
+/// tests).
+enum class Schedule {
+  Static,        ///< equal iteration counts per chunk (the historical partition)
+  EdgeBalanced,  ///< equal *cost* per chunk via binary search into a prefix-sum array
+  Dynamic,       ///< OpenMP dynamic scheduling (work stealing; opt-out, see above)
+};
+
 /// Runtime execution configuration, *per OS thread* (thread-local): each
 /// thread that enters the library owns its own backend/thread-count
 /// setting, so concurrent callers pinning different `Context`s never race.
@@ -53,6 +69,13 @@ class Execution {
   /// num_threads(), to round-trip the configuration exactly.
   static int thread_setting();
 
+  /// Loop-partitioning policy consulted by `balanced_for` and the other
+  /// cost-aware primitives (`parallel_for` is always Static-partitioned).
+  static Schedule schedule();
+
+  /// Select the loop-partitioning policy (thread-local, like the backend).
+  static void set_schedule(Schedule s);
+
   /// Number of hardware threads available to the OpenMP backend.
   static int max_threads();
 
@@ -64,7 +87,11 @@ class Execution {
 /// determinism tests and the strong-scaling benchmarks).
 class ScopedExecution {
  public:
+  /// Pin backend + thread count; the schedule is left as-is (but still
+  /// restored on exit, so a nested set_schedule cannot leak).
   ScopedExecution(Backend b, int threads);
+  /// Pin backend + thread count + schedule.
+  ScopedExecution(Backend b, int threads, Schedule s);
   ~ScopedExecution();
   ScopedExecution(const ScopedExecution&) = delete;
   ScopedExecution& operator=(const ScopedExecution&) = delete;
@@ -73,6 +100,7 @@ class ScopedExecution {
   Backend saved_backend_;
   Backend saved_requested_;
   int saved_threads_;
+  Schedule saved_schedule_;
 };
 
 }  // namespace parmis::par

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/traversal.hpp"
+#include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 #include "partition/part_loads.hpp"
@@ -85,9 +86,11 @@ std::vector<ordinal_t> lp_grow_partition(const WeightedGraph& g, ordinal_t k,
   // --- synchronous region growth. Each round proposes labels for the
   // unassigned frontier in parallel from the previous round's snapshot,
   // then commits serially in vertex order.
+  // The proposal sweeps walk each vertex's neighbor row: degree-shaped
+  // work, so they chunk by the row_map cost prefix under EdgeBalanced.
   std::vector<ordinal_t> proposal(static_cast<std::size_t>(n));
   for (;;) {
-    par::parallel_for(n, [&](ordinal_t v) {
+    par::balanced_for(n, g.graph.row_map.data(), [&](ordinal_t v) {
       proposal[static_cast<std::size_t>(v)] = invalid_ordinal;
       if (part[static_cast<std::size_t>(v)] != invalid_ordinal) return;
       // Reused per-thread scratch; proposals are pure functions of the
@@ -213,7 +216,7 @@ std::vector<ordinal_t> lp_grow_partition(const WeightedGraph& g, ordinal_t k,
   std::vector<char> candidate(static_cast<std::size_t>(n));
   std::vector<std::int64_t> affinity(static_cast<std::size_t>(k), 0);
   for (int pass = 0; pass < opts.refine_passes; ++pass) {
-    par::parallel_for(n, [&](ordinal_t v) {
+    par::balanced_for(n, g.graph.row_map.data(), [&](ordinal_t v) {
       // Cheap over-approximation from the snapshot: a vertex can only gain
       // by moving if the weight it sends to other parts combined exceeds
       // what stays home. The serial commit re-checks exactly.

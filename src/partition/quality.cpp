@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "parallel/balanced_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 
 namespace parmis::partition {
@@ -40,7 +41,8 @@ QualityReport evaluate_partition(const WeightedGraph& g, std::span<const ordinal
   r.num_vertices = n;
   r.num_edges = g.graph.num_entries() / 2;
   if (n == 0 || k <= 0) return r;
-  r.total_edge_weight = par::reduce_sum<std::int64_t>(n, [&](ordinal_t v) {
+  const offset_t* row_cost = g.graph.row_map.data();
+  r.total_edge_weight = par::balanced_reduce_sum<std::int64_t>(n, row_cost, [&](ordinal_t v) {
     std::int64_t w = 0;
     for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
       w += g.edge_weight[static_cast<std::size_t>(j)];
@@ -48,9 +50,11 @@ QualityReport evaluate_partition(const WeightedGraph& g, std::span<const ordinal
     return w;
   }) / 2;
 
-  // Per-vertex contributions are pure functions of (graph, part), so the
-  // chunked reductions are bit-identical on every backend and thread count.
-  r.edge_cut = par::reduce_sum<std::int64_t>(n, [&](ordinal_t v) {
+  // Per-vertex contributions are pure functions of (graph, part) and the
+  // accumulators are integral (exactly associative), so the cost-balanced
+  // reductions are bit-identical on every backend, thread count, and
+  // schedule.
+  r.edge_cut = par::balanced_reduce_sum<std::int64_t>(n, row_cost, [&](ordinal_t v) {
     const ordinal_t pv = part[static_cast<std::size_t>(v)];
     std::int64_t cut = 0;
     for (offset_t j = g.graph.row_map[v]; j < g.graph.row_map[v + 1]; ++j) {
@@ -62,7 +66,7 @@ QualityReport evaluate_partition(const WeightedGraph& g, std::span<const ordinal
     return cut;
   }) / 2;
 
-  r.boundary_vertices = par::count_if(n, [&](ordinal_t v) {
+  r.boundary_vertices = par::balanced_count_if(n, row_cost, [&](ordinal_t v) {
     const ordinal_t pv = part[static_cast<std::size_t>(v)];
     for (ordinal_t u : g.graph.row(v)) {
       if (part[static_cast<std::size_t>(u)] != pv) return true;
@@ -71,7 +75,7 @@ QualityReport evaluate_partition(const WeightedGraph& g, std::span<const ordinal
   });
   r.boundary_fraction = static_cast<double>(r.boundary_vertices) / n;
 
-  r.comm_volume = par::reduce_sum<std::int64_t>(n, [&](ordinal_t v) {
+  r.comm_volume = par::balanced_reduce_sum<std::int64_t>(n, row_cost, [&](ordinal_t v) {
     const ordinal_t pv = part[static_cast<std::size_t>(v)];
     // Distinct remote parts adjacent to v — the halo copies a distributed
     // SpMV would ship for this vertex. Reused per-thread scratch; the

@@ -12,12 +12,15 @@
 #include "core/aggregation.hpp"
 #include "core/bell_misk.hpp"
 #include "core/coarsen.hpp"
+#include "core/coarsener.hpp"
 #include "core/luby_mis1.hpp"
 #include "core/mis2.hpp"
 #include "graph/generators.hpp"
 #include "graph/ops.hpp"
 #include "graph/registry.hpp"
+#include "parallel/context.hpp"
 #include "parallel/execution.hpp"
+#include "partition/interface.hpp"
 #include "solver/amg.hpp"
 #include "solver/cg.hpp"
 #include "solver/vector_ops.hpp"
@@ -123,6 +126,72 @@ TEST(Determinism, AmgIterationCounts) {
     cg_opts.max_iterations = 200;
     return solver::cg(a, b, x, cg_opts, &h).iterations;
   });
+}
+
+/// Backend × thread-count × schedule contexts swept by the schedule tests.
+/// Dynamic is deliberately absent: it is the documented opt-out from the
+/// determinism contract (see par::Schedule).
+std::vector<Context> schedule_contexts() {
+  std::vector<Context> ctxs;
+  for (const par::Schedule s : {par::Schedule::Static, par::Schedule::EdgeBalanced}) {
+    for (const auto& [backend, threads] : configs()) {
+      Context ctx;
+      ctx.backend = backend;
+      ctx.num_threads = threads;
+      ctx.schedule = s;
+      ctxs.push_back(ctx);
+    }
+  }
+  return ctxs;
+}
+
+TEST(Determinism, SchedulesAcrossRegisteredCoarseners) {
+  // Every registered coarsener must produce one bit-identical labeling
+  // across Serial/OpenMP, any thread count, and the Static/EdgeBalanced
+  // schedules — the schedule knob selects work placement, never results.
+  const graph::CrsGraph& skew = [] {
+    static const graph::CrsGraph g = graph::power_law_graph(4000, 2.2, 3, 400, 5);
+    return g;
+  }();
+  for (const core::CoarsenerSpec& spec : core::coarsener_registry()) {
+    std::vector<ordinal_t> reference;
+    bool first = true;
+    for (const Context& ctx : schedule_contexts()) {
+      core::CoarsenHandle handle(ctx);
+      const std::unique_ptr<core::Coarsener> c = spec.make();
+      const std::vector<ordinal_t> labels = c->run(skew, {}, handle).labels;
+      if (first) {
+        reference = labels;
+        first = false;
+      } else {
+        EXPECT_EQ(labels, reference)
+            << spec.name << " schedule=" << static_cast<int>(ctx.schedule)
+            << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
+      }
+    }
+  }
+}
+
+TEST(Determinism, SchedulesAcrossRegisteredPartitioners) {
+  const partition::WeightedGraph wg =
+      partition::WeightedGraph::unit(graph::power_law_graph(2500, 2.3, 3, 250, 17));
+  const ordinal_t k = 4;
+  for (const partition::PartitionerSpec& spec : partition::partitioner_registry()) {
+    std::vector<ordinal_t> reference;
+    bool first = true;
+    for (const Context& ctx : schedule_contexts()) {
+      Context::Scope scope(ctx);
+      const partition::PartitionResult r = spec.make()->run(wg, k);
+      if (first) {
+        reference = r.part;
+        first = false;
+      } else {
+        EXPECT_EQ(r.part, reference)
+            << spec.name << " schedule=" << static_cast<int>(ctx.schedule)
+            << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
+      }
+    }
+  }
 }
 
 TEST(Determinism, RepeatedRunsIdenticalWithinConfig) {

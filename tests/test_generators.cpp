@@ -156,6 +156,60 @@ TEST(Rgg3D, ThreadCountInvariant) {
   EXPECT_EQ(serial_g.entries, parallel_g.entries);
 }
 
+TEST(PowerLawGraph, SkewedDegreesAndValidStructure) {
+  const CrsGraph g = power_law_graph(4000, 2.2, 3, 400, 7);
+  EXPECT_EQ(g.num_rows, 4000);
+  EXPECT_TRUE(g.validate());
+  EXPECT_TRUE(is_symmetric(g));
+  const DegreeStats s = degree_stats(g);
+  // Heavy tail: the max degree dwarfs the average — the scheduling skew
+  // the edge-balanced policies exist for.
+  EXPECT_GT(s.avg_degree, 3.0);
+  EXPECT_GT(static_cast<double>(s.max_degree), 5.0 * s.avg_degree);
+}
+
+TEST(PowerLawGraph, DeterministicInSeedAndDistinctAcrossSeeds) {
+  const CrsGraph a = power_law_graph(1500, 2.3, 2, 200, 11);
+  const CrsGraph b = power_law_graph(1500, 2.3, 2, 200, 11);
+  EXPECT_EQ(a.row_map, b.row_map);
+  EXPECT_EQ(a.entries, b.entries);
+  const CrsGraph c = power_law_graph(1500, 2.3, 2, 200, 12);
+  EXPECT_NE(a.entries, c.entries);
+}
+
+TEST(PowerLawGraph, TrivialSizes) {
+  EXPECT_EQ(power_law_graph(0, 2.2, 2, 50, 1).num_rows, 0);
+  const CrsGraph one = power_law_graph(1, 2.2, 2, 50, 1);
+  EXPECT_EQ(one.num_rows, 1);
+  EXPECT_EQ(one.num_entries(), 0);  // no self loops possible
+}
+
+TEST(StarHubGraph, ExactStructure) {
+  const ordinal_t hubs = 5, leaves = 7;
+  const CrsGraph g = star_hub_graph(hubs, leaves);
+  EXPECT_EQ(g.num_rows, hubs * (leaves + 1));
+  EXPECT_TRUE(g.validate());
+  EXPECT_TRUE(is_symmetric(g));
+  for (ordinal_t h = 0; h < hubs; ++h) {
+    EXPECT_EQ(g.degree(h), leaves + 2) << "hub " << h;  // leaves + ring
+    for (ordinal_t l = 0; l < leaves; ++l) {
+      const ordinal_t leaf = hubs + h * leaves + l;
+      EXPECT_EQ(g.degree(leaf), 1);
+      EXPECT_EQ(g.row(leaf)[0], h);
+    }
+  }
+}
+
+TEST(StarHubGraph, DegenerateHubCounts) {
+  // One hub: a pure star, no ring edge.
+  const CrsGraph star = star_hub_graph(1, 4);
+  EXPECT_EQ(star.degree(0), 4);
+  // Two hubs: the ring collapses to a single (deduplicated) edge.
+  const CrsGraph two = star_hub_graph(2, 3);
+  EXPECT_EQ(two.degree(0), 4);  // 3 leaves + 1 ring edge
+  EXPECT_TRUE(two.validate());
+}
+
 TEST(MatrixMarket, RoundTrip) {
   const CrsMatrix a = laplace2d(6, 5);
   const std::string path = std::filesystem::temp_directory_path() / "parmis_mm_test.mtx";

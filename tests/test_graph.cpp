@@ -167,6 +167,31 @@ TEST(Ops, InducedSubgraph) {
   }
 }
 
+TEST(Ops, RelabelPermutesStructure) {
+  // Cycle 0-1-2-3 reversed: new id = 3 - old id. Still a cycle; row v's
+  // neighbors are its ± 1 ring mates under the new names.
+  const CrsGraph g = test::cycle_graph(4);
+  const std::vector<ordinal_t> new_id{3, 2, 1, 0};
+  const CrsGraph r = relabel(g, new_id);
+  EXPECT_TRUE(r.validate());
+  EXPECT_TRUE(is_symmetric(r));
+  EXPECT_EQ(r.num_entries(), g.num_entries());
+  for (ordinal_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(r.degree(v), 2);
+  }
+  // Identity relabeling is a no-op.
+  const std::vector<ordinal_t> ident{0, 1, 2, 3};
+  const CrsGraph same = relabel(g, ident);
+  EXPECT_EQ(same.row_map, g.row_map);
+  EXPECT_EQ(same.entries, g.entries);
+  // Degrees travel with the vertex: star hub keeps its degree anywhere.
+  const CrsGraph star = test::star_graph(4);  // hub 0, degree 4
+  std::vector<ordinal_t> rot{4, 0, 1, 2, 3};  // hub becomes vertex 4
+  const CrsGraph moved = relabel(star, rot);
+  EXPECT_EQ(moved.degree(4), 4);
+  EXPECT_EQ(moved.degree(0), 1);
+}
+
 TEST(DegreeStats, OnStar) {
   const CrsGraph g = test::star_graph(7);
   const DegreeStats s = degree_stats(g);
