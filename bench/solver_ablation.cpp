@@ -1,0 +1,154 @@
+/// \file solver_ablation.cpp
+/// \brief Solver-stack ablation: time-to-tolerance and iteration counts for
+/// every registered solver × preconditioner combination (× coarsener for
+/// the coarsening preconditioners) on the RGG and power-law generators.
+///
+/// The solver-side companion of bench/balance_ablation: quantifies what
+/// each preconditioner buys on a uniform-degree geometric input versus a
+/// skewed-degree power-law input, and what the coarsening scheme (the
+/// paper's MIS-2 aggregation vs basic MIS-2 vs HEM) changes for cluster-GS
+/// and AMG. Solves A x = b with A = Laplacian(G) + I, b deterministic,
+/// x0 = 0; solve time is the mean over `--trials` warm repetitions through
+/// one `SolveHandle` (setup paid once, reported separately).
+///
+/// Emits one JSON object per cell (stdout + `--out`, default
+/// BENCH_solver_ablation.json), feeding the BENCH_*.json trajectory.
+///
+/// Usage: bench_solver_ablation [--scale=F] [--trials=N] [--tol=T]
+///                              [--maxit=N] [--out=PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "core/coarsener.hpp"
+#include "graph/generators.hpp"
+#include "graph/rgg.hpp"
+#include "solver/handle.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace parmis {
+namespace {
+
+struct Options {
+  double scale = 0.25;
+  int trials = 3;
+  double tol = 1e-8;
+  int maxit = 400;
+  std::string out = "BENCH_solver_ablation.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (!std::strncmp(s, "--scale=", 8)) {
+      o.scale = std::atof(s + 8);
+    } else if (!std::strncmp(s, "--trials=", 9)) {
+      o.trials = std::atoi(s + 9);
+    } else if (!std::strncmp(s, "--tol=", 6)) {
+      o.tol = std::atof(s + 6);
+    } else if (!std::strncmp(s, "--maxit=", 8)) {
+      o.maxit = std::atoi(s + 8);
+    } else if (!std::strncmp(s, "--out=", 6)) {
+      o.out = s + 6;
+    } else if (!std::strcmp(s, "--full")) {
+      o.scale = 1.0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale=F] [--trials=N] [--tol=T] [--maxit=N] [--out=PATH]\n",
+                   argv[0]);
+      std::exit(1);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+}  // namespace parmis
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const Options opt = parse(argc, argv);
+
+  struct Input {
+    std::string name;
+    graph::CrsGraph g;
+  };
+  const ordinal_t n = std::max<ordinal_t>(4000, static_cast<ordinal_t>(100000 * opt.scale));
+  std::vector<Input> inputs;
+  inputs.push_back({"rgg_uniform", graph::random_geometric_3d(n, 12.0, 7)});
+  inputs.push_back(
+      {"power_law_skewed",
+       graph::power_law_graph(n, 2.2, 4, std::max<ordinal_t>(64, n / 60), 42)});
+
+  std::FILE* out = std::fopen(opt.out.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  bool first_row = true;
+  auto emit = [&](const std::string& json) {
+    std::printf("%s\n", json.c_str());
+    std::fprintf(out, "%s%s", first_row ? "" : ",\n", json.c_str());
+    first_row = false;
+  };
+
+  solver::IterOptions iter_opts;
+  iter_opts.tolerance = opt.tol;
+  iter_opts.max_iterations = opt.maxit;
+
+  std::printf("# solver_ablation: trials=%d scale=%.3f tol=%.1e maxit=%d\n", opt.trials,
+              opt.scale, opt.tol, opt.maxit);
+
+  for (const Input& in : inputs) {
+    const graph::CrsMatrix a = graph::laplacian_matrix(in.g, 1.0);
+    const std::vector<scalar_t> b = solver::random_vector(a.num_rows, 1);
+    std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+
+    for (const std::string& pname : solver::preconditioner_names()) {
+      const std::vector<std::string> coarseners = solver::find_preconditioner(pname).uses_coarsener
+                                                      ? core::coarsener_names()
+                                                      : std::vector<std::string>{"-"};
+      for (const std::string& cname : coarseners) {
+        solver::SolveHandle handle;
+        handle.set_preconditioner(pname);
+        if (cname != "-") {
+          handle.prec_options().coarsener = cname;
+          handle.prec_options().amg.coarsener = cname;
+        }
+        Timer setup_timer;
+        handle.setup(a);
+        const double setup_s = setup_timer.seconds();
+
+        for (const std::string& sname : solver::solver_names()) {
+          handle.set_solver(sname);
+          const double solve_s = bench::time_mean_s(opt.trials, [&] {
+            std::fill(x.begin(), x.end(), 0.0);
+            (void)handle.solve(a, b, x, iter_opts);
+          });
+          const solver::IterResult& r = handle.result();
+          char buf[512];
+          std::snprintf(
+              buf, sizeof(buf),
+              "{\"bench\":\"solver_ablation\",\"graph\":\"%s\",\"num_rows\":%d,"
+              "\"num_entries\":%lld,\"solver\":\"%s\",\"prec\":\"%s\",\"coarsener\":\"%s\","
+              "\"iterations\":%d,\"converged\":%s,\"relative_residual\":%.6e,"
+              "\"setup_seconds\":%.6e,\"solve_seconds\":%.6e}",
+              in.name.c_str(), a.num_rows, static_cast<long long>(a.num_entries()),
+              sname.c_str(), pname.c_str(), cname.c_str(), r.iterations,
+              r.converged ? "true" : "false", r.relative_residual, setup_s, solve_s);
+          emit(buf);
+        }
+      }
+    }
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::printf("# wrote %s\n", opt.out.c_str());
+  return 0;
+}

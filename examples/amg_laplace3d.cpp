@@ -5,12 +5,16 @@
 ///
 /// Run: ./amg_laplace3d [grid_side] [scheme]
 ///   scheme in {serial, serial-d2c, nb-d2c, mis2-basic, mis2-agg}
+///   or any registered coarsener name ("mis2", "hem", ... — see
+///   `linear_solve --list`), routed through `AmgOptions::coarsener`.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/timer.hpp"
+#include "core/coarsener.hpp"
 #include "graph/generators.hpp"
 #include "solver/amg.hpp"
 #include "solver/cg.hpp"
@@ -19,25 +23,35 @@
 int main(int argc, char** argv) {
   using namespace parmis;
   const ordinal_t side = argc > 1 ? static_cast<ordinal_t>(std::atoi(argv[1])) : 40;
-  solver::AggregationScheme scheme = solver::AggregationScheme::Mis2Agg;
+  solver::AmgOptions amg_opts;
+  std::string scheme_name = solver::to_string(amg_opts.scheme);
   if (argc > 2) {
     const char* s = argv[2];
-    if (!std::strcmp(s, "serial")) scheme = solver::AggregationScheme::SerialAgg;
-    else if (!std::strcmp(s, "serial-d2c")) scheme = solver::AggregationScheme::SerialD2C;
-    else if (!std::strcmp(s, "nb-d2c")) scheme = solver::AggregationScheme::NBD2C;
-    else if (!std::strcmp(s, "mis2-basic")) scheme = solver::AggregationScheme::Mis2Basic;
-    else if (!std::strcmp(s, "mis2-agg")) scheme = solver::AggregationScheme::Mis2Agg;
-    else { std::fprintf(stderr, "unknown scheme %s\n", s); return 1; }
+    if (!std::strcmp(s, "serial")) amg_opts.scheme = solver::AggregationScheme::SerialAgg;
+    else if (!std::strcmp(s, "serial-d2c")) amg_opts.scheme = solver::AggregationScheme::SerialD2C;
+    else if (!std::strcmp(s, "nb-d2c")) amg_opts.scheme = solver::AggregationScheme::NBD2C;
+    else if (!std::strcmp(s, "mis2-basic")) amg_opts.scheme = solver::AggregationScheme::Mis2Basic;
+    else if (!std::strcmp(s, "mis2-agg")) amg_opts.scheme = solver::AggregationScheme::Mis2Agg;
+    else {
+      // Not a Table V scheme: try the core coarsener registry.
+      try {
+        (void)core::find_coarsener(s);
+      } catch (const std::out_of_range&) {
+        std::fprintf(stderr, "unknown scheme %s\n", s);
+        return 1;
+      }
+      amg_opts.coarsener = s;
+    }
+    scheme_name = amg_opts.coarsener.empty() ? solver::to_string(amg_opts.scheme)
+                                             : amg_opts.coarsener;
   }
 
   std::printf("Laplace3D %d^3 (%d unknowns), aggregation: %s\n", side, side * side * side,
-              solver::to_string(scheme));
+              scheme_name.c_str());
 
   graph::CrsMatrix a = graph::laplace3d(side, side, side);
 
   // Setup: build the AMG hierarchy (aggregation + prolongators + RAP).
-  solver::AmgOptions amg_opts;
-  amg_opts.scheme = scheme;
   const solver::AmgHierarchy amg = solver::AmgHierarchy::build(std::move(a), amg_opts);
   std::printf("hierarchy: %d levels, operator complexity %.2f\n", amg.num_levels(),
               amg.operator_complexity());

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/matrix_market.hpp"
@@ -24,6 +25,21 @@
 #include "graph/rgg.hpp"
 
 namespace parmis::examples {
+
+/// Comma-separated argument lists (--algos=a,b / --solvers=s,... / ...),
+/// shared by the batch drivers. Empty fields are dropped.
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
 
 /// Build the adjacency described by `spec`; `scale` applies to registry
 /// surrogates only (fraction of the paper |V|). Throws std::runtime_error

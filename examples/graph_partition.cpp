@@ -28,19 +28,7 @@
 namespace {
 
 using namespace parmis;
-
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (pos <= s.size()) {
-    const std::size_t comma = s.find(',', pos);
-    const std::size_t end = comma == std::string::npos ? s.size() : comma;
-    if (end > pos) out.push_back(s.substr(pos, end - pos));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
+using examples::split_csv;
 
 void usage(const char* argv0) {
   std::fprintf(stderr,

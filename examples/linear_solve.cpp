@@ -1,0 +1,207 @@
+/// \file linear_solve.cpp
+/// \brief Batch linear-solve driver over the solver-stack registries: run
+/// any set of registered solvers × preconditioners (× coarseners, for the
+/// entries that coarsen) over any set of graphs and print a convergence
+/// comparison table — the solver-side mirror of `graph_partition`.
+///
+/// Each graph spec is turned into an SPD system A = Laplacian(G) + I and
+/// solved from x = 0 with b deterministic, so runs are comparable across
+/// machines. One `SolveHandle` per (preconditioner, coarsener) row group:
+/// the preconditioner is set up once and every solver reuses it, which is
+/// exactly the handle workflow a service uses.
+///
+/// Usage:
+///   linear_solve [--solvers=s,...|all] [--precs=p,...|all]
+///                [--coarseners=c,...] [--graphs=SPEC,...] [--scale=F]
+///                [--tol=T] [--maxit=N] [--json] [--list]
+///
+/// Graph SPECs are shared with parmis_tool / graph_partition
+/// (see graph_inputs.hpp):
+///   file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |
+///   gen:rgg:N:DEG | reg:NAME | reg:table2
+///
+/// Examples:
+///   linear_solve --list
+///   linear_solve --solvers=cg,gmres --precs=jacobi,cluster-gs,amg
+///   linear_solve --precs=amg --coarseners=mis2,hem --graphs=gen:laplace3d:30 --json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/coarsener.hpp"
+#include "graph/generators.hpp"
+#include "graph_inputs.hpp"
+#include "solver/handle.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace {
+
+using namespace parmis;
+using examples::split_csv;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--solvers=s,...|all] [--precs=p,...|all] [--coarseners=c,...]\n"
+               "          [--graphs=SPEC,...] [--scale=F] [--tol=T] [--maxit=N] [--json] "
+               "[--list]\n"
+               "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
+               "        gen:rgg:N:DEG | reg:NAME | reg:table2\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> solvers;
+  std::vector<std::string> precs;
+  std::vector<std::string> coarseners;
+  std::vector<std::string> graphs;
+  double scale = 0.05;
+  double tol = 1e-8;
+  int maxit = 1000;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (!std::strncmp(s, "--solvers=", 10)) {
+      const std::string v = s + 10;
+      solvers = v == "all" ? solver::solver_names() : split_csv(v);
+    } else if (!std::strncmp(s, "--precs=", 8)) {
+      const std::string v = s + 8;
+      precs = v == "all" ? solver::preconditioner_names() : split_csv(v);
+    } else if (!std::strncmp(s, "--coarseners=", 13)) {
+      const std::string v = s + 13;
+      coarseners = v == "all" ? core::coarsener_names() : split_csv(v);
+    } else if (!std::strncmp(s, "--graphs=", 9)) {
+      graphs = split_csv(s + 9);
+    } else if (!std::strncmp(s, "--scale=", 8)) {
+      scale = std::atof(s + 8);
+    } else if (!std::strncmp(s, "--tol=", 6)) {
+      tol = std::atof(s + 6);
+    } else if (!std::strncmp(s, "--maxit=", 8)) {
+      maxit = std::atoi(s + 8);
+    } else if (!std::strcmp(s, "--json")) {
+      json = true;
+    } else if (!std::strcmp(s, "--list")) {
+      std::printf("registered solvers:\n");
+      for (const solver::SolverSpec& spec : solver::solver_registry()) {
+        std::printf("  %-12s %s\n", spec.name.c_str(), spec.description.c_str());
+      }
+      std::printf("registered preconditioners:\n");
+      for (const solver::PreconditionerSpec& spec : solver::preconditioner_registry()) {
+        std::printf("  %-12s %s\n", spec.name.c_str(), spec.description.c_str());
+      }
+      std::printf("registered coarseners (for --precs=cluster-gs,amg):\n");
+      for (const core::CoarsenerSpec& spec : core::coarsener_registry()) {
+        std::printf("  %-12s %s\n", spec.name.c_str(), spec.description.c_str());
+      }
+      return 0;
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (solvers.empty()) solvers = solver::solver_names();
+  if (precs.empty()) precs = solver::preconditioner_names();
+  if (coarseners.empty()) coarseners = {"mis2"};
+  if (graphs.empty()) graphs = {"gen:laplace3d:20"};
+  if (tol <= 0 || maxit < 1) {
+    std::fprintf(stderr, "--tol must be positive and --maxit >= 1\n");
+    return 1;
+  }
+
+  // Fail fast on unknown registry names before loading any graph.
+  try {
+    for (const std::string& name : solvers) (void)solver::find_solver(name);
+    for (const std::string& name : precs) (void)solver::find_preconditioner(name);
+    for (const std::string& name : coarseners) (void)core::find_coarsener(name);
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "%s (try --list)\n", e.what());
+    return 1;
+  }
+
+  solver::IterOptions opts;
+  opts.tolerance = tol;
+  opts.max_iterations = maxit;
+
+  bool any_failed = false;
+  for (const std::string& spec : graphs) {
+    graph::CrsGraph g;
+    try {
+      g = examples::load_graph(spec, scale);
+    } catch (const std::exception& e) {
+      // Report and keep going: a typo in one spec must not throw away the
+      // rest of a long batch.
+      std::fprintf(stderr, "cannot load '%s': %s\n", spec.c_str(), e.what());
+      any_failed = true;
+      continue;
+    }
+    // A = Laplacian(G) + I: SPD with unit-bounded smallest eigenvalue, so
+    // the same stack configuration behaves comparably across inputs.
+    const graph::CrsMatrix a = graph::laplacian_matrix(g, 1.0);
+    const std::vector<scalar_t> b = solver::random_vector(a.num_rows, 1);
+
+    if (!json) {
+      std::printf("\n%s: %d unknowns, %lld entries, tol=%.1e\n", spec.c_str(), a.num_rows,
+                  static_cast<long long>(a.num_entries()), tol);
+      std::printf("  %-10s %-12s %-11s %6s %10s %9s %9s\n", "solver", "prec", "coarsener",
+                  "iters", "relres", "setup(s)", "solve(s)");
+    }
+    for (const std::string& pname : precs) {
+      // Only the coarsening preconditioners fan out over --coarseners.
+      const std::vector<std::string> row_coarseners =
+          solver::find_preconditioner(pname).uses_coarsener ? coarseners
+                                                            : std::vector<std::string>{"-"};
+      for (const std::string& cname : row_coarseners) {
+        // One handle per row group: the preconditioner sets up once and is
+        // shared by every solver below.
+        solver::SolveHandle handle;
+        handle.set_preconditioner(pname);
+        if (cname != "-") {
+          handle.prec_options().coarsener = cname;
+          handle.prec_options().amg.coarsener = cname;
+        }
+        Timer setup_timer;
+        try {
+          handle.setup(a);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "setup %s/%s on '%s': %s\n", pname.c_str(), cname.c_str(),
+                       spec.c_str(), e.what());
+          any_failed = true;
+          continue;
+        }
+        const double setup_s = setup_timer.seconds();
+
+        for (const std::string& sname : solvers) {
+          handle.set_solver(sname);
+          std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+          Timer solve_timer;
+          const solver::IterResult& r = handle.solve(a, b, x, opts);
+          const double solve_s = solve_timer.seconds();
+          if (!r.converged) any_failed = true;
+          if (json) {
+            // --json keeps stdout pure JSON-lines so the output pipes
+            // straight into jq.
+            std::printf(
+                "{\"graph\":\"%s\",\"n\":%d,\"solver\":\"%s\",\"prec\":\"%s\","
+                "\"coarsener\":\"%s\",\"iterations\":%d,\"relative_residual\":%.6e,"
+                "\"converged\":%s,\"setup_seconds\":%.6f,\"solve_seconds\":%.6f}\n",
+                spec.c_str(), a.num_rows, sname.c_str(), pname.c_str(), cname.c_str(),
+                r.iterations, r.relative_residual, r.converged ? "true" : "false", setup_s,
+                solve_s);
+          } else {
+            std::printf("  %-10s %-12s %-11s %6d %10.2e %9.4f %9.4f%s\n", sname.c_str(),
+                        pname.c_str(), cname.c_str(), r.iterations, r.relative_residual,
+                        setup_s, solve_s, r.converged ? "" : "  (no convergence)");
+          }
+        }
+      }
+    }
+  }
+  return any_failed ? 1 : 0;
+}

@@ -71,15 +71,25 @@ std::size_t CoarsenHandle::scratch_bytes() const {
          flags_.capacity() * sizeof(std::int64_t);
 }
 
+void CoarsenHandle::record_run(std::size_t bytes_before) {
+  ++stats_.runs;
+  stats_.iterations += static_cast<std::uint64_t>(agg_.phase1_iterations) +
+                       static_cast<std::uint64_t>(agg_.phase2_iterations);
+  if (scratch_bytes() > bytes_before) ++stats_.scratch_grows;
+}
+
 const Aggregation& CoarsenHandle::aggregate_basic(graph::GraphView g) {
   Context::Scope scope(context());
+  const std::size_t bytes_before = scratch_bytes();
   mis2_.run(g);
   build_basic(g, mis2_.result(), agg_, tent_);
+  record_run(bytes_before);
   return agg_;
 }
 
 const Aggregation& CoarsenHandle::aggregate_mis2(graph::GraphView g) {
   Context::Scope scope(context());
+  const std::size_t bytes_before = scratch_bytes();
   assert(g.num_rows == g.num_cols);
   const ordinal_t n = g.num_rows;
   Aggregation& agg = agg_;
@@ -186,12 +196,14 @@ const Aggregation& CoarsenHandle::aggregate_mis2(graph::GraphView g) {
     agg.labels[static_cast<std::size_t>(v)] = best_agg;
   });
 
+  record_run(bytes_before);
   return agg;
 }
 
 const Aggregation& CoarsenHandle::aggregate_hem(graph::GraphView g,
                                                 std::span<const ordinal_t> edge_weight,
                                                 std::uint64_t seed) {
+  const std::size_t bytes_before = scratch_bytes();
   assert(g.num_rows == g.num_cols);
   assert(edge_weight.empty() ||
          edge_weight.size() == static_cast<std::size_t>(g.num_entries()));
@@ -244,6 +256,7 @@ const Aggregation& CoarsenHandle::aggregate_hem(graph::GraphView g,
     if (u != invalid_ordinal) agg.labels[static_cast<std::size_t>(u)] = id;
   }
   agg.num_aggregates = num_coarse;
+  record_run(bytes_before);
   return agg;
 }
 

@@ -93,7 +93,15 @@ class CoarsenHandle {
   /// handle's (excludes the aggregation result).
   [[nodiscard]] std::size_t scratch_bytes() const;
 
+  /// Cumulative telemetry: aggregations run, MIS-2 iterations consumed
+  /// (phase 1 + phase 2), scratch growths. The nested MIS-2 handle keeps
+  /// its own counters (`mis2_handle().stats()`).
+  [[nodiscard]] const KernelStats& stats() const { return stats_; }
+
  private:
+  /// Update the telemetry counters at the end of one aggregation.
+  void record_run(std::size_t bytes_before);
+
   Mis2Handle mis2_;
   Aggregation agg_;
   std::vector<char> active_;        ///< leftover mask for Algorithm 3 phase 2
@@ -103,6 +111,7 @@ class CoarsenHandle {
   std::vector<ordinal_t> mate_;     ///< HEM partner array
   std::vector<ordinal_t> order_;    ///< HEM hashed visit order
   std::vector<std::int64_t> flags_; ///< compaction scan flags
+  KernelStats stats_;
 };
 
 /// Algorithm 2: basic MIS-2 coarsening (transient handle).

@@ -333,13 +333,21 @@ void dispatch(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
 
 const Mis2Result& Mis2Handle::run(graph::GraphView g) {
   Context::Scope scope(ctx_);
+  const std::size_t bytes_before = ws_.capacity_bytes();
   dispatch<false>(g, opts_, ctx_, {}, ws_, result_);
+  ++stats_.runs;
+  stats_.iterations += static_cast<std::uint64_t>(result_.iterations);
+  if (ws_.capacity_bytes() > bytes_before) ++stats_.scratch_grows;
   return result_;
 }
 
 const Mis2Result& Mis2Handle::run_masked(graph::GraphView g, std::span<const char> active) {
   Context::Scope scope(ctx_);
+  const std::size_t bytes_before = ws_.capacity_bytes();
   dispatch<true>(g, opts_, ctx_, active, ws_, result_);
+  ++stats_.runs;
+  stats_.iterations += static_cast<std::uint64_t>(result_.iterations);
+  if (ws_.capacity_bytes() > bytes_before) ++stats_.scratch_grows;
   return result_;
 }
 

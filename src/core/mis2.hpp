@@ -106,6 +106,14 @@ struct Mis2Workspace {
   [[nodiscard]] std::size_t capacity_bytes() const;
 };
 
+/// Cumulative per-handle telemetry (service counters shared by the core
+/// kernel handles; never reset by the handle itself).
+struct KernelStats {
+  std::uint64_t runs = 0;           ///< kernel invocations completed
+  std::uint64_t iterations = 0;     ///< total algorithm iterations across runs
+  std::uint64_t scratch_grows = 0;  ///< runs that grew scratch capacity
+};
+
 /// Reusable MIS-2 kernel handle: explicit execution context + options +
 /// scratch + result storage. Not thread-safe; use one handle per thread.
 class Mis2Handle {
@@ -136,11 +144,15 @@ class Mis2Handle {
   /// Heap capacity held by the scratch arrays (excludes the result).
   [[nodiscard]] std::size_t scratch_bytes() const { return ws_.capacity_bytes(); }
 
+  /// Cumulative telemetry: runs, MIS-2 iterations, scratch growths.
+  [[nodiscard]] const KernelStats& stats() const { return stats_; }
+
  private:
   Mis2Options opts_{};
   Context ctx_ = Context::default_ctx();
   Mis2Workspace ws_;
   Mis2Result result_;
+  KernelStats stats_;
 };
 
 /// Compute an MIS-2 of `g` (Algorithm 1) with a transient handle.

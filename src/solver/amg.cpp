@@ -55,6 +55,15 @@ core::Aggregation run_aggregation(graph::GraphView adjacency, AggregationScheme 
   return run_aggregation(adjacency, scheme, mis2_opts, handle);
 }
 
+core::Aggregation run_aggregation(graph::GraphView adjacency, const std::string& coarsener,
+                                  const core::Mis2Options& mis2_opts,
+                                  core::CoarsenHandle& handle) {
+  core::CoarsenOptions copts;
+  copts.mis2 = mis2_opts;
+  (void)core::find_coarsener(coarsener).make()->run(adjacency, {}, handle, copts);
+  return handle.take_aggregation();
+}
+
 namespace {
 
 /// Tentative prolongator: column a = normalized indicator of aggregate a.
@@ -102,11 +111,15 @@ AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts
   AmgHierarchy h;
   h.opts_ = opts;
   Timer setup_timer;
+  // The whole setup (aggregation, SpGEMM, smoother estimation) runs under
+  // the options' context; unset inherits the ambient configuration.
+  const Context ctx = opts.ctx ? *opts.ctx : Context::default_ctx();
+  Context::Scope scope(ctx);
 
   graph::CrsMatrix current = std::move(a_fine);
   // One coarsening handle for the whole setup: MIS-2 scratch is reused
   // across every level of the hierarchy.
-  core::CoarsenHandle coarsen_handle;
+  core::CoarsenHandle coarsen_handle(opts.mis2, ctx);
   for (int lvl = 0; lvl < opts.max_levels; ++lvl) {
     AmgLevel level;
     level.a = std::move(current);
@@ -120,7 +133,10 @@ AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts
     if (!coarsest) {
       const graph::CrsGraph adj = graph::remove_self_loops(graph::GraphView(level.a));
       Timer agg_timer;
-      const core::Aggregation agg = run_aggregation(adj, opts.scheme, opts.mis2, coarsen_handle);
+      const core::Aggregation agg =
+          opts.coarsener.empty()
+              ? run_aggregation(adj, opts.scheme, opts.mis2, coarsen_handle)
+              : run_aggregation(adj, opts.coarsener, opts.mis2, coarsen_handle);
       h.aggregation_seconds_ += agg_timer.seconds();
       level.num_aggregates = agg.num_aggregates;
 
@@ -143,13 +159,22 @@ AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts
 
   h.coarse_lu_ = std::make_unique<DenseLU>(h.levels_.back().a);
 
-  // V-cycle workspaces.
+  // V-cycle workspaces, including the smoother scratch: apply()/vcycle()
+  // never allocate.
   h.work_r_.resize(h.levels_.size());
   h.work_bc_.resize(h.levels_.size());
   h.work_xc_.resize(h.levels_.size());
+  h.work_s1_.resize(h.levels_.size());
+  h.work_s2_.resize(h.levels_.size());
+  h.work_s3_.resize(h.levels_.size());
   for (std::size_t i = 0; i < h.levels_.size(); ++i) {
     const std::size_t n = static_cast<std::size_t>(h.levels_[i].a.num_rows);
     h.work_r_[i].resize(n);
+    h.work_s1_[i].resize(n);
+    if (opts.smoother == SmootherType::Chebyshev) {
+      h.work_s2_[i].resize(n);
+      h.work_s3_[i].resize(n);
+    }
     if (i + 1 < h.levels_.size()) {
       const std::size_t nc = static_cast<std::size_t>(h.levels_[i + 1].a.num_rows);
       h.work_bc_[i].resize(nc);
@@ -172,11 +197,12 @@ void AmgHierarchy::cycle_level(std::size_t lvl, std::span<const scalar_t> b,
   auto smooth = [&](std::span<const scalar_t> rhs, std::span<scalar_t> sol) {
     if (level.chebyshev) {
       for (int s = 0; s < opts_.smoother_sweeps; ++s) {
-        level.chebyshev->smooth(level.a, rhs, sol);
+        level.chebyshev->smooth(level.a, rhs, sol, work_s1_[lvl], work_s2_[lvl],
+                                work_s3_[lvl]);
       }
     } else {
       jacobi_smooth(level.a, level.inv_diag, rhs, sol, opts_.smoother_sweeps,
-                    opts_.jacobi_omega);
+                    opts_.jacobi_omega, work_s1_[lvl]);
     }
   };
 
@@ -210,7 +236,8 @@ void AmgHierarchy::apply(std::span<const scalar_t> r, std::span<scalar_t> z) con
 }
 
 std::string AmgHierarchy::name() const {
-  return std::string("sa-amg(") + to_string(opts_.scheme) + ")";
+  return std::string("sa-amg(") +
+         (opts_.coarsener.empty() ? to_string(opts_.scheme) : opts_.coarsener.c_str()) + ")";
 }
 
 double AmgHierarchy::operator_complexity() const {

@@ -15,11 +15,14 @@
 /// 2 Jacobi sweeps, tol 1e-12).
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/aggregation.hpp"
 #include "core/coarsener.hpp"
 #include "graph/crs.hpp"
+#include "parallel/context.hpp"
 #include "solver/chebyshev.hpp"
 #include "solver/dense_lu.hpp"
 #include "solver/preconditioner.hpp"
@@ -43,6 +46,14 @@ enum class SmootherType { Jacobi, Chebyshev };
 
 struct AmgOptions {
   AggregationScheme scheme = AggregationScheme::Mis2Agg;
+  /// Core `Coarsener` registry name ("mis2", "mis2-basic", "hem", ...).
+  /// When non-empty it overrides `scheme`: AMG composes with any registered
+  /// coarsening algorithm, including ones registered after this header was
+  /// written. Empty (the default) keeps the Table V scheme dispatch.
+  std::string coarsener;
+  /// Execution context the setup and every V-cycle-level kernel run under.
+  /// Unset inherits the ambient configuration (pre-Context behavior).
+  std::optional<Context> ctx;
   int max_levels = 10;
   ordinal_t coarse_size = 500;       ///< direct-solve threshold
   scalar_t prolongator_omega = 2.0 / 3.0;
@@ -92,8 +103,12 @@ class AmgHierarchy final : public Preconditioner {
   AmgOptions opts_;
   double aggregation_seconds_{0};
   double setup_seconds_{0};
-  // Per-level work vectors for the V-cycle (sized at build).
+  // Per-level work vectors for the V-cycle (sized at build, so apply() and
+  // vcycle() perform zero heap allocations — the warm-solve contract).
   mutable std::vector<std::vector<scalar_t>> work_r_, work_bc_, work_xc_;
+  // Per-level smoother scratch: s1 is the Jacobi double-buffer (always
+  // sized); s2/s3 complete the Chebyshev triple when that smoother is on.
+  mutable std::vector<std::vector<scalar_t>> work_s1_, work_s2_, work_s3_;
 };
 
 /// Dispatch helper shared with benches/tests: run the chosen aggregation
@@ -109,5 +124,13 @@ class AmgHierarchy final : public Preconditioner {
 [[nodiscard]] core::Aggregation run_aggregation(graph::GraphView adjacency,
                                                 AggregationScheme scheme,
                                                 const core::Mis2Options& mis2_opts);
+
+/// Registry-named variant: aggregate with any registered core coarsener
+/// (what `AmgOptions::coarsener` routes through). Throws std::out_of_range
+/// on an unknown name.
+[[nodiscard]] core::Aggregation run_aggregation(graph::GraphView adjacency,
+                                                const std::string& coarsener,
+                                                const core::Mis2Options& mis2_opts,
+                                                core::CoarsenHandle& handle);
 
 }  // namespace parmis::solver

@@ -4,25 +4,25 @@
 #include <cmath>
 
 #include "graph/spmv.hpp"
+#include "solver/interface.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace parmis::solver {
 
-IterResult cg(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
-              const IterOptions& opts, const Preconditioner* prec) {
+void cg_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+              const IterOptions& opts, const Preconditioner* prec, SolveWorkspace& ws,
+              IterResult& result) {
   assert(a.num_rows == a.num_cols);
   const std::size_t n = static_cast<std::size_t>(a.num_rows);
   assert(b.size() == n && x.size() == n);
 
-  IterResult result;
-  const scalar_t bnorm = norm2(b);
-  if (bnorm == 0) {
-    fill(x, 0.0);
-    result.converged = true;
-    return result;
-  }
+  scalar_t bnorm = 0;
+  if (!begin_solve(opts, b, x, ws, result, bnorm)) return;
 
-  std::vector<scalar_t> r(n), z(n), p(n), ap(n);
+  std::span<scalar_t> r = ws.vec(0, n);
+  std::span<scalar_t> z = ws.vec(1, n);
+  std::span<scalar_t> p = ws.vec(2, n);
+  std::span<scalar_t> ap = ws.vec(3, n);
 
   // r = b - A x
   graph::spmv(a, x, r);
@@ -66,6 +66,15 @@ IterResult cg(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<
   }
   result.converged = result.converged || relres <= opts.tolerance;
   result.relative_residual = relres;
+}
+
+IterResult cg(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+              const IterOptions& opts, const Preconditioner* prec) {
+  const Context ctx = opts.ctx ? *opts.ctx : Context::default_ctx();
+  Context::Scope scope(ctx);
+  SolveWorkspace ws;
+  IterResult result;
+  cg_solve(a, b, x, opts, prec, ws, result);
   return result;
 }
 

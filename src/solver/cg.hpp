@@ -1,33 +1,25 @@
 #pragma once
 /// \file cg.hpp
 /// \brief Preconditioned conjugate gradient (the Table V outer solver).
+///
+/// `IterOptions`/`IterResult` moved to solver/options.hpp; the registry
+/// entry ("cg") and the workspace-based core live behind
+/// solver/interface.hpp. The free function below remains as a
+/// transient-handle shim for migration.
 
 #include <span>
-#include <vector>
 
 #include "graph/crs.hpp"
+#include "solver/options.hpp"
 #include "solver/preconditioner.hpp"
 
 namespace parmis::solver {
 
-/// Shared Krylov-solver configuration.
-struct IterOptions {
-  int max_iterations = 1000;
-  double tolerance = 1e-8;     ///< on ||r|| / ||b||
-  bool track_history = false;  ///< record the residual per iteration
-};
-
-/// Shared Krylov-solver outcome.
-struct IterResult {
-  int iterations = 0;
-  double relative_residual = 0.0;
-  bool converged = false;
-  std::vector<double> history;
-};
-
 /// Solve SPD `a x = b` with (preconditioned) CG, starting from the given
 /// `x`. `prec` may be null (unpreconditioned). Deterministic for any
-/// thread count (all reductions are fixed-order).
+/// thread count (all reductions are fixed-order). Shim over a transient
+/// `SolveHandle` (see solver/handle.hpp); construct one explicitly where
+/// calls repeat.
 IterResult cg(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
               const IterOptions& opts = {}, const Preconditioner* prec = nullptr);
 

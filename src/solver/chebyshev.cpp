@@ -5,6 +5,7 @@
 
 #include "graph/spmv.hpp"
 #include "parallel/parallel_for.hpp"
+#include "solver/interface.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -46,18 +47,26 @@ ChebyshevSmoother::ChebyshevSmoother(const graph::CrsMatrix& a, int degree, scal
 
 void ChebyshevSmoother::smooth(const graph::CrsMatrix& a, std::span<const scalar_t> b,
                                std::span<scalar_t> x) const {
+  const std::size_t n = static_cast<std::size_t>(a.num_rows);
+  std::vector<scalar_t> r(n);   // preconditioned residual
+  std::vector<scalar_t> d(n);   // search update
+  std::vector<scalar_t> ad(n);  // A d scratch
+  smooth(a, b, x, r, d, ad);
+}
+
+void ChebyshevSmoother::smooth(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                               std::span<scalar_t> x, std::span<scalar_t> r,
+                               std::span<scalar_t> d, std::span<scalar_t> ad) const {
   const ordinal_t n = a.num_rows;
   assert(b.size() == static_cast<std::size_t>(n) && x.size() == static_cast<std::size_t>(n));
+  assert(r.size() == static_cast<std::size_t>(n) && d.size() == static_cast<std::size_t>(n) &&
+         ad.size() == static_cast<std::size_t>(n));
 
   // Three-term Chebyshev recurrence on the split-preconditioned system
   // (Saad, "Iterative Methods for Sparse Linear Systems", Alg. 12.1).
   const scalar_t theta = 0.5 * (lambda_max_ + lambda_min_);
   const scalar_t delta = 0.5 * (lambda_max_ - lambda_min_);
   const scalar_t sigma1 = theta / delta;
-
-  std::vector<scalar_t> r(static_cast<std::size_t>(n));   // preconditioned residual
-  std::vector<scalar_t> d(static_cast<std::size_t>(n));   // search update
-  std::vector<scalar_t> ad(static_cast<std::size_t>(n));  // A d scratch
 
   // r = D^{-1} (b - A x); d = r / theta; x += d.
   graph::spmv(a, x, r);
@@ -86,6 +95,58 @@ void ChebyshevSmoother::smooth(const graph::CrsMatrix& a, std::span<const scalar
     axpby(1.0, d, 1.0, x);
     rho_prev = rho;
   }
+}
+
+void chebyshev_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                     std::span<scalar_t> x, const IterOptions& opts, SolveWorkspace& ws,
+                     IterResult& result) {
+  assert(a.num_rows == a.num_cols);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows);
+  assert(b.size() == n && x.size() == n);
+
+  scalar_t bnorm = 0;
+  if (!begin_solve(opts, b, x, ws, result, bnorm)) return;
+
+  // Reuse the smoother while the matrix and polynomial are unchanged (its
+  // setup runs a power iteration — a cost warm solves must not repay).
+  const bool stale = !ws.chebyshev || ws.chebyshev_matrix != &a ||
+                     ws.chebyshev_rows != a.num_rows ||
+                     ws.chebyshev_entries != a.num_entries() ||
+                     ws.chebyshev_degree != opts.chebyshev_degree ||
+                     ws.chebyshev_eig_ratio != opts.chebyshev_eig_ratio;
+  if (stale) {
+    ws.chebyshev = std::make_unique<ChebyshevSmoother>(
+        a, opts.chebyshev_degree, static_cast<scalar_t>(opts.chebyshev_eig_ratio));
+    ws.chebyshev_matrix = &a;
+    ws.chebyshev_rows = a.num_rows;
+    ws.chebyshev_entries = a.num_entries();
+    ws.chebyshev_degree = opts.chebyshev_degree;
+    ws.chebyshev_eig_ratio = opts.chebyshev_eig_ratio;
+    ++ws.grow_events;
+  }
+
+  std::span<scalar_t> r = ws.vec(0, n);
+  std::span<scalar_t> d = ws.vec(1, n);
+  std::span<scalar_t> ad = ws.vec(2, n);
+  std::span<scalar_t> resid = ws.vec(3, n);
+
+  graph::spmv(a, x, resid);
+  axpby(1.0, b, -1.0, resid);  // resid = b - A x
+  double relres = norm2(resid) / bnorm;
+  if (opts.track_history) result.history.push_back(relres);
+
+  while (result.iterations < opts.max_iterations && relres > opts.tolerance) {
+    ws.chebyshev->smooth(a, b, x, r, d, ad);
+    ++result.iterations;
+    graph::spmv(a, x, resid);
+    axpby(1.0, b, -1.0, resid);
+    relres = norm2(resid) / bnorm;
+    if (opts.track_history) result.history.push_back(relres);
+    if (!std::isfinite(relres)) break;  // divergence guard
+  }
+
+  result.relative_residual = relres;
+  result.converged = relres <= opts.tolerance;
 }
 
 }  // namespace parmis::solver

@@ -7,6 +7,10 @@
 /// interval [λmax/eig_ratio, λmax], damping the high-frequency error modes
 /// multigrid relies on the smoother to remove. λmax is estimated with a
 /// deterministic power iteration on D⁻¹A.
+///
+/// Also usable as a stand-alone relaxation *solver* through the solver
+/// registry ("chebyshev", see solver/interface.hpp): repeated polynomial
+/// applications until the residual tolerance is met.
 
 #include <span>
 #include <vector>
@@ -22,12 +26,20 @@ class ChebyshevSmoother {
   explicit ChebyshevSmoother(const graph::CrsMatrix& a, int degree = 2,
                              scalar_t eig_ratio = 20.0);
 
-  /// One application: x <- x + p(D⁻¹A) D⁻¹ (b - A x).
+  /// One application: x <- x + p(D⁻¹A) D⁻¹ (b - A x). Allocates its three
+  /// temporaries; prefer the scratch overload on hot paths.
   void smooth(const graph::CrsMatrix& a, std::span<const scalar_t> b,
               std::span<scalar_t> x) const;
 
+  /// Allocation-free application into caller-owned scratch (`r`, `d`, `ad`
+  /// must each have `a.num_rows` elements). This is what the AMG V-cycle
+  /// and the "chebyshev" registry solver use for zero-allocation warm runs.
+  void smooth(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+              std::span<scalar_t> r, std::span<scalar_t> d, std::span<scalar_t> ad) const;
+
   [[nodiscard]] scalar_t lambda_max() const { return lambda_max_; }
   [[nodiscard]] int degree() const { return degree_; }
+  [[nodiscard]] scalar_t eig_ratio() const { return lambda_max_ / lambda_min_; }
 
  private:
   std::vector<scalar_t> inv_diag_;

@@ -76,6 +76,13 @@ class ClusterGsPreconditioner final : public Preconditioner {
                               ClusterMulticolorGS::Coarsening::Mis2Agg)
       : a_(a), gs_(a, coarsening), sweeps_(sweeps) {}
 
+  /// Registry-composed setup: any registered coarsener by name, under an
+  /// explicit execution context (the "cluster-gs" registry entry's path).
+  ClusterGsPreconditioner(const graph::CrsMatrix& a, int sweeps, const std::string& coarsener,
+                          const core::Mis2Options& mis2_opts = {},
+                          const Context& ctx = Context::default_ctx())
+      : a_(a), gs_(a, coarsener, mis2_opts, ctx), sweeps_(sweeps) {}
+
   void apply(std::span<const scalar_t> r, std::span<scalar_t> z) const override;
   [[nodiscard]] std::string name() const override { return "cluster-multicolor-sgs"; }
   [[nodiscard]] const ClusterMulticolorGS& gs() const { return gs_; }

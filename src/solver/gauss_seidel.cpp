@@ -41,9 +41,10 @@ void serial_gs_sweep(const graph::CrsMatrix& a, std::span<const scalar_t> b,
   }
 }
 
-PointMulticolorGS::PointMulticolorGS(const graph::CrsMatrix& a) {
+PointMulticolorGS::PointMulticolorGS(const graph::CrsMatrix& a, const Context& ctx) {
   assert(a.num_rows == a.num_cols);
   Timer timer;
+  Context::Scope scope(ctx);
   // Color the off-diagonal structure; the diagonal is not a coupling.
   coloring_ = coloring::parallel_d1_coloring(graph::GraphView(a));
   sets_ = coloring::color_sets(coloring_);

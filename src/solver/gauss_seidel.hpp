@@ -16,6 +16,7 @@
 
 #include "coloring/d1_coloring.hpp"
 #include "graph/crs.hpp"
+#include "parallel/context.hpp"
 #include "solver/preconditioner.hpp"
 
 namespace parmis::solver {
@@ -30,8 +31,10 @@ void serial_gs_sweep(const graph::CrsMatrix& a, std::span<const scalar_t> b,
 /// graph plus the color classes and inverted diagonal.
 class PointMulticolorGS {
  public:
-  /// Color A's adjacency (parallel, deterministic) and cache the classes.
-  explicit PointMulticolorGS(const graph::CrsMatrix& a);
+  /// Color A's adjacency (parallel, deterministic) and cache the classes;
+  /// setup runs under `ctx`.
+  explicit PointMulticolorGS(const graph::CrsMatrix& a,
+                             const Context& ctx = Context::default_ctx());
 
   /// One multicolor sweep: colors ascending (Forward) or descending
   /// (Backward); rows within a color update in parallel.
@@ -56,8 +59,9 @@ class PointMulticolorGS {
 /// point-multicolor GS sweeps on A z = r starting from z = 0.
 class PointGsPreconditioner final : public Preconditioner {
  public:
-  PointGsPreconditioner(const graph::CrsMatrix& a, int sweeps = 1)
-      : a_(a), gs_(a), sweeps_(sweeps) {}
+  PointGsPreconditioner(const graph::CrsMatrix& a, int sweeps = 1,
+                        const Context& ctx = Context::default_ctx())
+      : a_(a), gs_(a, ctx), sweeps_(sweeps) {}
 
   void apply(std::span<const scalar_t> r, std::span<scalar_t> z) const override;
   [[nodiscard]] std::string name() const override { return "point-multicolor-sgs"; }

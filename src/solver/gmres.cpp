@@ -2,41 +2,44 @@
 
 #include <cassert>
 #include <cmath>
-#include <vector>
 
 #include "graph/spmv.hpp"
+#include "solver/interface.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace parmis::solver {
 
-IterResult gmres(const graph::CrsMatrix& a, std::span<const scalar_t> b,
-                 std::span<scalar_t> x, const IterOptions& opts, const Preconditioner* prec,
-                 int restart) {
+namespace {
+
+void gmres_core(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                std::span<scalar_t> x, const IterOptions& opts, const Preconditioner* prec,
+                int restart, SolveWorkspace& ws, IterResult& result) {
   assert(a.num_rows == a.num_cols);
   const std::size_t n = static_cast<std::size_t>(a.num_rows);
   assert(b.size() == n && x.size() == n);
   assert(restart >= 1);
 
-  IterResult result;
-  const scalar_t bnorm = norm2(b);
-  if (bnorm == 0) {
-    fill(x, 0.0);
-    result.converged = true;
-    return result;
-  }
+  scalar_t bnorm = 0;
+  if (!begin_solve(opts, b, x, ws, result, bnorm)) return;
 
   const int m = restart;
-  // Krylov basis (m+1 vectors), Hessenberg (column-major, (m+1) x m),
-  // Givens rotations, and the residual-norm recurrence vector g.
-  std::vector<std::vector<scalar_t>> basis(static_cast<std::size_t>(m) + 1,
-                                           std::vector<scalar_t>(n));
-  std::vector<scalar_t> hess(static_cast<std::size_t>(m + 1) * m, 0);
-  std::vector<scalar_t> cs(static_cast<std::size_t>(m), 0), sn(static_cast<std::size_t>(m), 0);
-  std::vector<scalar_t> g(static_cast<std::size_t>(m) + 1, 0);
-  std::vector<scalar_t> w(n), tmp(n);
+  // Krylov basis (m+1 pool slots), Hessenberg (column-major, (m+1) x m),
+  // Givens rotations, the residual-norm recurrence vector g, and two
+  // temporaries — all workspace-owned, so warm solves allocate nothing.
+  auto basis = [&](int i) { return ws.vec(static_cast<std::size_t>(i), n); };
+  std::span<scalar_t> w = ws.vec(static_cast<std::size_t>(m) + 1, n);
+  std::span<scalar_t> tmp = ws.vec(static_cast<std::size_t>(m) + 2, n);
+  ws.ensure_small(ws.hess, static_cast<std::size_t>(m + 1) * static_cast<std::size_t>(m));
+  ws.ensure_small(ws.cs, static_cast<std::size_t>(m));
+  ws.ensure_small(ws.sn, static_cast<std::size_t>(m));
+  ws.ensure_small(ws.g, static_cast<std::size_t>(m) + 1);
+  ws.ensure_small(ws.y, static_cast<std::size_t>(m));
+  std::fill(ws.hess.begin(), ws.hess.end(), 0.0);
+  std::fill(ws.cs.begin(), ws.cs.end(), 0.0);
+  std::fill(ws.sn.begin(), ws.sn.end(), 0.0);
 
   auto h = [&](int i, int j) -> scalar_t& {
-    return hess[static_cast<std::size_t>(j) * (m + 1) + static_cast<std::size_t>(i)];
+    return ws.hess[static_cast<std::size_t>(j) * (m + 1) + static_cast<std::size_t>(i)];
   };
 
   auto apply_right_prec = [&](std::span<const scalar_t> in, std::span<scalar_t> out) {
@@ -57,57 +60,59 @@ IterResult gmres(const graph::CrsMatrix& a, std::span<const scalar_t> b,
 
   while (result.iterations < opts.max_iterations && relres > opts.tolerance) {
     // Outer (restart) cycle: v0 = r / ||r||.
-    graph::spmv(a, x, basis[0]);
-    axpby(1.0, b, -1.0, basis[0]);
-    const scalar_t beta = norm2(basis[0]);
+    graph::spmv(a, x, basis(0));
+    axpby(1.0, b, -1.0, basis(0));
+    const scalar_t beta = norm2(basis(0));
     if (beta == 0) {
       relres = 0;
       break;
     }
-    scale(basis[0], 1.0 / beta);
-    std::fill(g.begin(), g.end(), 0.0);
-    g[0] = beta;
+    scale(basis(0), 1.0 / beta);
+    std::fill(ws.g.begin(), ws.g.end(), 0.0);
+    ws.g[0] = beta;
 
     int k = 0;  // columns built this cycle
     for (; k < m && result.iterations < opts.max_iterations; ++k) {
       // Arnoldi: w = A M^{-1} v_k, orthogonalized against the basis.
-      apply_right_prec(basis[static_cast<std::size_t>(k)], tmp);
+      apply_right_prec(basis(k), tmp);
       graph::spmv(a, tmp, w);
       for (int i = 0; i <= k; ++i) {
-        h(i, k) = dot(w, basis[static_cast<std::size_t>(i)]);
-        axpby(-h(i, k), basis[static_cast<std::size_t>(i)], 1.0, w);
+        h(i, k) = dot(w, basis(i));
+        axpby(-h(i, k), basis(i), 1.0, w);
       }
       h(k + 1, k) = norm2(w);
       if (h(k + 1, k) != 0) {
-        copy(w, basis[static_cast<std::size_t>(k) + 1]);
-        scale(basis[static_cast<std::size_t>(k) + 1], 1.0 / h(k + 1, k));
+        copy(w, basis(k + 1));
+        scale(basis(k + 1), 1.0 / h(k + 1, k));
       }
 
       // Apply stored Givens rotations to the new column, then form a new
       // rotation to zero h(k+1, k).
       for (int i = 0; i < k; ++i) {
-        const scalar_t t = cs[static_cast<std::size_t>(i)] * h(i, k) +
-                           sn[static_cast<std::size_t>(i)] * h(i + 1, k);
-        h(i + 1, k) = -sn[static_cast<std::size_t>(i)] * h(i, k) +
-                      cs[static_cast<std::size_t>(i)] * h(i + 1, k);
+        const scalar_t t = ws.cs[static_cast<std::size_t>(i)] * h(i, k) +
+                           ws.sn[static_cast<std::size_t>(i)] * h(i + 1, k);
+        h(i + 1, k) = -ws.sn[static_cast<std::size_t>(i)] * h(i, k) +
+                      ws.cs[static_cast<std::size_t>(i)] * h(i + 1, k);
         h(i, k) = t;
       }
       const scalar_t denom = std::hypot(h(k, k), h(k + 1, k));
       if (denom == 0) {
-        cs[static_cast<std::size_t>(k)] = 1;
-        sn[static_cast<std::size_t>(k)] = 0;
+        ws.cs[static_cast<std::size_t>(k)] = 1;
+        ws.sn[static_cast<std::size_t>(k)] = 0;
       } else {
-        cs[static_cast<std::size_t>(k)] = h(k, k) / denom;
-        sn[static_cast<std::size_t>(k)] = h(k + 1, k) / denom;
+        ws.cs[static_cast<std::size_t>(k)] = h(k, k) / denom;
+        ws.sn[static_cast<std::size_t>(k)] = h(k + 1, k) / denom;
       }
-      h(k, k) = cs[static_cast<std::size_t>(k)] * h(k, k) +
-                sn[static_cast<std::size_t>(k)] * h(k + 1, k);
+      h(k, k) = ws.cs[static_cast<std::size_t>(k)] * h(k, k) +
+                ws.sn[static_cast<std::size_t>(k)] * h(k + 1, k);
       h(k + 1, k) = 0;
-      g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
-      g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
+      ws.g[static_cast<std::size_t>(k) + 1] =
+          -ws.sn[static_cast<std::size_t>(k)] * ws.g[static_cast<std::size_t>(k)];
+      ws.g[static_cast<std::size_t>(k)] =
+          ws.cs[static_cast<std::size_t>(k)] * ws.g[static_cast<std::size_t>(k)];
 
       ++result.iterations;
-      relres = std::abs(g[static_cast<std::size_t>(k) + 1]) / bnorm;
+      relres = std::abs(ws.g[static_cast<std::size_t>(k) + 1]) / bnorm;
       if (opts.track_history) result.history.push_back(relres);
       if (relres <= opts.tolerance) {
         ++k;
@@ -116,17 +121,16 @@ IterResult gmres(const graph::CrsMatrix& a, std::span<const scalar_t> b,
     }
 
     // Solve the k x k triangular system and update x += M^{-1} (V y).
-    std::vector<scalar_t> y(static_cast<std::size_t>(k), 0);
     for (int i = k - 1; i >= 0; --i) {
-      scalar_t acc = g[static_cast<std::size_t>(i)];
+      scalar_t acc = ws.g[static_cast<std::size_t>(i)];
       for (int j = i + 1; j < k; ++j) {
-        acc -= h(i, j) * y[static_cast<std::size_t>(j)];
+        acc -= h(i, j) * ws.y[static_cast<std::size_t>(j)];
       }
-      y[static_cast<std::size_t>(i)] = acc / h(i, i);
+      ws.y[static_cast<std::size_t>(i)] = acc / h(i, i);
     }
     fill(w, 0.0);
     for (int i = 0; i < k; ++i) {
-      axpby(y[static_cast<std::size_t>(i)], basis[static_cast<std::size_t>(i)], 1.0, w);
+      axpby(ws.y[static_cast<std::size_t>(i)], basis(i), 1.0, w);
     }
     apply_right_prec(w, tmp);
     axpby(1.0, tmp, 1.0, x);
@@ -139,6 +143,24 @@ IterResult gmres(const graph::CrsMatrix& a, std::span<const scalar_t> b,
 
   result.relative_residual = relres;
   result.converged = relres <= opts.tolerance;
+}
+
+}  // namespace
+
+void gmres_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                 std::span<scalar_t> x, const IterOptions& opts, const Preconditioner* prec,
+                 SolveWorkspace& ws, IterResult& result) {
+  gmres_core(a, b, x, opts, prec, opts.gmres_restart, ws, result);
+}
+
+IterResult gmres(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                 std::span<scalar_t> x, const IterOptions& opts, const Preconditioner* prec,
+                 int restart) {
+  const Context ctx = opts.ctx ? *opts.ctx : Context::default_ctx();
+  Context::Scope scope(ctx);
+  SolveWorkspace ws;
+  IterResult result;
+  gmres_core(a, b, x, opts, prec, restart > 0 ? restart : opts.gmres_restart, ws, result);
   return result;
 }
 

@@ -1,11 +1,16 @@
 #pragma once
 /// \file gmres.hpp
 /// \brief Restarted, right-preconditioned GMRES (the Table VI outer solver).
+///
+/// Depends only on the shared option types (solver/options.hpp) — the
+/// historical include of cg.hpp is gone. The registry entry ("gmres") and
+/// the workspace-based core live behind solver/interface.hpp; the free
+/// function below remains as a transient-handle shim for migration.
 
 #include <span>
 
 #include "graph/crs.hpp"
-#include "solver/cg.hpp"  // IterOptions / IterResult
+#include "solver/options.hpp"
 #include "solver/preconditioner.hpp"
 
 namespace parmis::solver {
@@ -13,9 +18,10 @@ namespace parmis::solver {
 /// Solve `a x = b` with GMRES(restart), right-preconditioned with `prec`
 /// (null = unpreconditioned), starting from the given `x`. Right
 /// preconditioning keeps the monitored residual equal to the true residual.
-/// Deterministic for any thread count.
+/// `restart` overrides `opts.gmres_restart` when positive. Deterministic
+/// for any thread count.
 IterResult gmres(const graph::CrsMatrix& a, std::span<const scalar_t> b,
                  std::span<scalar_t> x, const IterOptions& opts = {},
-                 const Preconditioner* prec = nullptr, int restart = 50);
+                 const Preconditioner* prec = nullptr, int restart = 0);
 
 }  // namespace parmis::solver

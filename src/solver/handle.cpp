@@ -1,0 +1,96 @@
+#include "solver/handle.hpp"
+
+namespace parmis::solver {
+
+SolveHandle::SolveHandle(const std::string& solver, const std::string& prec,
+                         const Context& ctx)
+    : ctx_(ctx) {
+  set_solver(solver);
+  set_preconditioner(prec);
+}
+
+void SolveHandle::set_solver(const std::string& name) {
+  solver_ = make_solver(name);  // validates: throws std::out_of_range if unknown
+  solver_name_ = name;
+}
+
+void SolveHandle::set_preconditioner(const std::string& name) {
+  (void)find_preconditioner(name);  // validate before dropping cached state
+  prec_name_ = name;
+  invalidate();
+}
+
+void SolveHandle::set_context(const Context& ctx) {
+  ctx_ = ctx;
+  invalidate();
+}
+
+void SolveHandle::invalidate() {
+  prec_.reset();
+  prec_matrix_ = nullptr;
+  prec_rows_ = 0;
+  prec_entries_ = 0;
+  // The Chebyshev smoother is matrix-dependent setup state too (stale
+  // inv-diagonal / λmax if the matrix values changed in place).
+  ws_.chebyshev.reset();
+  ws_.chebyshev_matrix = nullptr;
+  ws_.chebyshev_rows = 0;
+  ws_.chebyshev_entries = 0;
+}
+
+void SolveHandle::ensure_solver() {
+  if (!solver_) solver_ = make_solver(solver_name_);
+}
+
+void SolveHandle::ensure_preconditioner(const graph::CrsMatrix& a) {
+  if (prec_name_ == "none") {
+    // The null-prec fast path inside the solvers is bit-identical to
+    // applying the identity; skip the object entirely.
+    prec_.reset();
+    prec_matrix_ = &a;
+    prec_rows_ = a.num_rows;
+    prec_entries_ = a.num_entries();
+    return;
+  }
+  const bool warm = prec_ && prec_matrix_ == &a && prec_rows_ == a.num_rows &&
+                    prec_entries_ == a.num_entries();
+  if (warm) return;
+  prec_ = make_preconditioner(prec_name_, a, prec_opts_, ctx_);
+  prec_matrix_ = &a;
+  prec_rows_ = a.num_rows;
+  prec_entries_ = a.num_entries();
+  ++stats_.prec_setups;
+}
+
+void SolveHandle::setup(const graph::CrsMatrix& a) {
+  Context::Scope scope(ctx_);
+  ensure_preconditioner(a);
+}
+
+const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                                     std::span<scalar_t> x, const IterOptions& opts) {
+  const Context ctx = opts.ctx ? *opts.ctx : ctx_;
+  Context::Scope scope(ctx);
+  ensure_solver();
+  // Solvers that ignore preconditioning ("chebyshev") skip the build — an
+  // AMG setup nobody applies is the most expensive no-op in the stack.
+  if (solver_->uses_preconditioner()) ensure_preconditioner(a);
+  const std::size_t bytes_before = scratch_bytes();
+  const std::uint64_t grows_before = ws_.grow_events;
+  solver_->solve(a, b, x, opts, prec_.get(), ws_, result_);
+  ++stats_.solves;
+  stats_.iterations += static_cast<std::uint64_t>(result_.iterations);
+  if (result_.converged) ++stats_.converged;
+  // grow_events additionally catches allocations capacity_bytes() cannot
+  // see (the Chebyshev smoother rebuild).
+  if (scratch_bytes() > bytes_before || ws_.grow_events > grows_before) {
+    ++stats_.scratch_grows;
+  }
+  return result_;
+}
+
+std::size_t SolveHandle::scratch_bytes() const {
+  return ws_.capacity_bytes() + result_.history.capacity() * sizeof(double);
+}
+
+}  // namespace parmis::solver

@@ -1,0 +1,126 @@
+#pragma once
+/// \file handle.hpp
+/// \brief `SolveHandle`: the reusable solver-stack handle — registry-named
+/// solver + preconditioner, explicit execution context, all iteration
+/// scratch, cached preconditioner state, and per-handle telemetry.
+///
+/// The solver analogue of `core::Mis2Handle`/`core::CoarsenHandle`: a
+/// service that answers many solves holds one handle per worker and pays
+/// for setup and scratch exactly once. Warm solves — repeated `solve()`
+/// calls on the same matrix, or on size-compatible matrices with a
+/// matrix-free preconditioner — perform **zero heap allocations**; the
+/// capacity-tracking tests assert this through `scratch_bytes()` and
+/// `stats().scratch_grows`.
+///
+///   SolveHandle h("cg", "amg", ctx);
+///   h.prec_options().amg.coarsener = "hem";   // any registered coarsener
+///   const IterResult& r = h.solve(a, b, x);   // builds AMG once
+///   h.solve(a, b2, x2);                       // warm: zero allocations
+///
+/// Preconditioner state is cached per matrix: a solve against the same
+/// matrix (same address and shape) reuses it; a different matrix triggers
+/// one rebuild (counted in `stats().prec_setups`). Configuration changes
+/// that affect setup (`set_preconditioner`, `set_context`, edits through
+/// `prec_options()`) take effect at the next rebuild — call `invalidate()`
+/// to force one. Not thread-safe; use one handle per thread.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/crs.hpp"
+#include "solver/interface.hpp"
+
+namespace parmis::solver {
+
+/// Cumulative per-handle telemetry (service counters; never reset by the
+/// handle itself).
+struct SolveStats {
+  std::uint64_t solves = 0;         ///< solve() calls completed
+  std::uint64_t iterations = 0;     ///< total iterations across all solves
+  std::uint64_t converged = 0;      ///< solves that reached tolerance
+  std::uint64_t prec_setups = 0;    ///< preconditioner (re)builds
+  std::uint64_t scratch_grows = 0;  ///< solve() calls that grew scratch capacity
+};
+
+/// Reusable solver handle: solver + preconditioner selected by registry
+/// name, an explicit execution context, and all iteration scratch.
+class SolveHandle {
+ public:
+  /// Defaults to "cg" with no preconditioning under a snapshot of the
+  /// process-global execution configuration.
+  SolveHandle() = default;
+  explicit SolveHandle(const std::string& solver, const std::string& prec = "none",
+                       const Context& ctx = Context::default_ctx());
+  explicit SolveHandle(const Context& ctx) : ctx_(ctx) {}
+
+  /// Select the outer solver by registry name; throws std::out_of_range if
+  /// unknown. Scratch is kept (the pool is shared across solvers).
+  void set_solver(const std::string& name);
+
+  /// Select the preconditioner by registry name; throws std::out_of_range
+  /// if unknown. Cached preconditioner state is dropped.
+  void set_preconditioner(const std::string& name);
+
+  [[nodiscard]] const std::string& solver_name() const { return solver_name_; }
+  [[nodiscard]] const std::string& preconditioner_name() const { return prec_name_; }
+
+  /// Setup-time preconditioner configuration. Edits affect the *next*
+  /// preconditioner build; call invalidate() to apply them to a matrix the
+  /// handle has already seen.
+  [[nodiscard]] PrecOptions& prec_options() { return prec_opts_; }
+  [[nodiscard]] const PrecOptions& prec_options() const { return prec_opts_; }
+
+  [[nodiscard]] const Context& context() const { return ctx_; }
+  /// Replace the handle's context (governs setup and, unless overridden by
+  /// `IterOptions::ctx`, the solves). Cached preconditioner state is
+  /// dropped: setup may be context-dependent.
+  void set_context(const Context& ctx);
+
+  /// Solve `a x = b` from the given initial `x` with the configured stack.
+  /// Builds (or reuses) the preconditioner for `a`, pins the execution
+  /// context (`opts.ctx` if set, else the handle's), runs the solver on
+  /// handle-owned scratch, and updates the telemetry counters. The returned
+  /// reference stays valid until the next solve on this handle.
+  const IterResult& solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                          std::span<scalar_t> x, const IterOptions& opts = {});
+
+  /// Build the preconditioner for `a` now (idempotent while `a` is
+  /// unchanged). Useful to separate setup cost from solve cost.
+  void setup(const graph::CrsMatrix& a);
+
+  /// Drop cached preconditioner state; the next solve()/setup() rebuilds.
+  void invalidate();
+
+  /// The cached preconditioner (null until the first setup, and always
+  /// null for "none").
+  [[nodiscard]] const Preconditioner* preconditioner() const { return prec_.get(); }
+
+  [[nodiscard]] const IterResult& result() const { return result_; }
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+
+  /// Heap capacity held by the iteration scratch (workspace pool, GMRES
+  /// dense state, residual-history storage). Stable across warm solves.
+  [[nodiscard]] std::size_t scratch_bytes() const;
+
+ private:
+  void ensure_solver();
+  void ensure_preconditioner(const graph::CrsMatrix& a);
+
+  std::string solver_name_ = "cg";
+  std::string prec_name_ = "none";
+  std::unique_ptr<Solver> solver_;
+  PrecOptions prec_opts_;
+  Context ctx_ = Context::default_ctx();
+
+  std::unique_ptr<Preconditioner> prec_;
+  const graph::CrsMatrix* prec_matrix_ = nullptr;  ///< identity of the cached setup
+  ordinal_t prec_rows_ = 0;
+  offset_t prec_entries_ = 0;
+
+  SolveWorkspace ws_;
+  IterResult result_;
+  SolveStats stats_;
+};
+
+}  // namespace parmis::solver

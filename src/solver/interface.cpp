@@ -1,0 +1,195 @@
+#include "solver/interface.hpp"
+
+#include <stdexcept>
+
+#include "solver/cluster_gs.hpp"
+#include "solver/gauss_seidel.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace parmis::solver {
+
+// ------------------------------------------------------------- workspace
+
+std::span<scalar_t> SolveWorkspace::vec(std::size_t slot, std::size_t n) {
+  if (pool.size() <= slot) {
+    pool.resize(slot + 1);
+    ++grow_events;
+  }
+  std::vector<scalar_t>& v = pool[slot];
+  if (v.capacity() < n) {
+    v.reserve(n);
+    ++grow_events;
+  }
+  v.resize(n);
+  return v;
+}
+
+void SolveWorkspace::ensure_small(std::vector<scalar_t>& v, std::size_t n) {
+  if (v.capacity() < n) {
+    v.reserve(n);
+    ++grow_events;
+  }
+  v.resize(n);
+}
+
+std::size_t SolveWorkspace::capacity_bytes() const {
+  std::size_t bytes = pool.capacity() * sizeof(std::vector<scalar_t>);
+  for (const std::vector<scalar_t>& v : pool) bytes += v.capacity() * sizeof(scalar_t);
+  bytes += (hess.capacity() + cs.capacity() + sn.capacity() + g.capacity() + y.capacity()) *
+           sizeof(scalar_t);
+  return bytes;
+}
+
+bool begin_solve(const IterOptions& opts, std::span<const scalar_t> b, std::span<scalar_t> x,
+                 SolveWorkspace& ws, IterResult& result, scalar_t& bnorm) {
+  result.iterations = 0;
+  result.relative_residual = 0.0;
+  result.converged = false;
+  result.history.clear();  // keeps capacity: warm tracked solves stay allocation-free
+  if (opts.track_history) {
+    ws.ensure_small(result.history, static_cast<std::size_t>(opts.max_iterations) + 1);
+    result.history.clear();
+  }
+  bnorm = norm2(b);
+  if (bnorm == 0) {
+    fill(x, 0.0);
+    result.converged = true;
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- solvers
+
+namespace {
+
+class CgSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "cg"; }
+  void solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+             const IterOptions& opts, const Preconditioner* prec, SolveWorkspace& ws,
+             IterResult& result) const override {
+    cg_solve(a, b, x, opts, prec, ws, result);
+  }
+};
+
+class GmresSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "gmres"; }
+  void solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+             const IterOptions& opts, const Preconditioner* prec, SolveWorkspace& ws,
+             IterResult& result) const override {
+    gmres_solve(a, b, x, opts, prec, ws, result);
+  }
+};
+
+class ChebyshevSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "chebyshev"; }
+  // Polynomial relaxation carries its own diagonal scaling; an outer
+  // preconditioner does not compose, so the handle skips building one.
+  [[nodiscard]] bool uses_preconditioner() const override { return false; }
+  void solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+             const IterOptions& opts, const Preconditioner* /*prec*/, SolveWorkspace& ws,
+             IterResult& result) const override {
+    chebyshev_solve(a, b, x, opts, ws, result);
+  }
+};
+
+}  // namespace
+
+const std::vector<SolverSpec>& solver_registry() {
+  static const std::vector<SolverSpec> registry = {
+      {"cg", "preconditioned conjugate gradient (SPD; the Table V outer solver)",
+       [] { return std::unique_ptr<Solver>(std::make_unique<CgSolver>()); }},
+      {"gmres",
+       "restarted right-preconditioned GMRES (general; the Table VI outer solver)",
+       [] { return std::unique_ptr<Solver>(std::make_unique<GmresSolver>()); }},
+      {"chebyshev",
+       "Chebyshev polynomial relaxation (SPD; ignores the preconditioner — "
+       "carries its own diagonal scaling)",
+       [] { return std::unique_ptr<Solver>(std::make_unique<ChebyshevSolver>()); }},
+  };
+  return registry;
+}
+
+std::vector<std::string> solver_names() {
+  std::vector<std::string> names;
+  names.reserve(solver_registry().size());
+  for (const SolverSpec& spec : solver_registry()) names.push_back(spec.name);
+  return names;
+}
+
+const SolverSpec& find_solver(const std::string& name) {
+  for (const SolverSpec& spec : solver_registry()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown solver '" + name + "'");
+}
+
+std::unique_ptr<Solver> make_solver(const std::string& name) { return find_solver(name).make(); }
+
+// ------------------------------------------------------- preconditioners
+
+const std::vector<PreconditionerSpec>& preconditioner_registry() {
+  static const std::vector<PreconditionerSpec> registry = {
+      {"none", "identity (unpreconditioned)", false,
+       [](const graph::CrsMatrix&, const PrecOptions&, const Context&) {
+         return std::unique_ptr<Preconditioner>(std::make_unique<IdentityPreconditioner>());
+       }},
+      {"jacobi", "damped Jacobi sweeps (the Table V smoother)", false,
+       [](const graph::CrsMatrix& a, const PrecOptions& opts, const Context& ctx) {
+         Context::Scope scope(ctx);
+         return std::unique_ptr<Preconditioner>(std::make_unique<JacobiPreconditioner>(
+             a, opts.jacobi_sweeps, opts.jacobi_omega));
+       }},
+      {"gs", "point multicolor symmetric Gauss-Seidel (Deveci et al.)", false,
+       [](const graph::CrsMatrix& a, const PrecOptions& opts, const Context& ctx) {
+         return std::unique_ptr<Preconditioner>(
+             std::make_unique<PointGsPreconditioner>(a, opts.sweeps, ctx));
+       }},
+      {"cluster-gs",
+       "cluster multicolor symmetric Gauss-Seidel (paper Algorithm 4; composes "
+       "with any registered coarsener)",
+       true,
+       [](const graph::CrsMatrix& a, const PrecOptions& opts, const Context& ctx) {
+         return std::unique_ptr<Preconditioner>(std::make_unique<ClusterGsPreconditioner>(
+             a, opts.sweeps, opts.coarsener, opts.mis2, ctx));
+       }},
+      {"amg",
+       "smoothed-aggregation multigrid V-cycle (Table V; composes with any "
+       "registered coarsener)",
+       true,
+       [](const graph::CrsMatrix& a, const PrecOptions& opts, const Context& ctx) {
+         AmgOptions amg = opts.amg;
+         if (!amg.ctx) amg.ctx = ctx;
+         return std::unique_ptr<Preconditioner>(
+             std::make_unique<AmgHierarchy>(AmgHierarchy::build(a, amg)));
+       }},
+  };
+  return registry;
+}
+
+std::vector<std::string> preconditioner_names() {
+  std::vector<std::string> names;
+  names.reserve(preconditioner_registry().size());
+  for (const PreconditionerSpec& spec : preconditioner_registry()) names.push_back(spec.name);
+  return names;
+}
+
+const PreconditionerSpec& find_preconditioner(const std::string& name) {
+  for (const PreconditionerSpec& spec : preconditioner_registry()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown preconditioner '" + name + "'");
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& name,
+                                                    const graph::CrsMatrix& a,
+                                                    const PrecOptions& opts,
+                                                    const Context& ctx) {
+  return find_preconditioner(name).make(a, opts, ctx);
+}
+
+}  // namespace parmis::solver

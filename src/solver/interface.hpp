@@ -1,0 +1,189 @@
+#pragma once
+/// \file interface.hpp
+/// \brief The pluggable solver-stack interface: an abstract `Solver`, the
+/// shared `SolveWorkspace`, and string-keyed `Solver` / `Preconditioner`
+/// registries.
+///
+/// PR 1 made partitioning pluggable (`partition/interface.hpp`) and PR 2
+/// did the same for coarsening (`core/coarsener.hpp`). This header closes
+/// the loop one layer up, for the solvers the paper's coarsening exists to
+/// serve (Tables V/VI): outer solvers ("cg", "gmres", "chebyshev") and
+/// preconditioners ("none", "jacobi", "gs", "cluster-gs", "amg") sit behind
+/// one interface each, are selected by name, and run through a reusable
+/// `SolveHandle` (handle.hpp) that owns all iteration scratch. The "amg"
+/// and "cluster-gs" preconditioners compose with any registered *coarsener*
+/// by name, so the three registries stack:
+///
+///   SolveHandle("cg", "amg")  with  prec_options().amg.coarsener = "hem"
+///
+/// Every registered solver and preconditioner is deterministic: iteration
+/// counts and solution vectors are bit-identical on the Serial and OpenMP
+/// backends at any thread count.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mis2.hpp"
+#include "graph/crs.hpp"
+#include "solver/amg.hpp"
+#include "solver/chebyshev.hpp"
+#include "solver/options.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace parmis::solver {
+
+/// All scratch any registered solver needs, owned by `SolveHandle` and
+/// reused across solves. Full-length vectors live in a slot pool whose
+/// capacities only grow, so warm solves perform zero heap allocations;
+/// `grow_events` counts every capacity growth (the allocation telemetry
+/// the zero-allocation tests assert on).
+struct SolveWorkspace {
+  /// Pool of n-sized vectors (CG state, the GMRES Krylov basis, Chebyshev
+  /// temporaries). Slot k keeps its capacity across solves.
+  std::vector<std::vector<scalar_t>> pool;
+  /// GMRES small dense state (O(restart^2), matrix-size independent).
+  std::vector<scalar_t> hess, cs, sn, g, y;
+  /// Chebyshev solver state: the smoother built for the current matrix,
+  /// invalidated when the matrix or the polynomial configuration changes.
+  std::unique_ptr<ChebyshevSmoother> chebyshev;
+  const graph::CrsMatrix* chebyshev_matrix = nullptr;
+  ordinal_t chebyshev_rows = 0;
+  offset_t chebyshev_entries = 0;
+  int chebyshev_degree = 0;
+  double chebyshev_eig_ratio = 0;
+
+  /// Cumulative allocation-event count: capacity growths of the pool and
+  /// small arrays, plus Chebyshev smoother (re)builds (whose memory is
+  /// excluded from capacity_bytes()). `SolveHandle` folds any in-solve
+  /// movement of this counter into `stats().scratch_grows`.
+  std::uint64_t grow_events = 0;
+
+  /// Slot `slot` resized to `n` (capacity-preserving; grows only when the
+  /// slot has never been this large). The span is valid until the slot is
+  /// resized again.
+  std::span<scalar_t> vec(std::size_t slot, std::size_t n);
+
+  /// Capacity-preserving resize for the small dense arrays.
+  void ensure_small(std::vector<scalar_t>& v, std::size_t n);
+
+  /// Total heap capacity (bytes) currently held, excluding the Chebyshev
+  /// smoother state. Stable across warm solves.
+  [[nodiscard]] std::size_t capacity_bytes() const;
+};
+
+/// Abstract base every outer solver implements. Implementations are
+/// stateless; all scratch comes from the workspace and all configuration
+/// from the options, so one instance serves any number of handles.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry name of this solver.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// False when solve() ignores `prec` (e.g. "chebyshev" carries its own
+  /// diagonal scaling); `SolveHandle` skips the preconditioner build then.
+  [[nodiscard]] virtual bool uses_preconditioner() const { return true; }
+
+  /// Solve `a x = b` from the given initial `x`, writing the outcome into
+  /// `result` (reusing its history capacity). `prec` may be null
+  /// (unpreconditioned). The caller is responsible for pinning the
+  /// execution context (`SolveHandle::solve` does).
+  virtual void solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                     std::span<scalar_t> x, const IterOptions& opts,
+                     const Preconditioner* prec, SolveWorkspace& ws,
+                     IterResult& result) const = 0;
+};
+
+/// Registry entry: a name, a one-line description, and a factory.
+struct SolverSpec {
+  std::string name;
+  std::string description;
+  std::function<std::unique_ptr<Solver>()> make;
+};
+
+/// All registered solvers, stable order (the Table V outer solver first).
+const std::vector<SolverSpec>& solver_registry();
+
+/// Names of all registered solvers, registry order.
+[[nodiscard]] std::vector<std::string> solver_names();
+
+/// Look up one spec by name; throws std::out_of_range if unknown.
+const SolverSpec& find_solver(const std::string& name);
+
+/// Construct a solver by registry name; throws std::out_of_range if unknown.
+[[nodiscard]] std::unique_ptr<Solver> make_solver(const std::string& name);
+
+// ------------------------------------------------------- preconditioners
+
+/// Setup-time configuration for the registered preconditioners (each entry
+/// reads only its own knobs).
+struct PrecOptions {
+  int sweeps = 1;                   ///< symmetric-sweep count ("gs", "cluster-gs")
+  int jacobi_sweeps = 2;            ///< damped-Jacobi sweeps per apply ("jacobi")
+  scalar_t jacobi_omega = 2.0 / 3.0;  ///< damping factor ("jacobi")
+  std::string coarsener = "mis2";   ///< core Coarsener registry name ("cluster-gs")
+  core::Mis2Options mis2;           ///< MIS-2 configuration ("cluster-gs")
+  AmgOptions amg;                   ///< hierarchy configuration ("amg"; its
+                                    ///< `coarsener` field composes with the
+                                    ///< core registry too)
+};
+
+/// Registry entry for a preconditioner: unlike solvers, preconditioners
+/// carry matrix-dependent setup state, so the factory takes the matrix,
+/// the options, and the execution context the setup runs under.
+struct PreconditionerSpec {
+  std::string name;
+  std::string description;
+  /// True when setup runs a coarsening scheme, i.e. the entry composes
+  /// with the core `Coarsener` registry (drivers fan these entries out
+  /// over --coarseners).
+  bool uses_coarsener = false;
+  std::function<std::unique_ptr<Preconditioner>(const graph::CrsMatrix&, const PrecOptions&,
+                                                const Context&)>
+      make;
+};
+
+/// All registered preconditioners, stable order ("none" first, then the
+/// smoothers, then the paper's cluster method and the multigrid hierarchy).
+const std::vector<PreconditionerSpec>& preconditioner_registry();
+
+/// Names of all registered preconditioners, registry order.
+[[nodiscard]] std::vector<std::string> preconditioner_names();
+
+/// Look up one spec by name; throws std::out_of_range if unknown.
+const PreconditionerSpec& find_preconditioner(const std::string& name);
+
+/// Build a preconditioner for `a` by registry name; throws
+/// std::out_of_range if unknown.
+[[nodiscard]] std::unique_ptr<Preconditioner> make_preconditioner(
+    const std::string& name, const graph::CrsMatrix& a, const PrecOptions& opts = {},
+    const Context& ctx = Context::default_ctx());
+
+// ------------------------------------------------- workspace-based cores
+
+/// Shared solve prologue: reset `result` (keeping its history capacity),
+/// pre-reserve the history when tracking is on, and handle the zero-rhs
+/// early-out (x = 0, converged). Returns false when the solve is already
+/// complete; on true, `bnorm` holds ||b|| > 0.
+bool begin_solve(const IterOptions& opts, std::span<const scalar_t> b, std::span<scalar_t> x,
+                 SolveWorkspace& ws, IterResult& result, scalar_t& bnorm);
+
+/// The solver cores behind the registry entries, operating entirely on
+/// workspace scratch (implemented next to their free-function shims in
+/// cg.cpp / gmres.cpp / chebyshev.cpp).
+void cg_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+              const IterOptions& opts, const Preconditioner* prec, SolveWorkspace& ws,
+              IterResult& result);
+void gmres_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                 std::span<scalar_t> x, const IterOptions& opts, const Preconditioner* prec,
+                 SolveWorkspace& ws, IterResult& result);
+void chebyshev_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                     std::span<scalar_t> x, const IterOptions& opts, SolveWorkspace& ws,
+                     IterResult& result);
+
+}  // namespace parmis::solver

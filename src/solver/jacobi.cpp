@@ -20,9 +20,16 @@ std::vector<scalar_t> inverted_diagonal(const graph::CrsMatrix& a) {
 void jacobi_smooth(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag,
                    std::span<const scalar_t> b, std::span<scalar_t> x, int sweeps,
                    scalar_t omega) {
+  std::vector<scalar_t> x_next(static_cast<std::size_t>(a.num_rows));
+  jacobi_smooth(a, inv_diag, b, x, sweeps, omega, x_next);
+}
+
+void jacobi_smooth(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag,
+                   std::span<const scalar_t> b, std::span<scalar_t> x, int sweeps,
+                   scalar_t omega, std::span<scalar_t> x_next) {
   assert(b.size() == static_cast<std::size_t>(a.num_rows));
   assert(x.size() == static_cast<std::size_t>(a.num_rows));
-  std::vector<scalar_t> x_next(static_cast<std::size_t>(a.num_rows));
+  assert(x_next.size() == static_cast<std::size_t>(a.num_rows));
   for (int s = 0; s < sweeps; ++s) {
     par::parallel_for(a.num_rows, [&](ordinal_t i) {
       scalar_t acc = 0;
@@ -38,6 +45,11 @@ void jacobi_smooth(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag
       x[static_cast<std::size_t>(i)] = x_next[static_cast<std::size_t>(i)];
     });
   }
+}
+
+void JacobiPreconditioner::apply(std::span<const scalar_t> r, std::span<scalar_t> z) const {
+  par::parallel_for(a_.num_rows, [&](ordinal_t i) { z[static_cast<std::size_t>(i)] = 0; });
+  jacobi_smooth(a_, inv_diag_, r, z, sweeps_, omega_, x_next_);
 }
 
 }  // namespace parmis::solver

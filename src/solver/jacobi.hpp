@@ -1,11 +1,13 @@
 #pragma once
 /// \file jacobi.hpp
-/// \brief Damped Jacobi smoothing (the Table V multigrid smoother).
+/// \brief Damped Jacobi smoothing (the Table V multigrid smoother) and its
+/// preconditioner adapter (the "jacobi" registry entry).
 
 #include <span>
 #include <vector>
 
 #include "graph/crs.hpp"
+#include "solver/preconditioner.hpp"
 
 namespace parmis::solver {
 
@@ -13,9 +15,40 @@ namespace parmis::solver {
 [[nodiscard]] std::vector<scalar_t> inverted_diagonal(const graph::CrsMatrix& a);
 
 /// `sweeps` iterations of damped Jacobi: x <- x + omega D^{-1} (b - A x).
-/// Fully parallel and deterministic.
+/// Fully parallel and deterministic. Allocates its double-buffer; prefer
+/// the scratch overload on hot paths.
 void jacobi_smooth(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag,
                    std::span<const scalar_t> b, std::span<scalar_t> x, int sweeps,
                    scalar_t omega);
+
+/// Allocation-free variant: `x_next` is the caller-owned double buffer
+/// (`a.num_rows` elements). This is what the AMG V-cycle and the "jacobi"
+/// preconditioner use for zero-allocation warm applications.
+void jacobi_smooth(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag,
+                   std::span<const scalar_t> b, std::span<scalar_t> x, int sweeps,
+                   scalar_t omega, std::span<scalar_t> x_next);
+
+/// Preconditioner adapter: z = M^{-1} r approximated by `sweeps` damped
+/// Jacobi sweeps on A z = r from z = 0. All state (inverted diagonal,
+/// sweep double-buffer) is allocated at construction, so apply() performs
+/// zero heap allocations.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const graph::CrsMatrix& a, int sweeps = 2,
+                                scalar_t omega = 2.0 / 3.0)
+      : a_(a), inv_diag_(inverted_diagonal(a)), sweeps_(sweeps), omega_(omega),
+        x_next_(static_cast<std::size_t>(a.num_rows)) {}
+
+  void apply(std::span<const scalar_t> r, std::span<scalar_t> z) const override;
+  [[nodiscard]] std::string name() const override { return "jacobi"; }
+  [[nodiscard]] std::span<const scalar_t> inv_diag() const { return inv_diag_; }
+
+ private:
+  const graph::CrsMatrix& a_;
+  std::vector<scalar_t> inv_diag_;
+  int sweeps_;
+  scalar_t omega_;
+  mutable std::vector<scalar_t> x_next_;
+};
 
 }  // namespace parmis::solver

@@ -1,0 +1,46 @@
+#pragma once
+/// \file options.hpp
+/// \brief Shared configuration and outcome types for the iterative solver
+/// stack (CG, GMRES, Chebyshev; see interface.hpp for the registry).
+///
+/// `IterOptions`/`IterResult` historically lived in cg.hpp, which forced
+/// gmres.hpp to include the CG header just for the option struct. They are
+/// hoisted here so every outer solver shares one header and the per-solver
+/// headers depend only on what they use.
+
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "parallel/context.hpp"
+
+namespace parmis::solver {
+
+/// Shared Krylov/relaxation-solver configuration.
+struct IterOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-8;     ///< on ||r|| / ||b||
+  bool track_history = false;  ///< record the residual per iteration
+
+  /// Execution context for the solve. Unset (the default) inherits the
+  /// ambient configuration — a `SolveHandle`'s own context, or for the free
+  /// functions the process-global `par::Execution` state — which is the
+  /// exact pre-Context behavior. Set it to pin the solve to a specific
+  /// backend/thread count/schedule regardless of the caller's environment.
+  std::optional<Context> ctx;
+
+  // --- solver-specific knobs (read only by the named solver) -------------
+  int gmres_restart = 50;          ///< restart length ("gmres")
+  int chebyshev_degree = 2;        ///< polynomial degree per iteration ("chebyshev")
+  double chebyshev_eig_ratio = 20.0;  ///< λmax/λmin of the damped interval ("chebyshev")
+};
+
+/// Shared solver outcome.
+struct IterResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  std::vector<double> history;  ///< per-iteration ||r||/||b|| iff track_history
+};
+
+}  // namespace parmis::solver

@@ -1,6 +1,10 @@
 #pragma once
 /// \file preconditioner.hpp
-/// \brief Abstract preconditioner interface shared by CG and GMRES.
+/// \brief Abstract preconditioner interface shared by the outer solvers.
+///
+/// Concrete implementations are selected by name through the
+/// string-keyed registry in solver/interface.hpp ("none", "jacobi", "gs",
+/// "cluster-gs", "amg") and cached per matrix by `SolveHandle`.
 
 #include <algorithm>
 #include <span>

@@ -23,6 +23,8 @@
 #include "partition/interface.hpp"
 #include "solver/amg.hpp"
 #include "solver/cg.hpp"
+#include "solver/handle.hpp"
+#include "solver/interface.hpp"
 #include "solver/vector_ops.hpp"
 #include "test_utils.hpp"
 
@@ -189,6 +191,45 @@ TEST(Determinism, SchedulesAcrossRegisteredPartitioners) {
         EXPECT_EQ(r.part, reference)
             << spec.name << " schedule=" << static_cast<int>(ctx.schedule)
             << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
+      }
+    }
+  }
+}
+
+TEST(Determinism, SchedulesAcrossSolverStack) {
+  // Every registered solver × preconditioner pair must produce one
+  // bit-identical solution vector and iteration count across
+  // Serial/OpenMP, any thread count, and the Static/EdgeBalanced
+  // schedules — the solver-stack extension of the paper's headline
+  // property (Krylov reductions are fixed-order, aggregation/coloring
+  // setup is deterministic, so the whole stack is).
+  const graph::CrsMatrix a =
+      graph::laplacian_matrix(test::adjacency_of(graph::laplace3d(8, 8, 8)), 1.0);
+  const std::vector<scalar_t> b = solver::random_vector(a.num_rows, 33);
+  solver::IterOptions opts;
+  opts.tolerance = 1e-8;
+  opts.max_iterations = 200;
+
+  for (const solver::SolverSpec& sspec : solver::solver_registry()) {
+    for (const solver::PreconditionerSpec& pspec : solver::preconditioner_registry()) {
+      std::vector<scalar_t> reference;
+      int reference_iters = 0;
+      bool first = true;
+      for (const Context& ctx : schedule_contexts()) {
+        solver::SolveHandle handle(sspec.name, pspec.name, ctx);
+        handle.prec_options().amg.coarse_size = 200;
+        std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
+        const solver::IterResult& r = handle.solve(a, b, x, opts);
+        if (first) {
+          reference = x;
+          reference_iters = r.iterations;
+          first = false;
+        } else {
+          EXPECT_EQ(x, reference)
+              << sspec.name << "+" << pspec.name << " schedule=" << static_cast<int>(ctx.schedule)
+              << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
+          EXPECT_EQ(r.iterations, reference_iters) << sspec.name << "+" << pspec.name;
+        }
       }
     }
   }

@@ -193,6 +193,47 @@ TEST(CoarsenHandle, ReusedAcrossMultilevelHierarchy) {
   }
 }
 
+// ------------------------------------------------------------ telemetry
+
+TEST(Mis2Handle, TelemetryCountersAccumulate) {
+  core::Mis2Handle handle;
+  EXPECT_EQ(handle.stats().runs, 0u);
+  EXPECT_EQ(handle.stats().iterations, 0u);
+  EXPECT_EQ(handle.stats().scratch_grows, 0u);
+
+  const int it1 = handle.run(rgg_graph()).iterations;
+  EXPECT_EQ(handle.stats().runs, 1u);
+  EXPECT_EQ(handle.stats().iterations, static_cast<std::uint64_t>(it1));
+  EXPECT_EQ(handle.stats().scratch_grows, 1u);  // the cold run
+
+  // Warm runs (same graph, then a smaller one) accumulate runs and
+  // iterations but never the allocation counter.
+  const int it2 = handle.run(rgg_graph()).iterations;
+  const int it3 = handle.run(mesh_graph()).iterations;
+  EXPECT_EQ(handle.stats().runs, 3u);
+  EXPECT_EQ(handle.stats().iterations, static_cast<std::uint64_t>(it1 + it2 + it3));
+  EXPECT_EQ(handle.stats().scratch_grows, 1u);
+}
+
+TEST(CoarsenHandle, TelemetryCountersAccumulate) {
+  core::CoarsenHandle handle;
+  const core::Aggregation& agg = handle.aggregate_mis2(rgg_graph());
+  const std::uint64_t it1 =
+      static_cast<std::uint64_t>(agg.phase1_iterations + agg.phase2_iterations);
+  EXPECT_GT(it1, 0u);
+  EXPECT_EQ(handle.stats().runs, 1u);
+  EXPECT_EQ(handle.stats().iterations, it1);
+  EXPECT_EQ(handle.stats().scratch_grows, 1u);
+  // The nested MIS-2 handle keeps its own counters (two runs: phase 1 +
+  // the masked phase 2).
+  EXPECT_EQ(handle.mis2_handle().stats().runs, 2u);
+
+  (void)handle.aggregate_mis2(rgg_graph());
+  EXPECT_EQ(handle.stats().runs, 2u);
+  EXPECT_EQ(handle.stats().iterations, 2 * it1);  // deterministic repeat
+  EXPECT_EQ(handle.stats().scratch_grows, 1u);    // warm: no growth
+}
+
 // ------------------------------------------------------------- registry
 
 TEST(CoarsenerRegistry, NamesAndLookup) {
