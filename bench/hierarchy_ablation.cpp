@@ -1,0 +1,165 @@
+/// \file hierarchy_ablation.cpp
+/// \brief Multilevel-hierarchy ablation: cold-build vs warm-rebuild time
+/// and per-level operator complexity for every registered coarsener on the
+/// RGG and power-law generators, in Galerkin mode through the unified
+/// `multilevel::Builder`.
+///
+/// The hierarchy-side companion of bench/solver_ablation: quantifies what
+/// the coarsening scheme costs at setup time, what the operator-complexity
+/// cap saves on skewed inputs (the AMG+HEM power-law blowup fix), and what
+/// the reusable `SetupWorkspace` buys when a fixed-structure hierarchy is
+/// rebuilt with new values (time-stepping): warm rebuilds replay the
+/// Galerkin products value-only with zero heap allocations.
+///
+/// Emits one JSON object per (graph, coarsener) cell (stdout + `--out`,
+/// default BENCH_hierarchy_ablation.json). The telemetry fields (levels,
+/// operator/grid complexity) use the same schema `linear_solve --json`
+/// reports, so the driver and the ablation agree.
+///
+/// Usage: bench_hierarchy_ablation [--scale=F] [--trials=N] [--cap=C]
+///                                 [--out=PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "core/coarsener.hpp"
+#include "graph/generators.hpp"
+#include "graph/rgg.hpp"
+#include "multilevel/builder.hpp"
+
+namespace parmis {
+namespace {
+
+struct Options {
+  double scale = 0.25;
+  int trials = 3;
+  double cap = 10.0;
+  std::string out = "BENCH_hierarchy_ablation.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (!std::strncmp(s, "--scale=", 8)) {
+      o.scale = std::atof(s + 8);
+    } else if (!std::strncmp(s, "--trials=", 9)) {
+      o.trials = std::atoi(s + 9);
+    } else if (!std::strncmp(s, "--cap=", 6)) {
+      o.cap = std::atof(s + 6);
+    } else if (!std::strncmp(s, "--out=", 6)) {
+      o.out = s + 6;
+    } else if (!std::strcmp(s, "--full")) {
+      o.scale = 1.0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale=F] [--trials=N] [--cap=C] [--out=PATH]\n",
+                   argv[0]);
+      std::exit(1);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+}  // namespace parmis
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const Options opt = parse(argc, argv);
+
+  struct Input {
+    std::string name;
+    graph::CrsGraph g;
+  };
+  const ordinal_t n = std::max<ordinal_t>(4000, static_cast<ordinal_t>(100000 * opt.scale));
+  std::vector<Input> inputs;
+  inputs.push_back({"rgg_uniform", graph::random_geometric_3d(n, 12.0, 7)});
+  inputs.push_back(
+      {"power_law_skewed",
+       graph::power_law_graph(n, 2.2, 4, std::max<ordinal_t>(64, n / 60), 42)});
+
+  std::FILE* out = std::fopen(opt.out.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  bool first_row = true;
+  auto emit = [&](const std::string& json) {
+    std::printf("%s\n", json.c_str());
+    std::fprintf(out, "%s%s", first_row ? "" : ",\n", json.c_str());
+    first_row = false;
+  };
+
+  std::printf("# hierarchy_ablation: trials=%d scale=%.3f cap=%.1f\n", opt.trials, opt.scale,
+              opt.cap);
+
+  for (const Input& in : inputs) {
+    const graph::CrsMatrix a = graph::laplacian_matrix(in.g, 1.0);
+    // The value-perturbed matrix warm rebuilds replay (same structure).
+    graph::CrsMatrix a2 = a;
+    for (scalar_t& v : a2.values) v *= 1.01;
+
+    for (const core::CoarsenerSpec& spec : core::coarsener_registry()) {
+      multilevel::Options mo;
+      mo.coarsener = spec.name;
+      mo.min_coarse_size = 200;
+      mo.complexity_cap = opt.cap;
+      mo.rate_floor = 0.9;
+      const multilevel::Builder builder(mo);
+
+      multilevel::HierarchyHandle handle;
+      Timer cold_timer;
+      (void)builder.build_galerkin(a, handle);
+      const double cold_s = cold_timer.seconds();
+
+      const double warm_s = bench::time_mean_s(opt.trials, [&] {
+        (void)builder.rebuild_galerkin(a2, handle);
+      });
+
+      const multilevel::HierarchyStats& st = handle.build_stats();
+      std::string level_rows = "[";
+      std::string level_nnz = "[";
+      for (std::size_t l = 0; l < st.level_rows.size(); ++l) {
+        char num[32];
+        std::snprintf(num, sizeof(num), "%s%d", l ? "," : "", st.level_rows[l]);
+        level_rows += num;
+        std::snprintf(num, sizeof(num), "%s%lld", l ? "," : "",
+                      static_cast<long long>(st.level_entries[l]));
+        level_nnz += num;
+      }
+      level_rows += "]";
+      level_nnz += "]";
+
+      // Assembled in a string: the per-level arrays are unbounded, so a
+      // fixed snprintf buffer could silently truncate deep hierarchies.
+      char head[512];
+      std::snprintf(
+          head, sizeof(head),
+          "{\"bench\":\"hierarchy_ablation\",\"graph\":\"%s\",\"num_rows\":%d,"
+          "\"num_entries\":%lld,\"coarsener\":\"%s\",\"levels\":%d,"
+          "\"operator_complexity\":%.4f,\"grid_complexity\":%.4f,\"stop\":\"%s\",",
+          in.name.c_str(), a.num_rows, static_cast<long long>(a.num_entries()),
+          spec.name.c_str(), st.levels, st.operator_complexity, st.grid_complexity,
+          multilevel::to_string(st.stop));
+      char tail[256];
+      std::snprintf(tail, sizeof(tail),
+                    "\"cold_build_seconds\":%.6e,\"warm_rebuild_seconds\":%.6e,"
+                    "\"aggregation_seconds\":%.6e,\"scratch_bytes\":%zu,"
+                    "\"scratch_grows\":%llu}",
+                    cold_s, warm_s, st.aggregation_seconds, handle.scratch_bytes(),
+                    static_cast<unsigned long long>(handle.stats().scratch_grows));
+      emit(std::string(head) + "\"level_rows\":" + level_rows +
+           ",\"level_entries\":" + level_nnz + "," + tail);
+    }
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::printf("# wrote %s\n", opt.out.c_str());
+  return 0;
+}

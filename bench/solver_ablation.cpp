@@ -125,6 +125,17 @@ int main(int argc, char** argv) {
         handle.setup(a);
         const double setup_s = setup_timer.seconds();
 
+        // Hierarchy telemetry for the multigrid rows (same schema as
+        // bench/hierarchy_ablation and linear_solve --json).
+        int levels = 0;
+        double opcx = 0, gridcx = 0;
+        if (const auto* amg =
+                dynamic_cast<const solver::AmgHierarchy*>(handle.preconditioner())) {
+          levels = amg->num_levels();
+          opcx = amg->operator_complexity();
+          gridcx = amg->grid_complexity();
+        }
+
         for (const std::string& sname : solver::solver_names()) {
           handle.set_solver(sname);
           const double solve_s = bench::time_mean_s(opt.trials, [&] {
@@ -138,10 +149,12 @@ int main(int argc, char** argv) {
               "{\"bench\":\"solver_ablation\",\"graph\":\"%s\",\"num_rows\":%d,"
               "\"num_entries\":%lld,\"solver\":\"%s\",\"prec\":\"%s\",\"coarsener\":\"%s\","
               "\"iterations\":%d,\"converged\":%s,\"relative_residual\":%.6e,"
-              "\"setup_seconds\":%.6e,\"solve_seconds\":%.6e}",
+              "\"setup_seconds\":%.6e,\"solve_seconds\":%.6e,"
+              "\"levels\":%d,\"operator_complexity\":%.4f,\"grid_complexity\":%.4f}",
               in.name.c_str(), a.num_rows, static_cast<long long>(a.num_entries()),
               sname.c_str(), pname.c_str(), cname.c_str(), r.iterations,
-              r.converged ? "true" : "false", r.relative_residual, setup_s, solve_s);
+              r.converged ? "true" : "false", r.relative_residual, setup_s, solve_s, levels,
+              opcx, gridcx);
           emit(buf);
         }
       }

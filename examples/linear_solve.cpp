@@ -13,7 +13,14 @@
 /// Usage:
 ///   linear_solve [--solvers=s,...|all] [--precs=p,...|all]
 ///                [--coarseners=c,...] [--graphs=SPEC,...] [--scale=F]
-///                [--tol=T] [--maxit=N] [--json] [--list]
+///                [--tol=T] [--maxit=N] [--rebuilds=N] [--json] [--list]
+///
+/// `--json` rows carry the multilevel hierarchy telemetry for the "amg"
+/// preconditioner (levels, operator/grid complexity — the same schema
+/// bench/hierarchy_ablation emits, so the driver and the ablation agree).
+/// `--rebuilds=N` additionally exercises N warm value-only rebuilds of the
+/// AMG hierarchy (the time-stepping workflow: fixed structure, new
+/// values) and reports the mean rebuild time per row.
 ///
 /// Graph SPECs are shared with parmis_tool / graph_partition
 /// (see graph_inputs.hpp):
@@ -36,6 +43,7 @@
 #include "core/coarsener.hpp"
 #include "graph/generators.hpp"
 #include "graph_inputs.hpp"
+#include "solver/amg.hpp"
 #include "solver/handle.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -47,8 +55,8 @@ using examples::split_csv;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--solvers=s,...|all] [--precs=p,...|all] [--coarseners=c,...]\n"
-               "          [--graphs=SPEC,...] [--scale=F] [--tol=T] [--maxit=N] [--json] "
-               "[--list]\n"
+               "          [--graphs=SPEC,...] [--scale=F] [--tol=T] [--maxit=N] "
+               "[--rebuilds=N] [--json] [--list]\n"
                "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
                "        gen:rgg:N:DEG | reg:NAME | reg:table2\n",
                argv0);
@@ -64,6 +72,7 @@ int main(int argc, char** argv) {
   double scale = 0.05;
   double tol = 1e-8;
   int maxit = 1000;
+  int rebuilds = 0;
   bool json = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
       tol = std::atof(s + 6);
     } else if (!std::strncmp(s, "--maxit=", 8)) {
       maxit = std::atoi(s + 8);
+    } else if (!std::strncmp(s, "--rebuilds=", 11)) {
+      rebuilds = std::atoi(s + 11);
     } else if (!std::strcmp(s, "--json")) {
       json = true;
     } else if (!std::strcmp(s, "--list")) {
@@ -177,6 +188,33 @@ int main(int argc, char** argv) {
         }
         const double setup_s = setup_timer.seconds();
 
+        // Hierarchy telemetry for the multigrid rows — the same fields
+        // bench/hierarchy_ablation emits, so both report one schema.
+        int levels = 0;
+        double opcx = 0, gridcx = 0;
+        if (const auto* amg =
+                dynamic_cast<const solver::AmgHierarchy*>(handle.preconditioner())) {
+          levels = amg->num_levels();
+          opcx = amg->operator_complexity();
+          gridcx = amg->grid_complexity();
+        }
+
+        // Warm-rebuild smoke (--rebuilds=N): the time-stepping workflow.
+        // A fixed-structure hierarchy is rebuilt with perturbed values N
+        // times; the multilevel handle replays the Galerkin products
+        // value-only (zero allocations inside the handle).
+        double rebuild_s = 0;
+        if (rebuilds > 0 && pname == "amg") {
+          // prec_options().amg already carries the row's coarsener.
+          solver::AmgHierarchy hierarchy =
+              solver::AmgHierarchy::build(a, handle.prec_options().amg);
+          graph::CrsMatrix a2 = a;
+          for (scalar_t& v : a2.values) v *= 1.01;
+          Timer rebuild_timer;
+          for (int i = 0; i < rebuilds; ++i) hierarchy.rebuild(a2);
+          rebuild_s = rebuild_timer.seconds() / rebuilds;
+        }
+
         for (const std::string& sname : solvers) {
           handle.set_solver(sname);
           std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
@@ -190,10 +228,12 @@ int main(int argc, char** argv) {
             std::printf(
                 "{\"graph\":\"%s\",\"n\":%d,\"solver\":\"%s\",\"prec\":\"%s\","
                 "\"coarsener\":\"%s\",\"iterations\":%d,\"relative_residual\":%.6e,"
-                "\"converged\":%s,\"setup_seconds\":%.6f,\"solve_seconds\":%.6f}\n",
+                "\"converged\":%s,\"setup_seconds\":%.6f,\"solve_seconds\":%.6f,"
+                "\"levels\":%d,\"operator_complexity\":%.4f,\"grid_complexity\":%.4f,"
+                "\"rebuild_seconds\":%.6f}\n",
                 spec.c_str(), a.num_rows, sname.c_str(), pname.c_str(), cname.c_str(),
                 r.iterations, r.relative_residual, r.converged ? "true" : "false", setup_s,
-                solve_s);
+                solve_s, levels, opcx, gridcx, rebuild_s);
           } else {
             std::printf("  %-10s %-12s %-11s %6d %10.2e %9.4f %9.4f%s\n", sname.c_str(),
                         pname.c_str(), cname.c_str(), r.iterations, r.relative_residual,

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/coarsener.hpp"
+#include "multilevel/builder.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_scan.hpp"
@@ -156,29 +157,39 @@ graph::CrsGraph coarse_graph(graph::GraphView g, const Aggregation& agg) {
 
 MultilevelHierarchy multilevel_coarsen(graph::GraphView g, const MultilevelOptions& opts,
                                        CoarsenHandle& handle) {
+  // Thin adapter over the unified multilevel Builder (the one level loop
+  // shared with the partitioners and AMG setup). The caller's CoarsenHandle
+  // is spliced into the hierarchy handle's workspace for the duration of
+  // the build, preserving the historical scratch-reuse contract: repeated
+  // hierarchies through one handle stay warm.
+  multilevel::Options mo;
+  mo.coarsener = opts.coarsener;
+  mo.max_levels = opts.max_levels;
+  mo.min_coarse_size = opts.target_vertices;
+  mo.rate_floor = 0.95;  // the historical 5%-reduction stall guard
+  mo.mis2 = opts.mis2;
+  mo.seed = opts.mis2.seed + 1;  // the historical HEM visit-order seed
+
+  multilevel::HierarchyHandle hh;
+  hh.coarsen_handle() = std::move(handle);
+  const multilevel::Builder builder(std::move(mo));
+  std::vector<multilevel::Step> steps;
+  try {
+    (void)builder.build(g, hh);
+    steps = hh.take_steps();
+  } catch (...) {
+    handle = std::move(hh.coarsen_handle());
+    throw;
+  }
+  handle = std::move(hh.coarsen_handle());
+
   MultilevelHierarchy h;
-  graph::GraphView view = g;
-  const std::unique_ptr<Coarsener> coarsener = make_coarsener(opts.coarsener);
-  CoarsenOptions copts;
-  copts.mis2 = opts.mis2;
-  copts.hem_seed = opts.mis2.seed + 1;
-
-  for (int level = 0; level < opts.max_levels; ++level) {
-    if (view.num_rows <= opts.target_vertices) break;
-
+  h.levels.reserve(steps.size());
+  for (multilevel::Step& step : steps) {
     CoarsenLevel lvl;
-    (void)coarsener->run(view, {}, handle, copts);
-    lvl.aggregation = handle.take_aggregation();  // move, not copy: the level owns it
-    // Stall guard: require at least 5% reduction to continue.
-    if (lvl.aggregation.num_aggregates >= view.num_rows ||
-        static_cast<double>(lvl.aggregation.num_aggregates) > 0.95 * view.num_rows) {
-      break;
-    }
-    lvl.graph = coarse_graph(view, lvl.aggregation);
+    lvl.aggregation = std::move(step.aggregation);
+    lvl.graph = std::move(step.coarse.graph);
     h.levels.push_back(std::move(lvl));
-    // Note: vector reallocation moves the CrsGraph objects but not their
-    // heap buffers, so views into the previous level stay valid.
-    view = h.levels.back().graph;
   }
   return h;
 }

@@ -64,7 +64,10 @@ struct MultilevelHierarchy {
 
 /// Recursive coarsening through a caller-provided handle: every level's
 /// aggregation reuses the handle's scratch, so only the per-level coarse
-/// graphs themselves allocate.
+/// graphs themselves allocate. Since the unified multilevel engine landed
+/// this is a thin adapter over `multilevel::Builder` (topology mode) that
+/// splices the caller's handle into the build; hierarchies are unchanged
+/// bit-for-bit.
 [[nodiscard]] MultilevelHierarchy multilevel_coarsen(graph::GraphView g,
                                                      const MultilevelOptions& opts,
                                                      CoarsenHandle& handle);

@@ -186,6 +186,37 @@ CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b) {
   return c;
 }
 
+void spgemm_numeric(const CrsMatrix& a, const CrsMatrix& b, CrsMatrix& c) {
+  assert(a.num_cols == b.num_rows);
+  assert(c.num_rows == a.num_rows && c.num_cols == b.num_cols);
+  if (a.num_rows == 0) return;
+
+  // With the product's sparsity known, each row zeroes its accumulator
+  // slots, replays the inner products in the exact entry order of `spgemm`
+  // (so values are bit-identical), and reads the row back off the fixed
+  // column pattern. A's row_map balances the sweep without building a
+  // flop-cost prefix, keeping warm replays allocation-free.
+  par::balanced_for(a.num_rows, a.row_map.data(), [&](ordinal_t i) {
+    Workspace& ws = t_ws;
+    ws.ensure(b.num_cols);
+    for (offset_t jc = c.row_map[i]; jc < c.row_map[i + 1]; ++jc) {
+      ws.acc[static_cast<std::size_t>(c.entries[static_cast<std::size_t>(jc)])] = 0;
+    }
+    for (offset_t ja = a.row_map[i]; ja < a.row_map[i + 1]; ++ja) {
+      const ordinal_t k = a.entries[static_cast<std::size_t>(ja)];
+      const scalar_t av = a.values[static_cast<std::size_t>(ja)];
+      for (offset_t jb = b.row_map[k]; jb < b.row_map[k + 1]; ++jb) {
+        ws.acc[static_cast<std::size_t>(b.entries[static_cast<std::size_t>(jb)])] +=
+            av * b.values[static_cast<std::size_t>(jb)];
+      }
+    }
+    for (offset_t jc = c.row_map[i]; jc < c.row_map[i + 1]; ++jc) {
+      c.values[static_cast<std::size_t>(jc)] =
+          ws.acc[static_cast<std::size_t>(c.entries[static_cast<std::size_t>(jc)])];
+    }
+  });
+}
+
 CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const CrsMatrix& b) {
   assert(a.num_rows == b.num_rows && a.num_cols == b.num_cols);
   CrsMatrix c;
@@ -255,6 +286,37 @@ CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const Cr
   return c;
 }
 
+void matrix_add_numeric(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const CrsMatrix& b,
+                        CrsMatrix& c) {
+  assert(a.num_rows == b.num_rows && a.num_cols == b.num_cols);
+  assert(c.num_rows == a.num_rows);
+  par::balanced_for(a.num_rows, c.row_map.data(), [&](ordinal_t i) {
+    auto ra = a.row(i);
+    auto rb = b.row(i);
+    auto va = a.row_values(i);
+    auto vb = b.row_values(i);
+    std::size_t ia = 0, ib = 0;
+    offset_t o = c.row_map[i];
+    while (ia < ra.size() || ib < rb.size()) {
+      scalar_t val;
+      if (ib >= rb.size() || (ia < ra.size() && ra[ia] < rb[ib])) {
+        val = alpha * va[ia];
+        ++ia;
+      } else if (ia >= ra.size() || rb[ib] < ra[ia]) {
+        val = beta * vb[ib];
+        ++ib;
+      } else {
+        val = alpha * va[ia] + beta * vb[ib];
+        ++ia;
+        ++ib;
+      }
+      c.values[static_cast<std::size_t>(o)] = val;
+      ++o;
+    }
+    assert(o == c.row_map[i + 1]);
+  });
+}
+
 CrsMatrix transpose_matrix(const CrsMatrix& a) {
   CrsMatrix t;
   t.num_rows = a.num_cols;
@@ -304,18 +366,54 @@ CrsMatrix transpose_matrix(const CrsMatrix& a) {
   return t;
 }
 
+std::vector<offset_t> transpose_permutation(const CrsMatrix& a) {
+  // Serial counting-sort replay of `transpose_matrix`'s placement: a
+  // column's entries arrive in source-row order, so a single ascending
+  // sweep with per-column cursors reproduces the transpose's entry
+  // positions exactly.
+  std::vector<offset_t> perm(static_cast<std::size_t>(a.num_entries()));
+  std::vector<offset_t> cursor(static_cast<std::size_t>(a.num_cols) + 1, 0);
+  for (const ordinal_t col : a.entries) ++cursor[static_cast<std::size_t>(col) + 1];
+  for (ordinal_t c = 0; c < a.num_cols; ++c) {
+    cursor[static_cast<std::size_t>(c) + 1] += cursor[static_cast<std::size_t>(c)];
+  }
+  for (ordinal_t i = 0; i < a.num_rows; ++i) {
+    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+      perm[static_cast<std::size_t>(j)] =
+          cursor[static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)])]++;
+    }
+  }
+  return perm;
+}
+
+void transpose_numeric(const CrsMatrix& a, std::span<const offset_t> perm, CrsMatrix& t) {
+  assert(perm.size() == static_cast<std::size_t>(a.num_entries()));
+  assert(t.num_rows == a.num_cols && t.num_cols == a.num_rows);
+  par::balanced_for(a.num_rows, a.row_map.data(), [&](ordinal_t i) {
+    for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
+      t.values[static_cast<std::size_t>(perm[static_cast<std::size_t>(j)])] =
+          a.values[static_cast<std::size_t>(j)];
+    }
+  });
+}
+
 std::vector<scalar_t> extract_diagonal(const CrsMatrix& a) {
-  assert(a.num_rows == a.num_cols);
   std::vector<scalar_t> d(static_cast<std::size_t>(a.num_rows), 0);
+  extract_diagonal(a, d);
+  return d;
+}
+
+void extract_diagonal(const CrsMatrix& a, std::span<scalar_t> d) {
+  assert(a.num_rows == a.num_cols);
+  assert(d.size() == static_cast<std::size_t>(a.num_rows));
   par::balanced_for(a.num_rows, a.row_map.data(), [&](ordinal_t i) {
     auto cols = a.row(i);
     auto it = std::lower_bound(cols.begin(), cols.end(), i);
-    if (it != cols.end() && *it == i) {
-      d[static_cast<std::size_t>(i)] =
-          a.values[static_cast<std::size_t>(a.row_map[i] + (it - cols.begin()))];
-    }
+    d[static_cast<std::size_t>(i)] =
+        (it != cols.end() && *it == i)
+            ? a.values[static_cast<std::size_t>(a.row_map[i] + (it - cols.begin()))]
+            : 0.0;
   });
-  return d;
 }
 
 std::int64_t spgemm_rows_traversed() {

@@ -16,6 +16,7 @@
 /// hub row of a skewed input no longer serializes a whole thread's sweep.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/crs.hpp"
@@ -25,6 +26,14 @@ namespace parmis::graph {
 /// C = A * B. Requires a.num_cols == b.num_rows. Output rows sorted.
 [[nodiscard]] CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b);
 
+/// Value-only replay of C = A * B into an existing product: `c` must hold
+/// the exact sparsity `spgemm(a, b)` would produce (same row_map/entries);
+/// only `c.values` is rewritten, in the same per-row accumulation order as
+/// `spgemm`, so the values are bit-identical to a fresh product. Performs
+/// zero heap allocations on warm calls — the kernel behind warm multilevel
+/// (Galerkin) rebuilds when matrix values change but structure is fixed.
+void spgemm_numeric(const CrsMatrix& a, const CrsMatrix& b, CrsMatrix& c);
+
 /// Structure-only product: pattern of A * B (no values).
 [[nodiscard]] CrsGraph spgemm_symbolic(GraphView a, GraphView b);
 
@@ -33,11 +42,31 @@ namespace parmis::graph {
 [[nodiscard]] CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta,
                                    const CrsMatrix& b);
 
+/// Value-only replay of C = alpha * A + beta * B: `c` must hold the exact
+/// sparsity `matrix_add(alpha, a, beta, b)` would produce; only `c.values`
+/// is rewritten. Zero heap allocations.
+void matrix_add_numeric(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const CrsMatrix& b,
+                        CrsMatrix& c);
+
 /// Transpose with values (used for R = Pᵀ in AMG). Output rows sorted.
 [[nodiscard]] CrsMatrix transpose_matrix(const CrsMatrix& a);
 
+/// Entry permutation of the transpose: entry `j` of `a` lands at entry
+/// `perm[j]` of `transpose_matrix(a)`. Lets a caller replay a transpose's
+/// values without recomputing its structure.
+[[nodiscard]] std::vector<offset_t> transpose_permutation(const CrsMatrix& a);
+
+/// Value-only transpose replay through a permutation from
+/// `transpose_permutation`: `t.values[perm[j]] = a.values[j]`. `t` must be
+/// the structural transpose of `a`. Zero heap allocations.
+void transpose_numeric(const CrsMatrix& a, std::span<const offset_t> perm, CrsMatrix& t);
+
 /// Diagonal of a square matrix; zero where a row has no diagonal entry.
 [[nodiscard]] std::vector<scalar_t> extract_diagonal(const CrsMatrix& a);
+
+/// `extract_diagonal` into a caller-owned buffer of size `num_rows` (the
+/// zero-allocation variant warm multilevel rebuilds use).
+void extract_diagonal(const CrsMatrix& a, std::span<scalar_t> d);
 
 /// Instrumentation: number of row inner-products computed by `spgemm` /
 /// `spgemm_symbolic` since the last reset (process-wide, relaxed atomic).

@@ -1,0 +1,64 @@
+#include "multilevel/hierarchy.hpp"
+
+namespace parmis::multilevel {
+
+namespace {
+
+std::size_t bytes_of(const std::vector<scalar_t>& v) { return v.capacity() * sizeof(scalar_t); }
+std::size_t bytes_of(const std::vector<ordinal_t>& v) { return v.capacity() * sizeof(ordinal_t); }
+std::size_t bytes_of(const std::vector<offset_t>& v) { return v.capacity() * sizeof(offset_t); }
+
+std::size_t bytes_of(const graph::CrsGraph& g) {
+  return bytes_of(g.row_map) + bytes_of(g.entries);
+}
+
+std::size_t bytes_of(const graph::CrsMatrix& m) {
+  return bytes_of(m.row_map) + bytes_of(m.entries) + bytes_of(m.values);
+}
+
+}  // namespace
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::Empty: return "empty";
+    case StopReason::CoarseEnough: return "coarse-enough";
+    case StopReason::MaxLevels: return "max-levels";
+    case StopReason::Stalled: return "stalled";
+    case StopReason::ComplexityCapped: return "complexity-capped";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t bytes_of(const Step& s) {
+  return bytes_of(s.aggregation.labels) + bytes_of(s.aggregation.roots) +
+         bytes_of(s.coarse.graph) + bytes_of(s.coarse.vertex_weight) +
+         bytes_of(s.coarse.edge_weight);
+}
+
+}  // namespace
+
+std::size_t SetupWorkspace::capacity_bytes() const {
+  std::size_t total = coarsen.scratch_bytes() + contraction.capacity_bytes() +
+                      bytes_of(spare_step);
+  for (const GalerkinLevel& l : galerkin) {
+    total += bytes_of(l.phat) + bytes_of(l.ap) + bytes_of(l.apc) + bytes_of(l.tperm);
+  }
+  return total;
+}
+
+std::size_t HierarchyHandle::scratch_bytes() const {
+  std::size_t total = ws_.capacity_bytes();
+  for (const Step& s : steps_) {
+    total += bytes_of(s.aggregation.labels) + bytes_of(s.aggregation.roots) +
+             bytes_of(s.coarse.graph) + bytes_of(s.coarse.vertex_weight) +
+             bytes_of(s.coarse.edge_weight);
+  }
+  for (const OperatorLevel& l : ops_) {
+    total += bytes_of(l.a) + bytes_of(l.p) + bytes_of(l.r) + bytes_of(l.inv_diag);
+  }
+  return total;
+}
+
+}  // namespace parmis::multilevel

@@ -1,125 +1,8 @@
 #include "partition/coarsen_weighted.hpp"
 
-#include <algorithm>
-#include <cassert>
-
-#include "parallel/parallel_for.hpp"
+#include "core/aggregation.hpp"
 
 namespace parmis::partition {
-
-WeightedGraph WeightedGraph::unit(graph::CrsGraph g) {
-  WeightedGraph w;
-  w.vertex_weight.assign(static_cast<std::size_t>(g.num_rows), 1);
-  w.edge_weight.assign(static_cast<std::size_t>(g.num_entries()), 1);
-  w.graph = std::move(g);
-  return w;
-}
-
-WeightedGraph WeightedGraph::unit(graph::GraphView g) {
-  if (g.num_rows == 0) return unit(graph::CrsGraph{});
-  return unit(graph::CrsGraph{
-      g.num_rows, g.num_cols,
-      std::vector<offset_t>(g.row_map, g.row_map + g.num_rows + 1),
-      std::vector<ordinal_t>(g.entries, g.entries + g.num_entries())});
-}
-
-WeightedGraph coarsen_weighted(const WeightedGraph& fine, const std::vector<ordinal_t>& labels,
-                               ordinal_t num_coarse) {
-  const graph::GraphView g = fine.graph;
-  assert(labels.size() == static_cast<std::size_t>(g.num_rows));
-
-  // Member lists (counting sort), as in core::aggregate_members.
-  std::vector<offset_t> mstart(static_cast<std::size_t>(num_coarse) + 1, 0);
-  for (ordinal_t v = 0; v < g.num_rows; ++v) {
-    assert(labels[static_cast<std::size_t>(v)] >= 0 &&
-           labels[static_cast<std::size_t>(v)] < num_coarse);
-    ++mstart[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)]) + 1];
-  }
-  for (ordinal_t a = 0; a < num_coarse; ++a) {
-    mstart[static_cast<std::size_t>(a) + 1] += mstart[static_cast<std::size_t>(a)];
-  }
-  std::vector<ordinal_t> members(static_cast<std::size_t>(g.num_rows));
-  {
-    std::vector<offset_t> cursor(mstart.begin(), mstart.end() - 1);
-    for (ordinal_t v = 0; v < g.num_rows; ++v) {
-      members[static_cast<std::size_t>(
-          cursor[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])]++)] = v;
-    }
-  }
-
-  WeightedGraph coarse;
-  coarse.graph.num_rows = num_coarse;
-  coarse.graph.num_cols = num_coarse;
-  coarse.graph.row_map.assign(static_cast<std::size_t>(num_coarse) + 1, 0);
-  coarse.vertex_weight.assign(static_cast<std::size_t>(num_coarse), 0);
-  for (ordinal_t v = 0; v < g.num_rows; ++v) {
-    coarse.vertex_weight[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])] +=
-        fine.vertex_weight[static_cast<std::size_t>(v)];
-  }
-
-  // Per-coarse-row accumulation with a stamp/accumulator pair (same
-  // pattern as SpGEMM); summed weights, sorted columns.
-  struct Workspace {
-    std::vector<std::uint64_t> stamp_of;
-    std::vector<std::int64_t> acc;
-    std::vector<ordinal_t> touched;
-    std::uint64_t stamp{0};
-    void ensure(ordinal_t n) {
-      if (stamp_of.size() < static_cast<std::size_t>(n)) {
-        stamp_of.assign(static_cast<std::size_t>(n), 0);
-        acc.assign(static_cast<std::size_t>(n), 0);
-        stamp = 0;
-      }
-    }
-  };
-  thread_local Workspace ws;
-
-  auto collect = [&](ordinal_t a) {
-    ws.ensure(num_coarse);
-    ++ws.stamp;
-    ws.touched.clear();
-    for (offset_t mi = mstart[static_cast<std::size_t>(a)];
-         mi < mstart[static_cast<std::size_t>(a) + 1]; ++mi) {
-      const ordinal_t v = members[static_cast<std::size_t>(mi)];
-      for (offset_t j = g.row_map[v]; j < g.row_map[v + 1]; ++j) {
-        const ordinal_t b = labels[static_cast<std::size_t>(g.entries[j])];
-        if (b == a) continue;
-        const std::int64_t w = fine.edge_weight[static_cast<std::size_t>(j)];
-        if (ws.stamp_of[static_cast<std::size_t>(b)] != ws.stamp) {
-          ws.stamp_of[static_cast<std::size_t>(b)] = ws.stamp;
-          ws.acc[static_cast<std::size_t>(b)] = w;
-          ws.touched.push_back(b);
-        } else {
-          ws.acc[static_cast<std::size_t>(b)] += w;
-        }
-      }
-    }
-  };
-
-  par::parallel_for(num_coarse, [&](ordinal_t a) {
-    collect(a);
-    coarse.graph.row_map[static_cast<std::size_t>(a) + 1] =
-        static_cast<offset_t>(ws.touched.size());
-  });
-  for (ordinal_t a = 0; a < num_coarse; ++a) {
-    coarse.graph.row_map[static_cast<std::size_t>(a) + 1] +=
-        coarse.graph.row_map[static_cast<std::size_t>(a)];
-  }
-  coarse.graph.entries.resize(static_cast<std::size_t>(coarse.graph.row_map.back()));
-  coarse.edge_weight.resize(static_cast<std::size_t>(coarse.graph.row_map.back()));
-  par::parallel_for(num_coarse, [&](ordinal_t a) {
-    collect(a);
-    std::sort(ws.touched.begin(), ws.touched.end());
-    offset_t o = coarse.graph.row_map[a];
-    for (ordinal_t b : ws.touched) {
-      coarse.graph.entries[static_cast<std::size_t>(o)] = b;
-      coarse.edge_weight[static_cast<std::size_t>(o)] =
-          static_cast<ordinal_t>(ws.acc[static_cast<std::size_t>(b)]);
-      ++o;
-    }
-  });
-  return coarse;
-}
 
 Matching heavy_edge_matching(const WeightedGraph& g, std::uint64_t seed) {
   // The algorithm lives in core (CoarsenHandle::aggregate_hem, registry

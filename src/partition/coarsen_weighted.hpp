@@ -1,50 +1,26 @@
 #pragma once
 /// \file coarsen_weighted.hpp
-/// \brief Weighted coarsening for multilevel partitioning.
+/// \brief Weighted coarsening for multilevel partitioning — now a thin
+/// re-export of the shared multilevel layer.
 ///
-/// Multilevel partitioners (paper §II: Gilbert et al., IPDPS 2021) need
-/// coarse graphs that remember how much fine material they stand for:
-/// vertex weights (aggregate sizes) so balance is preserved, and edge
-/// weights (number of collapsed fine edges) so coarse edge cuts equal fine
-/// edge cuts. Two coarsening schemes are provided:
-///  - MIS-2 aggregation (Algorithm 3 / Algorithm 2 of the paper), and
-///  - heavy-edge matching (HEM), the traditional multilevel scheme the
-///    paper's §II cites as the comparison point.
+/// `WeightedGraph` and `coarsen_weighted` moved to
+/// `multilevel/weighted.hpp` when the multilevel `Builder` unified the
+/// three level loops (coarsening, partitioning, AMG); every partition-side
+/// consumer keeps compiling against the `parmis::partition` names below.
+/// Heavy-edge matching stays here: the algorithm itself lives in core
+/// (`CoarsenHandle::aggregate_hem`, registry name "hem") and this wrapper
+/// only keeps the historical `Matching`-shaped API.
 
 #include <vector>
 
 #include "core/aggregation.hpp"
 #include "graph/crs.hpp"
+#include "multilevel/weighted.hpp"
 
 namespace parmis::partition {
 
-/// A graph with per-vertex and per-entry (edge) integer weights. The edge
-/// weight array parallels `graph.entries`.
-struct WeightedGraph {
-  graph::CrsGraph graph;
-  std::vector<ordinal_t> vertex_weight;
-  std::vector<ordinal_t> edge_weight;
-
-  [[nodiscard]] std::int64_t total_vertex_weight() const {
-    std::int64_t total = 0;
-    for (ordinal_t w : vertex_weight) total += w;
-    return total;
-  }
-
-  /// Unit-weight wrapper around an unweighted graph.
-  [[nodiscard]] static WeightedGraph unit(graph::CrsGraph g);
-
-  /// Unit-weight deep copy of a structure view. Safe on default-constructed
-  /// (null) views: returns an empty weighted graph.
-  [[nodiscard]] static WeightedGraph unit(graph::GraphView g);
-};
-
-/// Quotient of `fine` under `labels` (an aggregation/matching assignment
-/// into [0, num_coarse)): vertex weights sum, parallel edges collapse with
-/// summed weights. Deterministic; rows sorted.
-[[nodiscard]] WeightedGraph coarsen_weighted(const WeightedGraph& fine,
-                                             const std::vector<ordinal_t>& labels,
-                                             ordinal_t num_coarse);
+using multilevel::WeightedGraph;
+using multilevel::coarsen_weighted;
 
 /// Heavy-edge matching: greedily match each unmatched vertex to its
 /// unmatched neighbor with the heaviest edge (ties: smaller id), visiting

@@ -11,6 +11,7 @@
 #include "core/coarsener.hpp"
 #include "graph/ops.hpp"
 #include "graph/traversal.hpp"
+#include "multilevel/builder.hpp"
 #include "random/hash.hpp"
 
 namespace parmis::partition {
@@ -153,63 +154,55 @@ const std::string& coarsener_name(const PartitionOptions& opts) {
   return opts.coarsening == CoarseningScheme::HeavyEdgeMatching ? hem_name : mis2_name;
 }
 
-/// Coarsening labels for one level, routed through the core `Coarsener`
-/// registry. `coarsener` is constructed once per partition call;
-/// `handle` carries the scratch reused across levels and bisection
-/// branches. The labels are *moved* out of the handle (the caller owns
-/// them across the recursive solve), not copied.
-std::pair<std::vector<ordinal_t>, ordinal_t> coarsen_labels(const WeightedGraph& g,
-                                                            const PartitionOptions& opts,
-                                                            int level,
-                                                            const core::Coarsener& coarsener,
-                                                            core::CoarsenHandle& handle) {
-  core::CoarsenOptions copts;
-  copts.mis2 = opts.mis2;
-  copts.mis2.seed ^= static_cast<std::uint64_t>(level) * 0x9E3779B97F4A7C15ull;
-  copts.hem_seed = opts.seed + static_cast<std::uint64_t>(level);
-  (void)coarsener.run(g.graph, g.edge_weight, handle, copts);
-  core::Aggregation agg = handle.take_aggregation();
-  return {std::move(agg.labels), agg.num_aggregates};
+/// Builder configuration for the options' multilevel V-cycle: coarsen to
+/// `coarse_target`, stop only on a full stall (the historical guard), and
+/// derive fresh per-level seeds so successive levels decorrelate.
+multilevel::Options builder_options(const PartitionOptions& opts) {
+  multilevel::Options mo;
+  mo.coarsener = coarsener_name(opts);
+  mo.max_levels = opts.max_levels;
+  mo.min_coarse_size = opts.coarse_target;
+  mo.rate_floor = 1.0;
+  mo.mis2 = opts.mis2;
+  mo.seed = opts.seed;
+  mo.reseed_per_level = true;
+  return mo;
 }
 
 Bisection multilevel_bisect_frac(const WeightedGraph& fine, double target_fraction,
-                                 const PartitionOptions& opts, const core::Coarsener& coarsener,
-                                 core::CoarsenHandle& handle) {
-  if (fine.graph.num_rows <= opts.coarse_target || opts.max_levels == 0) {
-    Bisection b = grow_bisection_frac(fine, target_fraction, opts.seed);
-    refine_frac(fine, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
-    return b;
-  }
+                                 const PartitionOptions& opts,
+                                 const multilevel::Builder& builder,
+                                 multilevel::HierarchyHandle& mh) {
+  // Coarsen all the way down through the unified Builder (one weighted
+  // hierarchy per bisection; aggregation scratch, contraction maps, and
+  // level storage are all reused across the recursive-bisection tree),
+  // bisect the coarsest level, then project back up refining the boundary
+  // at every level.
+  const std::vector<multilevel::Step>& steps = builder.build_weighted(fine, mh);
 
-  auto [labels, num_coarse] = coarsen_labels(fine, opts, opts.max_levels, coarsener, handle);
-  if (num_coarse >= fine.graph.num_rows) {
-    // Coarsening stalled: solve here directly.
-    Bisection b = grow_bisection_frac(fine, target_fraction, opts.seed);
-    refine_frac(fine, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
-    return b;
-  }
+  const WeightedGraph& coarsest = steps.empty() ? fine : steps.back().coarse;
+  Bisection b = grow_bisection_frac(coarsest, target_fraction, opts.seed);
+  refine_frac(coarsest, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
 
-  const WeightedGraph coarse = coarsen_weighted(fine, labels, num_coarse);
-  PartitionOptions next = opts;
-  next.max_levels = opts.max_levels - 1;
-  const Bisection coarse_b =
-      multilevel_bisect_frac(coarse, target_fraction, next, coarsener, handle);
-
-  // Project and refine.
-  Bisection b;
-  b.side.resize(static_cast<std::size_t>(fine.graph.num_rows));
-  for (ordinal_t v = 0; v < fine.graph.num_rows; ++v) {
-    b.side[static_cast<std::size_t>(v)] =
-        coarse_b.side[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])];
+  for (std::size_t l = steps.size(); l-- > 0;) {
+    const WeightedGraph& fg = l == 0 ? fine : steps[l - 1].coarse;
+    const std::vector<ordinal_t>& labels = steps[l].aggregation.labels;
+    Bisection up;
+    up.side.resize(static_cast<std::size_t>(fg.graph.num_rows));
+    for (ordinal_t v = 0; v < fg.graph.num_rows; ++v) {
+      up.side[static_cast<std::size_t>(v)] =
+          b.side[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])];
+    }
+    up.cut_weight = cut_weight(fg, up.side);
+    refine_frac(fg, up, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
+    b = std::move(up);
   }
-  b.cut_weight = cut_weight(fine, b.side);
-  refine_frac(fine, b, opts.refine_passes, target_fraction, opts.imbalance_tolerance);
   return b;
 }
 
 void partition_recursive(const WeightedGraph& g, std::span<const ordinal_t> to_parent,
                          ordinal_t k, ordinal_t part_offset, const PartitionOptions& opts,
-                         const core::Coarsener& coarsener, core::CoarsenHandle& handle,
+                         const multilevel::Builder& builder, multilevel::HierarchyHandle& mh,
                          std::vector<ordinal_t>& out) {
   if (k == 1) {
     for (ordinal_t v = 0; v < g.graph.num_rows; ++v) {
@@ -219,7 +212,7 @@ void partition_recursive(const WeightedGraph& g, std::span<const ordinal_t> to_p
   }
   const ordinal_t k0 = k / 2;
   const double frac = static_cast<double>(k0) / static_cast<double>(k);
-  const Bisection b = multilevel_bisect_frac(g, frac, opts, coarsener, handle);
+  const Bisection b = multilevel_bisect_frac(g, frac, opts, builder, mh);
 
   // Split into the two induced weighted subgraphs and recurse.
   for (int s = 0; s < 2; ++s) {
@@ -252,7 +245,7 @@ void partition_recursive(const WeightedGraph& g, std::span<const ordinal_t> to_p
           to_parent[static_cast<std::size_t>(sub.to_original[static_cast<std::size_t>(sv)])];
     }
     partition_recursive(sg, sub_to_parent, s == 0 ? k0 : k - k0,
-                        s == 0 ? part_offset : part_offset + k0, opts, coarsener, handle, out);
+                        s == 0 ? part_offset : part_offset + k0, opts, builder, mh, out);
   }
 }
 
@@ -300,9 +293,9 @@ std::int64_t refine_bisection(const WeightedGraph& g, Bisection& b, int passes,
 }
 
 Bisection multilevel_bisect(const WeightedGraph& g, const PartitionOptions& opts) {
-  const std::unique_ptr<core::Coarsener> coarsener = core::make_coarsener(coarsener_name(opts));
-  core::CoarsenHandle handle(opts.mis2);
-  return multilevel_bisect_frac(g, 0.5, opts, *coarsener, handle);
+  const multilevel::Builder builder(builder_options(opts));
+  multilevel::HierarchyHandle mh;
+  return multilevel_bisect_frac(g, 0.5, opts, builder, mh);
 }
 
 std::int64_t cut_weight_kway(const WeightedGraph& g, std::span<const ordinal_t> part) {
@@ -338,12 +331,12 @@ std::vector<ordinal_t> partition_labels_weighted(const WeightedGraph& g, ordinal
 
   std::vector<ordinal_t> identity(static_cast<std::size_t>(g.graph.num_rows));
   std::iota(identity.begin(), identity.end(), 0);
-  // One coarsener + one coarsening handle for the whole recursive-
-  // bisection tree: scratch is reused across every level of every
-  // bisection.
-  const std::unique_ptr<core::Coarsener> coarsener = core::make_coarsener(coarsener_name(opts));
-  core::CoarsenHandle handle(opts.mis2);
-  partition_recursive(g, identity, k, 0, opts, *coarsener, handle, part);
+  // One Builder + one hierarchy handle for the whole recursive-bisection
+  // tree: aggregation scratch, contraction maps, and per-level hierarchy
+  // storage are reused across every level of every bisection.
+  const multilevel::Builder builder(builder_options(opts));
+  multilevel::HierarchyHandle mh;
+  partition_recursive(g, identity, k, 0, opts, builder, mh, part);
   return part;
 }
 

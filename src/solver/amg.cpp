@@ -1,5 +1,6 @@
 #include "solver/amg.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -66,43 +67,37 @@ core::Aggregation run_aggregation(graph::GraphView adjacency, const std::string&
 
 namespace {
 
-/// Tentative prolongator: column a = normalized indicator of aggregate a.
-/// Exactly one entry per row, so the CRS assembles directly from labels.
-graph::CrsMatrix tentative_prolongator(const core::Aggregation& agg) {
-  const ordinal_t n = static_cast<ordinal_t>(agg.labels.size());
-  std::vector<ordinal_t> agg_size(static_cast<std::size_t>(agg.num_aggregates), 0);
-  for (ordinal_t v = 0; v < n; ++v) {
-    ++agg_size[static_cast<std::size_t>(agg.labels[static_cast<std::size_t>(v)])];
+/// Builder configuration for the options: the AMG knobs mapped onto the
+/// unified multilevel engine (`max_levels` counts operator levels here,
+/// coarsening steps there). Table V schemes that are not registered
+/// coarseners plug in through the aggregator hook.
+multilevel::Options builder_options(const AmgOptions& opts) {
+  multilevel::Options mo;
+  mo.max_levels = std::max(0, opts.max_levels - 1);
+  mo.min_coarse_size = opts.coarse_size;
+  mo.rate_floor = opts.coarsening_rate_floor;
+  mo.complexity_cap = opts.operator_complexity_cap;
+  mo.prolongator_omega = opts.prolongator_omega;
+  mo.mis2 = opts.mis2;
+  // Pass the *optional* through unchanged: when unset, the Builder (and
+  // any later rebuild()) inherits the then-ambient configuration instead
+  // of a stale build-time snapshot.
+  mo.ctx = opts.ctx;
+  if (!opts.coarsener.empty()) {
+    mo.coarsener = opts.coarsener;
+  } else if (opts.scheme == AggregationScheme::Mis2Agg) {
+    mo.coarsener = "mis2";
+  } else if (opts.scheme == AggregationScheme::Mis2Basic) {
+    mo.coarsener = "mis2-basic";
+  } else {
+    const AggregationScheme scheme = opts.scheme;
+    const core::Mis2Options mis2 = opts.mis2;
+    mo.aggregator = [scheme, mis2](graph::GraphView g, core::CoarsenHandle& handle,
+                                   const core::CoarsenOptions&, int /*level*/) {
+      return run_aggregation(g, scheme, mis2, handle);
+    };
   }
-
-  graph::CrsMatrix p;
-  p.num_rows = n;
-  p.num_cols = agg.num_aggregates;
-  p.row_map.resize(static_cast<std::size_t>(n) + 1);
-  for (ordinal_t v = 0; v <= n; ++v) p.row_map[static_cast<std::size_t>(v)] = v;
-  p.entries.resize(static_cast<std::size_t>(n));
-  p.values.resize(static_cast<std::size_t>(n));
-  par::parallel_for(n, [&](ordinal_t v) {
-    const ordinal_t a = agg.labels[static_cast<std::size_t>(v)];
-    p.entries[static_cast<std::size_t>(v)] = a;
-    p.values[static_cast<std::size_t>(v)] =
-        1.0 / std::sqrt(static_cast<scalar_t>(agg_size[static_cast<std::size_t>(a)]));
-  });
-  return p;
-}
-
-/// P = (I - omega D^{-1} A) P̂  =  P̂ - omega * rowscale(D^{-1}, A P̂).
-graph::CrsMatrix smooth_prolongator(const graph::CrsMatrix& a,
-                                    const std::vector<scalar_t>& inv_diag,
-                                    const graph::CrsMatrix& phat, scalar_t omega) {
-  graph::CrsMatrix ap = graph::spgemm(a, phat);
-  par::parallel_for(ap.num_rows, [&](ordinal_t i) {
-    const scalar_t scale = inv_diag[static_cast<std::size_t>(i)];
-    for (offset_t j = ap.row_map[i]; j < ap.row_map[i + 1]; ++j) {
-      ap.values[static_cast<std::size_t>(j)] *= scale;
-    }
-  });
-  return graph::matrix_add(1.0, phat, -omega, ap);
+  return mo;
 }
 
 }  // namespace
@@ -116,94 +111,111 @@ AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts
   const Context ctx = opts.ctx ? *opts.ctx : Context::default_ctx();
   Context::Scope scope(ctx);
 
-  graph::CrsMatrix current = std::move(a_fine);
-  // One coarsening handle for the whole setup: MIS-2 scratch is reused
-  // across every level of the hierarchy.
-  core::CoarsenHandle coarsen_handle(opts.mis2, ctx);
-  for (int lvl = 0; lvl < opts.max_levels; ++lvl) {
-    AmgLevel level;
-    level.a = std::move(current);
-    level.inv_diag = inverted_diagonal(level.a);
-    if (opts.smoother == SmootherType::Chebyshev) {
-      level.chebyshev = std::make_unique<ChebyshevSmoother>(level.a, opts.chebyshev_degree);
-    }
-
-    const bool coarsest =
-        level.a.num_rows <= opts.coarse_size || lvl == opts.max_levels - 1;
-    if (!coarsest) {
-      const graph::CrsGraph adj = graph::remove_self_loops(graph::GraphView(level.a));
-      Timer agg_timer;
-      const core::Aggregation agg =
-          opts.coarsener.empty()
-              ? run_aggregation(adj, opts.scheme, opts.mis2, coarsen_handle)
-              : run_aggregation(adj, opts.coarsener, opts.mis2, coarsen_handle);
-      h.aggregation_seconds_ += agg_timer.seconds();
-      level.num_aggregates = agg.num_aggregates;
-
-      // Coarsening stalled: stop here and solve this level directly.
-      if (agg.num_aggregates >= level.a.num_rows) {
-        h.levels_.push_back(std::move(level));
-        break;
-      }
-
-      const graph::CrsMatrix phat = tentative_prolongator(agg);
-      level.p = smooth_prolongator(level.a, level.inv_diag, phat, opts.prolongator_omega);
-      level.r = graph::transpose_matrix(level.p);
-      current = graph::spgemm(level.r, graph::spgemm(level.a, level.p));
-      h.levels_.push_back(std::move(level));
-    } else {
-      h.levels_.push_back(std::move(level));
-      break;
-    }
-  }
-
-  h.coarse_lu_ = std::make_unique<DenseLU>(h.levels_.back().a);
-
-  // V-cycle workspaces, including the smoother scratch: apply()/vcycle()
-  // never allocate.
-  h.work_r_.resize(h.levels_.size());
-  h.work_bc_.resize(h.levels_.size());
-  h.work_xc_.resize(h.levels_.size());
-  h.work_s1_.resize(h.levels_.size());
-  h.work_s2_.resize(h.levels_.size());
-  h.work_s3_.resize(h.levels_.size());
-  for (std::size_t i = 0; i < h.levels_.size(); ++i) {
-    const std::size_t n = static_cast<std::size_t>(h.levels_[i].a.num_rows);
-    h.work_r_[i].resize(n);
-    h.work_s1_[i].resize(n);
-    if (opts.smoother == SmootherType::Chebyshev) {
-      h.work_s2_[i].resize(n);
-      h.work_s3_[i].resize(n);
-    }
-    if (i + 1 < h.levels_.size()) {
-      const std::size_t nc = static_cast<std::size_t>(h.levels_[i + 1].a.num_rows);
-      h.work_bc_[i].resize(nc);
-      h.work_xc_[i].resize(nc);
-    }
-  }
-
+  h.builder_ = multilevel::Builder(builder_options(opts));
+  (void)h.builder_.build_galerkin(std::move(a_fine), h.handle_);
+  h.aggregation_seconds_ = h.handle_.build_stats().aggregation_seconds;
+  h.finish_setup();
   h.setup_seconds_ = setup_timer.seconds();
   return h;
 }
 
+namespace {
+
+/// Effective direct-solve limit: explicit when set, else 4x the coarse
+/// target (hierarchies that coarsen normally keep their exact LU bottom).
+ordinal_t direct_limit(const AmgOptions& opts) {
+  return opts.direct_size_limit > 0 ? opts.direct_size_limit : 4 * opts.coarse_size;
+}
+
+}  // namespace
+
+void AmgHierarchy::rebuild(const graph::CrsMatrix& a_fine) {
+  Timer setup_timer;
+  const Context ctx = opts_.ctx ? *opts_.ctx : Context::default_ctx();
+  Context::Scope scope(ctx);
+
+  (void)builder_.rebuild_galerkin(a_fine, handle_);
+  // Smoothers and the coarse LU are value-dependent; the V-cycle
+  // workspaces are structure-shaped and already sized.
+  const std::vector<AmgLevel>& levels = handle_.ops();
+  if (opts_.smoother == SmootherType::Chebyshev) {
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      chebyshev_[i] = std::make_unique<ChebyshevSmoother>(levels[i].a, opts_.chebyshev_degree);
+    }
+  }
+  if (coarse_lu_) coarse_lu_ = std::make_unique<DenseLU>(levels.back().a);
+  setup_seconds_ = setup_timer.seconds();
+}
+
+void AmgHierarchy::finish_setup() {
+  const std::vector<AmgLevel>& levels = handle_.ops();
+  chebyshev_.clear();
+  chebyshev_.resize(levels.size());
+  if (opts_.smoother == SmootherType::Chebyshev) {
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      chebyshev_[i] = std::make_unique<ChebyshevSmoother>(levels[i].a, opts_.chebyshev_degree);
+    }
+  }
+  // Bottom solve: a dense LU when the coarsest level is genuinely coarse;
+  // when an early stop (rate floor, complexity cap, stall) left it large,
+  // factoring it densely would be the new blowup — bottom out with
+  // smoother sweeps instead.
+  coarse_lu_ = levels.back().a.num_rows <= direct_limit(opts_)
+                   ? std::make_unique<DenseLU>(levels.back().a)
+                   : nullptr;
+
+  // V-cycle workspaces, including the smoother scratch: apply()/vcycle()
+  // never allocate.
+  work_r_.resize(levels.size());
+  work_bc_.resize(levels.size());
+  work_xc_.resize(levels.size());
+  work_s1_.resize(levels.size());
+  work_s2_.resize(levels.size());
+  work_s3_.resize(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const std::size_t n = static_cast<std::size_t>(levels[i].a.num_rows);
+    work_r_[i].resize(n);
+    work_s1_[i].resize(n);
+    if (opts_.smoother == SmootherType::Chebyshev) {
+      work_s2_[i].resize(n);
+      work_s3_[i].resize(n);
+    }
+    if (i + 1 < levels.size()) {
+      const std::size_t nc = static_cast<std::size_t>(levels[i + 1].a.num_rows);
+      work_bc_[i].resize(nc);
+      work_xc_[i].resize(nc);
+    }
+  }
+}
+
+void AmgHierarchy::smooth_level(std::size_t lvl, std::span<const scalar_t> rhs,
+                                std::span<scalar_t> sol) const {
+  const AmgLevel& level = handle_.ops()[lvl];
+  if (chebyshev_[lvl]) {
+    for (int s = 0; s < opts_.smoother_sweeps; ++s) {
+      chebyshev_[lvl]->smooth(level.a, rhs, sol, work_s1_[lvl], work_s2_[lvl], work_s3_[lvl]);
+    }
+  } else {
+    jacobi_smooth(level.a, level.inv_diag, rhs, sol, opts_.smoother_sweeps, opts_.jacobi_omega,
+                  work_s1_[lvl]);
+  }
+}
+
 void AmgHierarchy::cycle_level(std::size_t lvl, std::span<const scalar_t> b,
                                std::span<scalar_t> x) const {
-  const AmgLevel& level = levels_[lvl];
-  if (lvl + 1 == levels_.size()) {
-    coarse_lu_->solve(b, x);
+  const std::vector<AmgLevel>& levels = handle_.ops();
+  const AmgLevel& level = levels[lvl];
+  if (lvl + 1 == levels.size()) {
+    if (coarse_lu_) {
+      coarse_lu_->solve(b, x);
+    } else {
+      smooth_level(lvl, b, x);
+    }
     return;
   }
 
   auto smooth = [&](std::span<const scalar_t> rhs, std::span<scalar_t> sol) {
-    if (level.chebyshev) {
-      for (int s = 0; s < opts_.smoother_sweeps; ++s) {
-        level.chebyshev->smooth(level.a, rhs, sol, work_s1_[lvl], work_s2_[lvl],
-                                work_s3_[lvl]);
-      }
-    } else {
-      jacobi_smooth(level.a, level.inv_diag, rhs, sol, opts_.smoother_sweeps,
-                    opts_.jacobi_omega, work_s1_[lvl]);
-    }
+    smooth_level(lvl, rhs, sol);
   };
 
   // Pre-smooth.
@@ -241,9 +253,9 @@ std::string AmgHierarchy::name() const {
 }
 
 double AmgHierarchy::operator_complexity() const {
-  double total = 0;
-  for (const AmgLevel& l : levels_) total += static_cast<double>(l.a.num_entries());
-  return total / static_cast<double>(levels_.front().a.num_entries());
+  return handle_.build_stats().operator_complexity;
 }
+
+double AmgHierarchy::grid_complexity() const { return handle_.build_stats().grid_complexity; }
 
 }  // namespace parmis::solver

@@ -7,8 +7,18 @@
 /// variable Table V studies), build the tentative piecewise-constant
 /// prolongator P̂ with normalized columns, smooth it with one damped-Jacobi
 /// step P = (I − ω D⁻¹ A) P̂, and form the Galerkin coarse operator
-/// A_c = Pᵀ A P with SpGEMM. Coarsening stops at `coarse_size` rows (or
-/// when it stalls) and the coarsest system is LU-factored.
+/// A_c = Pᵀ A P with SpGEMM. Coarsening stops at `coarse_size` rows, on a
+/// stall against the coarsening-rate floor, or when the next coarse
+/// operator would push the operator complexity past its cap (the guard
+/// against pairwise-matching hierarchies densifying on power-law inputs);
+/// the coarsest system is LU-factored.
+///
+/// The level loop itself lives in the unified multilevel engine
+/// (`multilevel::Builder`, Galerkin mode); `AmgHierarchy::build` keeps its
+/// historical signature as a thin shim over it, and gains a warm
+/// `rebuild()` for matrices whose values change but whose structure is
+/// fixed (time-stepping): the hierarchy's transfer structures are replayed
+/// value-only with zero heap allocations inside the multilevel handle.
 ///
 /// `apply` runs one V-cycle with damped-Jacobi pre/post smoothing from a
 /// zero initial guess — the preconditioner configuration of Table V (CG,
@@ -22,6 +32,7 @@
 #include "core/aggregation.hpp"
 #include "core/coarsener.hpp"
 #include "graph/crs.hpp"
+#include "multilevel/builder.hpp"
 #include "parallel/context.hpp"
 #include "solver/chebyshev.hpp"
 #include "solver/dense_lu.hpp"
@@ -56,6 +67,22 @@ struct AmgOptions {
   std::optional<Context> ctx;
   int max_levels = 10;
   ordinal_t coarse_size = 500;       ///< direct-solve threshold
+  /// Coarsening-rate floor: a level producing more than this fraction of
+  /// its fine vertices as aggregates counts as stalled and coarsening
+  /// stops there (enforced by the multilevel Builder).
+  double coarsening_rate_floor = 0.9;
+  /// Stop coarsening before `sum(nnz(A_l)) / nnz(A_0)` exceeds this cap —
+  /// the guard that keeps AMG+HEM from densifying on power-law inputs.
+  /// 0 disables the cap.
+  double operator_complexity_cap = 10.0;
+  /// Largest coarsest level the V-cycle bottoms out on with a dense LU.
+  /// When the rate floor or the complexity cap stops coarsening early, the
+  /// coarsest level can be far bigger than `coarse_size`; factoring it
+  /// densely would be the new blowup. Above this limit the cycle bottoms
+  /// out with smoother sweeps instead. 0 (the default) means
+  /// `4 * coarse_size`, so hierarchies that coarsen normally keep their
+  /// exact direct solve.
+  ordinal_t direct_size_limit = 0;
   scalar_t prolongator_omega = 2.0 / 3.0;
   SmootherType smoother = SmootherType::Jacobi;
   int smoother_sweeps = 2;           ///< pre/post smoother applications
@@ -64,16 +91,11 @@ struct AmgOptions {
   core::Mis2Options mis2;            ///< passed through to MIS-2 aggregation
 };
 
-/// One multigrid level: its operator, grid transfers to the next-coarser
-/// level, and smoother data. The coarsest level has empty transfers.
-struct AmgLevel {
-  graph::CrsMatrix a;
-  graph::CrsMatrix p;  ///< prolongator (this level rows x coarse cols)
-  graph::CrsMatrix r;  ///< restriction = pᵀ
-  std::vector<scalar_t> inv_diag;
-  std::unique_ptr<ChebyshevSmoother> chebyshev;  ///< set iff Chebyshev smoothing
-  ordinal_t num_aggregates{0};
-};
+/// One multigrid level — the multilevel engine's Galerkin level: operator,
+/// grid transfers to the next-coarser level (empty on the coarsest), the
+/// inverted diagonal, and the aggregate count that produced the next
+/// level.
+using AmgLevel = multilevel::OperatorLevel;
 
 /// A built V-cycle hierarchy, usable directly as a Preconditioner.
 class AmgHierarchy final : public Preconditioner {
@@ -82,6 +104,13 @@ class AmgHierarchy final : public Preconditioner {
   /// aggregation-only time and total setup time.
   static AmgHierarchy build(graph::CrsMatrix a_fine, const AmgOptions& opts = {});
 
+  /// Warm value-only rebuild for a matrix with the same structure the
+  /// hierarchy was built from but different values: replays the Galerkin
+  /// setup into the existing level structures (zero heap allocations
+  /// inside the multilevel handle), then refreshes the smoothers and the
+  /// coarse LU. Throws std::invalid_argument on a structure mismatch.
+  void rebuild(const graph::CrsMatrix& a_fine);
+
   /// One V-cycle on A z = r from z = 0.
   void apply(std::span<const scalar_t> r, std::span<scalar_t> z) const override;
   [[nodiscard]] std::string name() const override;
@@ -89,16 +118,31 @@ class AmgHierarchy final : public Preconditioner {
   /// General V-cycle from an arbitrary initial guess (level 0).
   void vcycle(std::span<const scalar_t> b, std::span<scalar_t> x) const;
 
-  [[nodiscard]] int num_levels() const { return static_cast<int>(levels_.size()); }
-  [[nodiscard]] const AmgLevel& level(int i) const { return levels_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int num_levels() const { return static_cast<int>(handle_.ops().size()); }
+  [[nodiscard]] const AmgLevel& level(int i) const {
+    return handle_.ops()[static_cast<std::size_t>(i)];
+  }
   [[nodiscard]] double aggregation_seconds() const { return aggregation_seconds_; }
   [[nodiscard]] double setup_seconds() const { return setup_seconds_; }
   [[nodiscard]] double operator_complexity() const;
+  [[nodiscard]] double grid_complexity() const;
+
+  /// Telemetry of the underlying multilevel build: levels, per-level
+  /// rows/nnz, complexities, stop reason, and build/rebuild timings.
+  [[nodiscard]] const multilevel::HierarchyStats& hierarchy_stats() const {
+    return handle_.build_stats();
+  }
 
  private:
   void cycle_level(std::size_t lvl, std::span<const scalar_t> b, std::span<scalar_t> x) const;
+  void smooth_level(std::size_t lvl, std::span<const scalar_t> rhs,
+                    std::span<scalar_t> sol) const;
+  /// Smoothers, coarse LU, and V-cycle workspaces for the current levels.
+  void finish_setup();
 
-  std::vector<AmgLevel> levels_;
+  multilevel::Builder builder_;
+  multilevel::HierarchyHandle handle_;
+  std::vector<std::unique_ptr<ChebyshevSmoother>> chebyshev_;  ///< per level iff Chebyshev
   std::unique_ptr<DenseLU> coarse_lu_;
   AmgOptions opts_;
   double aggregation_seconds_{0};

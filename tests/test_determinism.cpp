@@ -18,6 +18,7 @@
 #include "graph/generators.hpp"
 #include "graph/ops.hpp"
 #include "graph/registry.hpp"
+#include "multilevel/builder.hpp"
 #include "parallel/context.hpp"
 #include "parallel/execution.hpp"
 #include "partition/interface.hpp"
@@ -191,6 +192,55 @@ TEST(Determinism, SchedulesAcrossRegisteredPartitioners) {
         EXPECT_EQ(r.part, reference)
             << spec.name << " schedule=" << static_cast<int>(ctx.schedule)
             << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
+      }
+    }
+  }
+}
+
+TEST(Determinism, SchedulesAcrossBuilderHierarchies) {
+  // Builder hierarchies — all three contraction modes — must be
+  // bit-identical across Serial/OpenMP, any thread count, and the
+  // Static/EdgeBalanced schedules, for every registered coarsener.
+  const graph::CrsGraph skew = graph::power_law_graph(3000, 2.3, 3, 300, 23);
+  const multilevel::WeightedGraph wskew = multilevel::WeightedGraph::unit(skew);
+  const graph::CrsMatrix a = graph::laplacian_matrix(skew, 1.0);
+  for (const core::CoarsenerSpec& spec : core::coarsener_registry()) {
+    std::vector<std::vector<ordinal_t>> ref_labels;
+    std::vector<std::vector<ordinal_t>> ref_wlabels;
+    std::vector<std::vector<scalar_t>> ref_values;
+    bool first = true;
+    for (const Context& ctx : schedule_contexts()) {
+      multilevel::Options mo;
+      mo.coarsener = spec.name;
+      mo.min_coarse_size = 100;
+      mo.complexity_cap = 10.0;
+      mo.ctx = ctx;
+      const multilevel::Builder builder(mo);
+      multilevel::HierarchyHandle h;
+
+      std::vector<std::vector<ordinal_t>> labels;
+      for (const multilevel::Step& s : builder.build(skew, h)) {
+        labels.push_back(s.aggregation.labels);
+      }
+      std::vector<std::vector<ordinal_t>> wlabels;
+      for (const multilevel::Step& s : builder.build_weighted(wskew, h)) {
+        wlabels.push_back(s.aggregation.labels);
+      }
+      std::vector<std::vector<scalar_t>> values;
+      for (const multilevel::OperatorLevel& l : builder.build_galerkin(a, h)) {
+        values.push_back(l.a.values);
+      }
+      if (first) {
+        ref_labels = std::move(labels);
+        ref_wlabels = std::move(wlabels);
+        ref_values = std::move(values);
+        first = false;
+      } else {
+        EXPECT_EQ(labels, ref_labels)
+            << spec.name << " topology schedule=" << static_cast<int>(ctx.schedule)
+            << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
+        EXPECT_EQ(wlabels, ref_wlabels) << spec.name << " weighted";
+        EXPECT_EQ(values, ref_values) << spec.name << " galerkin";
       }
     }
   }
