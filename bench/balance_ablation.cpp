@@ -34,6 +34,7 @@
 #include "graph/rgg.hpp"
 #include "graph/spgemm.hpp"
 #include "graph/spmv.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/execution.hpp"
 
@@ -140,14 +141,15 @@ struct Cell {
 };
 
 std::string to_json(const Cell& c, ordinal_t n, offset_t entries) {
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "{\"bench\":\"balance_ablation\",\"graph\":\"%s\",\"num_vertices\":%d,"
-                "\"num_entries\":%lld,\"kernel\":\"%s\",\"schedule\":\"%s\","
-                "\"threads\":%d,\"seconds\":%.6e,\"chunk_imbalance\":%.4f}",
-                c.graph.c_str(), n, static_cast<long long>(entries), c.kernel.c_str(),
-                schedule_name(c.schedule), c.threads, c.seconds, c.imbalance);
-  return buf;
+  obs::Report report;
+  report.set("bench", "balance_ablation");
+  obs::add_graph(report, c.graph, n, entries);
+  report.set("kernel", c.kernel);
+  report.set("schedule", schedule_name(c.schedule));
+  report.set("threads", c.threads);
+  report.set("seconds", c.seconds);
+  report.set("chunk_imbalance", c.imbalance);
+  return report.to_json();
 }
 
 }  // namespace
@@ -191,18 +193,15 @@ int main(int argc, char** argv) {
   inputs.push_back({"star_hub_skewed",
                     graph::star_hub_graph(hubs, std::max<ordinal_t>(64, nskew / hubs))});
 
-  std::FILE* out = std::fopen(opt.out.c_str(), "w");
-  if (!out) {
+  obs::JsonArrayWriter out(opt.out);
+  if (!out.ok()) {
     std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
     return 1;
   }
-  std::fprintf(out, "[\n");
-  bool first_row = true;
   auto emit = [&](const Cell& c, ordinal_t n, offset_t e) {
     const std::string json = to_json(c, n, e);
     std::printf("%s\n", json.c_str());
-    std::fprintf(out, "%s%s", first_row ? "" : ",\n", json.c_str());
-    first_row = false;
+    out.row(json);
   };
 
   std::printf("# balance_ablation: threads=%d trials=%d scale=%.3f (1 core visible to this "
@@ -246,8 +245,10 @@ int main(int argc, char** argv) {
            g.num_entries());
     }
   }
-  std::fprintf(out, "\n]\n");
-  std::fclose(out);
+  if (!out.close()) {
+    std::fprintf(stderr, "write error on %s\n", opt.out.c_str());
+    return 1;
+  }
   std::printf("# wrote %s\n", opt.out.c_str());
   return 0;
 }

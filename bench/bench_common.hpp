@@ -3,11 +3,17 @@
 /// \brief Shared helpers for the per-table/per-figure benchmark binaries.
 ///
 /// Every binary accepts:
-///   --scale=<f>   fraction of the paper's |V| to build (default 0.25)
-///   --trials=<n>  timing repetitions (default 5)
-///   --full        paper scale (scale=1.0)
+///   --scale=<f>     fraction of the paper's |V| to build (default 0.25)
+///   --trials=<n>    timing repetitions (default 5)
+///   --full          paper scale (scale=1.0)
+///   --trace=FILE    record obs spans, write a Chrome trace on exit
+///   --trace-sample=N  per-chunk span decimation (default 1)
 /// Default settings keep the whole harness to a few minutes on a laptop;
 /// --full reproduces the paper's problem sizes exactly.
+///
+/// Timing runs through the span API (`time_mean_s` wraps every trial in a
+/// "bench.trial" span), so a traced bench shows its trial structure in the
+/// same timeline as the kernels under test.
 
 #include <cmath>
 #include <cstdio>
@@ -16,16 +22,20 @@
 #include <string>
 #include <vector>
 
-#include "common/timer.hpp"
 #include "graph/crs.hpp"
 #include "graph/ops.hpp"
 #include "graph/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace parmis::bench {
 
 struct Args {
   double scale = 0.25;
   int trials = 5;
+  std::string trace_path;
+  int trace_sample = 1;
 
   static Args parse(int argc, char** argv) {
     Args a;
@@ -37,22 +47,60 @@ struct Args {
         a.trials = std::atoi(s + 9);
       } else if (!std::strcmp(s, "--full")) {
         a.scale = 1.0;
+      } else if (!std::strncmp(s, "--trace=", 8)) {
+        a.trace_path = s + 8;
+      } else if (!std::strncmp(s, "--trace-sample=", 15)) {
+        a.trace_sample = std::atoi(s + 15);
       } else {
-        std::fprintf(stderr, "usage: %s [--scale=F] [--trials=N] [--full]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--scale=F] [--trials=N] [--full] [--trace=FILE] "
+                     "[--trace-sample=N]\n",
+                     argv[0]);
         std::exit(1);
       }
     }
+    if (!a.trace_path.empty()) obs::set_tracing(true, a.trace_sample);
     return a;
+  }
+
+  /// Bench epilogue: when --trace was given, stop tracing and write the
+  /// Chrome trace file. Call once at the end of main.
+  void finish_trace() const {
+    if (trace_path.empty()) return;
+    obs::set_tracing(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: %llu events -> %s\n",
+                   static_cast<unsigned long long>(obs::total_events()), trace_path.c_str());
+    }
   }
 };
 
-/// Mean wall seconds of `f()` over `trials` runs after one warmup.
+/// Mean wall seconds of `f()` over `trials` runs after one warmup. Each
+/// timed trial is wrapped in a "bench.trial" span so traced runs show the
+/// trial boundaries alongside the kernel spans.
 template <typename F>
 double time_mean_s(int trials, F&& f) {
   f();  // warmup
   Timer t;
-  for (int i = 0; i < trials; ++i) f();
+  for (int i = 0; i < trials; ++i) {
+    obs::Span trial("bench.trial");
+    trial.arg("trial", i);
+    f();
+  }
   return t.seconds() / trials;
+}
+
+/// Wall seconds of a single `f()` call, recorded as a `name` span when
+/// tracing is on. The shared replacement for the ad-hoc
+/// `Timer t; f(); t.seconds()` pattern the table benches used to copy.
+template <typename F>
+double time_once_s(const char* name, F&& f) {
+  obs::Span span(name);
+  Timer t;
+  f();
+  return t.seconds();
 }
 
 inline double geomean(const std::vector<double>& xs) {

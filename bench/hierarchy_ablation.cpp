@@ -12,9 +12,10 @@
 /// Galerkin products value-only with zero heap allocations.
 ///
 /// Emits one JSON object per (graph, coarsener) cell (stdout + `--out`,
-/// default BENCH_hierarchy_ablation.json). The telemetry fields (levels,
-/// operator/grid complexity) use the same schema `linear_solve --json`
-/// reports, so the driver and the ablation agree.
+/// default BENCH_hierarchy_ablation.json). Rows are `obs::Report` objects
+/// built by `obs::add_hierarchy`, so the telemetry keys (levels,
+/// operator/grid complexity, cold/warm build times) are exactly the ones
+/// `linear_solve --json` and bench/solver_ablation report.
 ///
 /// Usage: bench_hierarchy_ablation [--scale=F] [--trials=N] [--cap=C]
 ///                                 [--out=PATH]
@@ -26,11 +27,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "core/coarsener.hpp"
 #include "graph/generators.hpp"
 #include "graph/rgg.hpp"
 #include "multilevel/builder.hpp"
+#include "obs/telemetry.hpp"
 
 namespace parmis {
 namespace {
@@ -83,18 +84,11 @@ int main(int argc, char** argv) {
       {"power_law_skewed",
        graph::power_law_graph(n, 2.2, 4, std::max<ordinal_t>(64, n / 60), 42)});
 
-  std::FILE* out = std::fopen(opt.out.c_str(), "w");
-  if (!out) {
+  obs::JsonArrayWriter out(opt.out);
+  if (!out.ok()) {
     std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
     return 1;
   }
-  std::fprintf(out, "[\n");
-  bool first_row = true;
-  auto emit = [&](const std::string& json) {
-    std::printf("%s\n", json.c_str());
-    std::fprintf(out, "%s%s", first_row ? "" : ",\n", json.c_str());
-    first_row = false;
-  };
 
   std::printf("# hierarchy_ablation: trials=%d scale=%.3f cap=%.1f\n", opt.trials, opt.scale,
               opt.cap);
@@ -122,44 +116,27 @@ int main(int argc, char** argv) {
         (void)builder.rebuild_galerkin(a2, handle);
       });
 
-      const multilevel::HierarchyStats& st = handle.build_stats();
-      std::string level_rows = "[";
-      std::string level_nnz = "[";
-      for (std::size_t l = 0; l < st.level_rows.size(); ++l) {
-        char num[32];
-        std::snprintf(num, sizeof(num), "%s%d", l ? "," : "", st.level_rows[l]);
-        level_rows += num;
-        std::snprintf(num, sizeof(num), "%s%lld", l ? "," : "",
-                      static_cast<long long>(st.level_entries[l]));
-        level_nnz += num;
-      }
-      level_rows += "]";
-      level_nnz += "]";
-
-      // Assembled in a string: the per-level arrays are unbounded, so a
-      // fixed snprintf buffer could silently truncate deep hierarchies.
-      char head[512];
-      std::snprintf(
-          head, sizeof(head),
-          "{\"bench\":\"hierarchy_ablation\",\"graph\":\"%s\",\"num_rows\":%d,"
-          "\"num_entries\":%lld,\"coarsener\":\"%s\",\"levels\":%d,"
-          "\"operator_complexity\":%.4f,\"grid_complexity\":%.4f,\"stop\":\"%s\",",
-          in.name.c_str(), a.num_rows, static_cast<long long>(a.num_entries()),
-          spec.name.c_str(), st.levels, st.operator_complexity, st.grid_complexity,
-          multilevel::to_string(st.stop));
-      char tail[256];
-      std::snprintf(tail, sizeof(tail),
-                    "\"cold_build_seconds\":%.6e,\"warm_rebuild_seconds\":%.6e,"
-                    "\"aggregation_seconds\":%.6e,\"scratch_bytes\":%zu,"
-                    "\"scratch_grows\":%llu}",
-                    cold_s, warm_s, st.aggregation_seconds, handle.scratch_bytes(),
-                    static_cast<unsigned long long>(handle.stats().scratch_grows));
-      emit(std::string(head) + "\"level_rows\":" + level_rows +
-           ",\"level_entries\":" + level_nnz + "," + tail);
+      obs::Report report;
+      report.set("bench", "hierarchy_ablation");
+      obs::add_graph(report, in.name, a.num_rows, a.num_entries());
+      report.set("coarsener", spec.name);
+      obs::add_hierarchy(report, handle.build_stats());
+      // The adapter reports the builder's own timings; this bench's
+      // numbers are externally timed means over --trials, so overwrite
+      // the two time keys with the measured values (same key names).
+      report.set("cold_build_seconds", cold_s);
+      report.set("warm_rebuild_seconds", warm_s);
+      report.set("scratch_bytes", static_cast<std::uint64_t>(handle.scratch_bytes()));
+      report.set("scratch_grows", handle.stats().scratch_grows);
+      const std::string json = report.to_json();
+      std::printf("%s\n", json.c_str());
+      out.row(json);
     }
   }
-  std::fprintf(out, "\n]\n");
-  std::fclose(out);
+  if (!out.close()) {
+    std::fprintf(stderr, "write error on %s\n", opt.out.c_str());
+    return 1;
+  }
   std::printf("# wrote %s\n", opt.out.c_str());
   return 0;
 }

@@ -12,7 +12,9 @@
 /// one `SolveHandle` (setup paid once, reported separately).
 ///
 /// Emits one JSON object per cell (stdout + `--out`, default
-/// BENCH_solver_ablation.json), feeding the BENCH_*.json trajectory.
+/// BENCH_solver_ablation.json). Rows are `obs::Report` objects built by the
+/// telemetry adapters, so the keys are identical to `linear_solve --json`
+/// and bench/hierarchy_ablation — one schema everywhere.
 ///
 /// Usage: bench_solver_ablation [--scale=F] [--trials=N] [--tol=T]
 ///                              [--maxit=N] [--out=PATH]
@@ -24,10 +26,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "core/coarsener.hpp"
 #include "graph/generators.hpp"
 #include "graph/rgg.hpp"
+#include "obs/telemetry.hpp"
+#include "solver/amg.hpp"
 #include "solver/handle.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -85,17 +88,15 @@ int main(int argc, char** argv) {
       {"power_law_skewed",
        graph::power_law_graph(n, 2.2, 4, std::max<ordinal_t>(64, n / 60), 42)});
 
-  std::FILE* out = std::fopen(opt.out.c_str(), "w");
-  if (!out) {
+  obs::JsonArrayWriter out(opt.out);
+  if (!out.ok()) {
     std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
     return 1;
   }
-  std::fprintf(out, "[\n");
-  bool first_row = true;
-  auto emit = [&](const std::string& json) {
+  auto emit = [&](const obs::Report& report) {
+    const std::string json = report.to_json();
     std::printf("%s\n", json.c_str());
-    std::fprintf(out, "%s%s", first_row ? "" : ",\n", json.c_str());
-    first_row = false;
+    out.row(json);
   };
 
   solver::IterOptions iter_opts;
@@ -125,17 +126,6 @@ int main(int argc, char** argv) {
         handle.setup(a);
         const double setup_s = setup_timer.seconds();
 
-        // Hierarchy telemetry for the multigrid rows (same schema as
-        // bench/hierarchy_ablation and linear_solve --json).
-        int levels = 0;
-        double opcx = 0, gridcx = 0;
-        if (const auto* amg =
-                dynamic_cast<const solver::AmgHierarchy*>(handle.preconditioner())) {
-          levels = amg->num_levels();
-          opcx = amg->operator_complexity();
-          gridcx = amg->grid_complexity();
-        }
-
         for (const std::string& sname : solver::solver_names()) {
           handle.set_solver(sname);
           const double solve_s = bench::time_mean_s(opt.trials, [&] {
@@ -143,25 +133,30 @@ int main(int argc, char** argv) {
             (void)handle.solve(a, b, x, iter_opts);
           });
           const solver::IterResult& r = handle.result();
-          char buf[512];
-          std::snprintf(
-              buf, sizeof(buf),
-              "{\"bench\":\"solver_ablation\",\"graph\":\"%s\",\"num_rows\":%d,"
-              "\"num_entries\":%lld,\"solver\":\"%s\",\"prec\":\"%s\",\"coarsener\":\"%s\","
-              "\"iterations\":%d,\"converged\":%s,\"relative_residual\":%.6e,"
-              "\"setup_seconds\":%.6e,\"solve_seconds\":%.6e,"
-              "\"levels\":%d,\"operator_complexity\":%.4f,\"grid_complexity\":%.4f}",
-              in.name.c_str(), a.num_rows, static_cast<long long>(a.num_entries()),
-              sname.c_str(), pname.c_str(), cname.c_str(), r.iterations,
-              r.converged ? "true" : "false", r.relative_residual, setup_s, solve_s, levels,
-              opcx, gridcx);
-          emit(buf);
+          obs::Report report;
+          report.set("bench", "solver_ablation");
+          obs::add_graph(report, in.name, a.num_rows, a.num_entries());
+          report.set("solver", sname);
+          report.set("prec", pname);
+          report.set("coarsener", cname);
+          obs::add_iter_result(report, r);
+          report.set("setup_seconds", setup_s);
+          report.set("solve_seconds", solve_s);
+          // Hierarchy telemetry for the multigrid rows (same adapter — so
+          // the same keys — as bench/hierarchy_ablation and linear_solve).
+          if (const auto* amg =
+                  dynamic_cast<const solver::AmgHierarchy*>(handle.preconditioner())) {
+            obs::add_hierarchy(report, amg->hierarchy_stats());
+          }
+          emit(report);
         }
       }
     }
   }
-  std::fprintf(out, "\n]\n");
-  std::fclose(out);
+  if (!out.close()) {
+    std::fprintf(stderr, "write error on %s\n", opt.out.c_str());
+    return 1;
+  }
   std::printf("# wrote %s\n", opt.out.c_str());
   return 0;
 }

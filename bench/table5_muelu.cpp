@@ -18,7 +18,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "common/timer.hpp"
 #include "graph/generators.hpp"
 #include "graph/ops.hpp"
 #include "parallel/execution.hpp"
@@ -56,9 +55,9 @@ int main(int argc, char** argv) {
     solver::IterOptions cg_opts;
     cg_opts.tolerance = 1e-12;
     cg_opts.max_iterations = 500;
-    Timer solve_timer;
-    const solver::IterResult r = solver::cg(a0, b, x, cg_opts, &amg);
-    const double solve_s = solve_timer.seconds();
+    solver::IterResult r;
+    const double solve_s = bench::time_once_s(
+        "table5.solve", [&] { r = solver::cg(a0, b, x, cg_opts, &amg); });
 
     // Measured determinism: identical aggregation labels across two thread
     // counts and a repeat run.

@@ -8,11 +8,13 @@
 ///   gen:laplace2d:NX            NX^2 5-point grid
 ///   gen:elasticity:NX           NX^3 27-point, 3 dof
 ///   gen:rgg:N:DEG               3D random geometric graph
+///   gen:powerlaw:N[:EXP]        power-law degrees, exponent EXP (default 2.2)
 ///   reg:NAME                    a Table II surrogate (e.g. reg:Serena)
 ///
 /// Every input is symmetrized and stripped of self loops, so general
 /// matrices are accepted.
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -75,6 +77,11 @@ inline graph::CrsGraph load_graph(const std::string& spec, double scale = 1.0) {
       const double deg = std::atof(field(3).c_str());
       if (n < 1 || deg <= 0) throw bad_spec("needs N and DEG, e.g. gen:rgg:100000:14");
       return graph::random_geometric_3d(n, deg, 1);
+    } else if (kind == "powerlaw") {
+      const ordinal_t n = std::atoi(field(2).c_str());
+      const double exp = field(3).empty() ? 2.2 : std::atof(field(3).c_str());
+      if (n < 1 || exp <= 1) throw bad_spec("needs N [EXP>1], e.g. gen:powerlaw:100000:2.2");
+      return graph::power_law_graph(n, exp, 4, std::max<ordinal_t>(64, n / 60), 42);
     } else {
       throw bad_spec("unknown generator");
     }

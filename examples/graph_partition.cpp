@@ -5,11 +5,16 @@
 ///
 /// Usage:
 ///   graph_partition [--algos=a,b,...|all] [--graphs=SPEC,SPEC,...]
-///                   [--k=K] [--scale=F] [--json] [--list]
+///                   [--k=K] [--scale=F] [--json] [--trace=FILE]
+///                   [--trace-sample=N] [--list]
+///
+/// `--json` rows are `obs::Report` objects (same telemetry schema as
+/// linear_solve and the benches); `--trace=FILE` records obs spans for
+/// the whole batch into a Chrome trace-event file.
 ///
 /// Graph SPECs are shared with parmis_tool (see graph_inputs.hpp):
 ///   file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |
-///   gen:rgg:N:DEG | reg:NAME | reg:table2 (all Table II surrogates)
+///   gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME | reg:table2
 ///
 /// Examples:
 ///   graph_partition --list
@@ -23,6 +28,9 @@
 #include <vector>
 
 #include "graph_inputs.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "partition/interface.hpp"
 
 namespace {
@@ -33,9 +41,9 @@ using examples::split_csv;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--algos=a,b,...|all] [--graphs=SPEC,...] [--k=K] [--scale=F]\n"
-               "          [--json] [--list]\n"
+               "          [--json] [--trace=FILE] [--trace-sample=N] [--list]\n"
                "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
-               "        gen:rgg:N:DEG | reg:NAME | reg:table2\n",
+               "        gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME | reg:table2\n",
                argv0);
 }
 
@@ -47,6 +55,8 @@ int main(int argc, char** argv) {
   ordinal_t k = 8;
   double scale = 0.05;
   bool json = false;
+  std::string trace_path;
+  int trace_sample = 1;
 
   for (int i = 1; i < argc; ++i) {
     const char* s = argv[i];
@@ -61,6 +71,10 @@ int main(int argc, char** argv) {
       scale = std::atof(s + 8);
     } else if (!std::strcmp(s, "--json")) {
       json = true;
+    } else if (!std::strncmp(s, "--trace=", 8)) {
+      trace_path = s + 8;
+    } else if (!std::strncmp(s, "--trace-sample=", 15)) {
+      trace_sample = std::atoi(s + 15);
     } else if (!std::strcmp(s, "--list")) {
       std::printf("registered partitioners:\n");
       for (const partition::PartitionerSpec& spec : partition::partitioner_registry()) {
@@ -105,6 +119,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_path.empty()) obs::set_tracing(true, trace_sample);
+
   bool any_failed = false;
   for (const std::string& spec : graphs) {
     graph::CrsGraph g;
@@ -131,14 +147,30 @@ int main(int argc, char** argv) {
       const partition::PartitionResult r = p->run(wg, k);
       const partition::QualityReport& q = r.quality;
       if (json) {
-        std::printf("{\"graph\":\"%s\",\"algorithm\":\"%s\",\"seconds\":%.6f,\"quality\":%s}\n",
-                    spec.c_str(), p->name().c_str(), r.seconds, q.to_json().c_str());
+        obs::Report report;
+        obs::add_graph(report, spec, wg.graph.num_rows, wg.graph.num_entries());
+        report.set("algorithm", p->name());
+        report.set("k", static_cast<std::int64_t>(k));
+        report.set("seconds", r.seconds);
+        report.set_raw("quality", q.to_json());
+        std::printf("%s\n", report.to_json().c_str());
       } else {
         std::printf("  %-16s %12lld %6.2f%% %10lld %8.2f%% %6.2f%% %6d %9.3f\n",
                     p->name().c_str(), static_cast<long long>(q.edge_cut),
                     100.0 * q.cut_fraction(), static_cast<long long>(q.comm_volume),
                     100.0 * q.boundary_fraction, 100.0 * q.imbalance, q.empty_parts, r.seconds);
       }
+    }
+  }
+
+  if (!trace_path.empty()) {
+    obs::set_tracing(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n", trace_path.c_str());
+      any_failed = true;
+    } else if (!json) {
+      std::printf("\ntrace: %llu events -> %s (load in chrome://tracing or Perfetto)\n",
+                  static_cast<unsigned long long>(obs::total_events()), trace_path.c_str());
     }
   }
   return any_failed ? 1 : 0;

@@ -13,19 +13,24 @@
 /// Usage:
 ///   linear_solve [--solvers=s,...|all] [--precs=p,...|all]
 ///                [--coarseners=c,...] [--graphs=SPEC,...] [--scale=F]
-///                [--tol=T] [--maxit=N] [--rebuilds=N] [--json] [--list]
+///                [--tol=T] [--maxit=N] [--rebuilds=N] [--json]
+///                [--trace=FILE] [--trace-sample=N] [--list]
 ///
-/// `--json` rows carry the multilevel hierarchy telemetry for the "amg"
-/// preconditioner (levels, operator/grid complexity — the same schema
-/// bench/hierarchy_ablation emits, so the driver and the ablation agree).
-/// `--rebuilds=N` additionally exercises N warm value-only rebuilds of the
-/// AMG hierarchy (the time-stepping workflow: fixed structure, new
-/// values) and reports the mean rebuild time per row.
+/// `--json` rows are `obs::Report` objects carrying the multilevel
+/// hierarchy telemetry for the "amg" preconditioner (levels,
+/// operator/grid complexity — the exact keys bench/hierarchy_ablation
+/// emits, one schema everywhere). `--rebuilds=N` additionally exercises N
+/// warm value-only rebuilds of the AMG hierarchy (the time-stepping
+/// workflow: fixed structure, new values) and reports the mean rebuild
+/// time per row. `--trace=FILE` records obs spans for the whole batch and
+/// writes a Chrome trace-event JSON (chrome://tracing / Perfetto);
+/// per-chunk spans are sampled every N chunked loops (`--trace-sample`,
+/// default 1 = every loop).
 ///
 /// Graph SPECs are shared with parmis_tool / graph_partition
 /// (see graph_inputs.hpp):
 ///   file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |
-///   gen:rgg:N:DEG | reg:NAME | reg:table2
+///   gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME | reg:table2
 ///
 /// Examples:
 ///   linear_solve --list
@@ -39,10 +44,13 @@
 #include <string>
 #include <vector>
 
-#include "common/timer.hpp"
 #include "core/coarsener.hpp"
 #include "graph/generators.hpp"
 #include "graph_inputs.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "solver/amg.hpp"
 #include "solver/handle.hpp"
 #include "solver/vector_ops.hpp"
@@ -56,9 +64,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--solvers=s,...|all] [--precs=p,...|all] [--coarseners=c,...]\n"
                "          [--graphs=SPEC,...] [--scale=F] [--tol=T] [--maxit=N] "
-               "[--rebuilds=N] [--json] [--list]\n"
+               "[--rebuilds=N] [--json] [--trace=FILE] [--trace-sample=N] [--list]\n"
                "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
-               "        gen:rgg:N:DEG | reg:NAME | reg:table2\n",
+               "        gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME | reg:table2\n",
                argv0);
 }
 
@@ -74,6 +82,8 @@ int main(int argc, char** argv) {
   int maxit = 1000;
   int rebuilds = 0;
   bool json = false;
+  std::string trace_path;
+  int trace_sample = 1;
 
   for (int i = 1; i < argc; ++i) {
     const char* s = argv[i];
@@ -98,6 +108,10 @@ int main(int argc, char** argv) {
       rebuilds = std::atoi(s + 11);
     } else if (!std::strcmp(s, "--json")) {
       json = true;
+    } else if (!std::strncmp(s, "--trace=", 8)) {
+      trace_path = s + 8;
+    } else if (!std::strncmp(s, "--trace-sample=", 15)) {
+      trace_sample = std::atoi(s + 15);
     } else if (!std::strcmp(s, "--list")) {
       std::printf("registered solvers:\n");
       for (const solver::SolverSpec& spec : solver::solver_registry()) {
@@ -139,6 +153,10 @@ int main(int argc, char** argv) {
   solver::IterOptions opts;
   opts.tolerance = tol;
   opts.max_iterations = maxit;
+
+  // Tracing covers the whole batch; per-chunk spans record on the worker
+  // threads (so the trace shows every tid), decimated by --trace-sample.
+  if (!trace_path.empty()) obs::set_tracing(true, trace_sample);
 
   bool any_failed = false;
   for (const std::string& spec : graphs) {
@@ -188,17 +206,6 @@ int main(int argc, char** argv) {
         }
         const double setup_s = setup_timer.seconds();
 
-        // Hierarchy telemetry for the multigrid rows — the same fields
-        // bench/hierarchy_ablation emits, so both report one schema.
-        int levels = 0;
-        double opcx = 0, gridcx = 0;
-        if (const auto* amg =
-                dynamic_cast<const solver::AmgHierarchy*>(handle.preconditioner())) {
-          levels = amg->num_levels();
-          opcx = amg->operator_complexity();
-          gridcx = amg->grid_complexity();
-        }
-
         // Warm-rebuild smoke (--rebuilds=N): the time-stepping workflow.
         // A fixed-structure hierarchy is rebuilt with perturbed values N
         // times; the multilevel handle replays the Galerkin products
@@ -224,16 +231,25 @@ int main(int argc, char** argv) {
           if (!r.converged) any_failed = true;
           if (json) {
             // --json keeps stdout pure JSON-lines so the output pipes
-            // straight into jq.
-            std::printf(
-                "{\"graph\":\"%s\",\"n\":%d,\"solver\":\"%s\",\"prec\":\"%s\","
-                "\"coarsener\":\"%s\",\"iterations\":%d,\"relative_residual\":%.6e,"
-                "\"converged\":%s,\"setup_seconds\":%.6f,\"solve_seconds\":%.6f,"
-                "\"levels\":%d,\"operator_complexity\":%.4f,\"grid_complexity\":%.4f,"
-                "\"rebuild_seconds\":%.6f}\n",
-                spec.c_str(), a.num_rows, sname.c_str(), pname.c_str(), cname.c_str(),
-                r.iterations, r.relative_residual, r.converged ? "true" : "false", setup_s,
-                solve_s, levels, opcx, gridcx, rebuild_s);
+            // straight into jq. Rows are obs::Report objects — the same
+            // telemetry adapters (and so the same keys) the benches use.
+            obs::Report report;
+            obs::add_graph(report, spec, a.num_rows, a.num_entries());
+            report.set("solver", sname);
+            report.set("prec", pname);
+            report.set("coarsener", cname);
+            obs::add_iter_result(report, r);
+            report.set("setup_seconds", setup_s);
+            report.set("solve_seconds", solve_s);
+            if (const auto* amg =
+                    dynamic_cast<const solver::AmgHierarchy*>(handle.preconditioner())) {
+              obs::add_hierarchy(report, amg->hierarchy_stats());
+            }
+            if (rebuilds > 0 && pname == "amg") {
+              report.set("warm_rebuild_seconds", rebuild_s);
+            }
+            obs::add_spgemm_counters(report);
+            std::printf("%s\n", report.to_json().c_str());
           } else {
             std::printf("  %-10s %-12s %-11s %6d %10.2e %9.4f %9.4f%s\n", sname.c_str(),
                         pname.c_str(), cname.c_str(), r.iterations, r.relative_residual,
@@ -241,6 +257,17 @@ int main(int argc, char** argv) {
           }
         }
       }
+    }
+  }
+
+  if (!trace_path.empty()) {
+    obs::set_tracing(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n", trace_path.c_str());
+      any_failed = true;
+    } else if (!json) {
+      std::printf("\ntrace: %llu events -> %s (load in chrome://tracing or Perfetto)\n",
+                  static_cast<unsigned long long>(obs::total_events()), trace_path.c_str());
     }
   }
   return any_failed ? 1 : 0;

@@ -3,7 +3,7 @@
 /// Market file or a generated problem.
 ///
 /// Usage:
-///   parmis_tool <input> <command> [k]
+///   parmis_tool [--trace=FILE] [--trace-sample=N] <input> <command> [k]
 ///
 /// input:
 ///   path/to/matrix.mtx          any Matrix Market coordinate file
@@ -11,6 +11,7 @@
 ///   gen:laplace2d:NX            NX^2 5-point grid
 ///   gen:elasticity:NX           NX^3 27-point, 3 dof
 ///   gen:rgg:N:DEG               3D random geometric graph
+///   gen:powerlaw:N[:EXP]        power-law degrees, exponent EXP (default 2.2)
 ///   reg:NAME                    a Table II surrogate (e.g. reg:Serena)
 ///
 /// command: stats | mis2 | aggregate | color-d1 | color-d2 | partition K [ALGO]
@@ -20,13 +21,15 @@
 ///
 /// The input matrix is symmetrized and stripped of self loops before any
 /// graph algorithm runs, so general matrices are accepted.
+///
+/// `--trace=FILE` records obs spans for the run and writes a Chrome
+/// trace-event file (chrome://tracing / Perfetto).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "common/timer.hpp"
 #include "coloring/d1_coloring.hpp"
 #include "coloring/d2_coloring.hpp"
 #include "coloring/verify.hpp"
@@ -34,6 +37,8 @@
 #include "core/mis2.hpp"
 #include "core/verify.hpp"
 #include "graph_inputs.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "partition/interface.hpp"
 
 namespace {
@@ -44,14 +49,31 @@ using examples::load_graph;
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Leading options are consumed before the positional arguments.
+  std::string trace_path;
+  int trace_sample = 1;
+  int first = 1;
+  for (; first < argc; ++first) {
+    if (!std::strncmp(argv[first], "--trace=", 8)) {
+      trace_path = argv[first] + 8;
+    } else if (!std::strncmp(argv[first], "--trace-sample=", 15)) {
+      trace_sample = std::atoi(argv[first] + 15);
+    } else {
+      break;
+    }
+  }
+  argv += first - 1;
+  argc -= first - 1;
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <input> <stats|mis2|aggregate|color-d1|color-d2|partition K [ALGO]>\n"
+                 "usage: %s [--trace=FILE] [--trace-sample=N] <input> "
+                 "<stats|mis2|aggregate|color-d1|color-d2|partition K [ALGO]>\n"
                  "  input: file.mtx | gen:laplace3d:NX | gen:laplace2d:NX |\n"
-                 "         gen:elasticity:NX | gen:rgg:N:DEG | reg:NAME\n",
+                 "         gen:elasticity:NX | gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME\n",
                  argv[0]);
     return 1;
   }
+  if (!trace_path.empty()) obs::set_tracing(true, trace_sample);
   graph::CrsGraph g;
   try {
     g = load_graph(argv[1]);
@@ -111,6 +133,16 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 1;
+  }
+
+  if (!trace_path.empty()) {
+    obs::set_tracing(false);
+    if (!obs::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write trace file '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %llu events -> %s (load in chrome://tracing or Perfetto)\n",
+                static_cast<unsigned long long>(obs::total_events()), trace_path.c_str());
   }
   return 0;
 }

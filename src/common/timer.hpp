@@ -1,28 +1,7 @@
 #pragma once
 /// \file timer.hpp
-/// \brief Wall-clock timer used by the benchmark harness and solver stats.
+/// \brief Compatibility alias: `Timer` moved to `src/obs/timer.hpp` when
+/// the observability layer unified the timing primitives. Include
+/// `obs/timer.hpp` (or `obs/trace.hpp` for spans) in new code.
 
-#include <chrono>
-
-namespace parmis {
-
-/// Monotonic wall-clock stopwatch. `seconds()` returns elapsed time since
-/// construction or the last `reset()`.
-class Timer {
- public:
-  Timer() : start_(clock::now()) {}
-
-  void reset() { start_ = clock::now(); }
-
-  [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
-
-  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
-
- private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
-};
-
-}  // namespace parmis
+#include "obs/timer.hpp"

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
@@ -103,6 +104,7 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
   if constexpr (Masked) {
     assert(active.size() == static_cast<std::size_t>(g.num_rows));
   }
+  PARMIS_SPAN("mis2.run");
   const ordinal_t n = g.num_rows;
   const P pol(n, opts, ctx.seed);
   using tuple_t = typename P::tuple_t;
@@ -264,14 +266,27 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
     };
 
     while (!wl1.empty() && iter < opts.max_iterations) {
+      obs::Span round("mis2.round");
       const ordinal_t n1 = static_cast<ordinal_t>(wl1.size());
       const ordinal_t n2 = static_cast<ordinal_t>(wl2.size());
-      // refresh_row is O(1) per vertex — count balancing is already exact.
-      par::parallel_for(n1, [&](ordinal_t i) { refresh_row(wl1[static_cast<std::size_t>(i)], iter); });
-      par::balanced_for(n2, cost_ptr(ws.wl2_cost),
-                        [&](ordinal_t i) { refresh_col(wl2[static_cast<std::size_t>(i)]); });
-      par::balanced_for(n1, cost_ptr(ws.wl1_cost),
-                        [&](ordinal_t i) { decide(wl1[static_cast<std::size_t>(i)]); });
+      round.arg("worklist", n1);
+      round.arg("live_cols", n2);
+      {
+        // refresh_row is O(1) per vertex — count balancing is already exact.
+        PARMIS_SPAN("mis2.refresh_row");
+        par::parallel_for(n1,
+                          [&](ordinal_t i) { refresh_row(wl1[static_cast<std::size_t>(i)], iter); });
+      }
+      {
+        PARMIS_SPAN("mis2.refresh_col");
+        par::balanced_for(n2, cost_ptr(ws.wl2_cost),
+                          [&](ordinal_t i) { refresh_col(wl2[static_cast<std::size_t>(i)]); });
+      }
+      {
+        PARMIS_SPAN("mis2.decide");
+        par::balanced_for(n1, cost_ptr(ws.wl1_cost),
+                          [&](ordinal_t i) { decide(wl1[static_cast<std::size_t>(i)]); });
+      }
 
       filter_worklist(wl1, [&](ordinal_t v) {
         return P::is_undecided(row_t[static_cast<std::size_t>(v)]);
@@ -288,21 +303,32 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
     // approach), with per-vertex guards instead of worklists. Full sweeps
     // balance for free: the graph's own row_map is the degree prefix.
     while (iter < opts.max_iterations) {
-      par::parallel_for(n, [&](ordinal_t v) {
-        if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) {
-          refresh_row(v, iter);
-        }
-      });
-      par::balanced_for(n, g.row_map, [&](ordinal_t v) {
-        if (is_active(v) && !P::is_out(col_m[static_cast<std::size_t>(v)])) refresh_col(v);
-      });
-      par::balanced_for(n, g.row_map, [&](ordinal_t v) {
-        if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) decide(v);
-      });
+      obs::Span round("mis2.round");
+      {
+        PARMIS_SPAN("mis2.refresh_row");
+        par::parallel_for(n, [&](ordinal_t v) {
+          if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) {
+            refresh_row(v, iter);
+          }
+        });
+      }
+      {
+        PARMIS_SPAN("mis2.refresh_col");
+        par::balanced_for(n, g.row_map, [&](ordinal_t v) {
+          if (is_active(v) && !P::is_out(col_m[static_cast<std::size_t>(v)])) refresh_col(v);
+        });
+      }
+      {
+        PARMIS_SPAN("mis2.decide");
+        par::balanced_for(n, g.row_map, [&](ordinal_t v) {
+          if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) decide(v);
+        });
+      }
       ++iter;
       const std::int64_t undecided = par::count_if(n, [&](ordinal_t v) {
         return P::is_undecided(row_t[static_cast<std::size_t>(v)]);
       });
+      round.arg("undecided", undecided);
       if (undecided == 0) break;
     }
   }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 
+#include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_scan.hpp"
@@ -63,6 +64,7 @@ struct Arena {
 
 CrsGraph spgemm_symbolic(GraphView a, GraphView b) {
   assert(a.num_cols == b.num_rows);
+  PARMIS_SPAN("spgemm.symbolic");
   CrsGraph c;
   c.num_rows = a.num_rows;
   c.num_cols = b.num_cols;
@@ -117,6 +119,8 @@ CrsGraph spgemm_symbolic(GraphView a, GraphView b) {
 
 CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b) {
   assert(a.num_cols == b.num_rows);
+  obs::Span span("spgemm.numeric");
+  span.arg("rows", a.num_rows);
   CrsMatrix c;
   c.num_rows = a.num_rows;
   c.num_cols = b.num_cols;
@@ -190,6 +194,8 @@ void spgemm_numeric(const CrsMatrix& a, const CrsMatrix& b, CrsMatrix& c) {
   assert(a.num_cols == b.num_rows);
   assert(c.num_rows == a.num_rows && c.num_cols == b.num_cols);
   if (a.num_rows == 0) return;
+  obs::Span span("spgemm.replay");
+  span.arg("rows", a.num_rows);
 
   // With the product's sparsity known, each row zeroes its accumulator
   // slots, replays the inner products in the exact entry order of `spgemm`
@@ -318,6 +324,7 @@ void matrix_add_numeric(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const
 }
 
 CrsMatrix transpose_matrix(const CrsMatrix& a) {
+  PARMIS_SPAN("spgemm.transpose");
   CrsMatrix t;
   t.num_rows = a.num_cols;
   t.num_cols = a.num_rows;

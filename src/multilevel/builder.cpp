@@ -6,11 +6,12 @@
 #include <memory>
 #include <stdexcept>
 
-#include "common/timer.hpp"
 #include "core/coarsen.hpp"
 #include "core/coarsener.hpp"
 #include "graph/ops.hpp"
 #include "graph/spgemm.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -110,6 +111,7 @@ const std::vector<Step>& Builder::build_steps(graph::GraphView g0, const Weighte
   Timer build_timer;
   const Context ctx = opts_.ctx ? *opts_.ctx : Context::default_ctx();
   Context::Scope scope(ctx);
+  PARMIS_SPAN("multilevel.build");
   if (opts_.ctx) h.ws_.coarsen.set_context(ctx);
   const std::size_t bytes_before = h.scratch_bytes();
 
@@ -154,22 +156,31 @@ const std::vector<Step>& Builder::build_steps(graph::GraphView g0, const Weighte
     const std::span<const ordinal_t> edge_weight =
         cur ? std::span<const ordinal_t>(cur->edge_weight) : std::span<const ordinal_t>{};
 
+    obs::Span level_span("multilevel.level");
+    level_span.arg("level", level);
+    level_span.arg("rows", view.num_rows);
     Timer agg_timer;
-    aggregate_level(opts_, coarsener.get(), view, edge_weight, h.ws_.coarsen, level,
-                    step.aggregation);
+    {
+      PARMIS_SPAN("multilevel.aggregate");
+      aggregate_level(opts_, coarsener.get(), view, edge_weight, h.ws_.coarsen, level,
+                      step.aggregation);
+    }
     st.aggregation_seconds += agg_timer.seconds();
     if (step_stalled(opts_, step.aggregation.num_aggregates, view.num_rows)) {
       stop = StopReason::Stalled;
       break;
     }
 
-    if (weighted) {
-      coarsen_weighted(*cur, step.aggregation.labels, step.aggregation.num_aggregates,
-                       step.coarse, h.ws_.contraction);
-    } else {
-      step.coarse.graph = core::coarse_graph(view, step.aggregation);
-      step.coarse.vertex_weight.clear();
-      step.coarse.edge_weight.clear();
+    {
+      PARMIS_SPAN("multilevel.contract");
+      if (weighted) {
+        coarsen_weighted(*cur, step.aggregation.labels, step.aggregation.num_aggregates,
+                         step.coarse, h.ws_.contraction);
+      } else {
+        step.coarse.graph = core::coarse_graph(view, step.aggregation);
+        step.coarse.vertex_weight.clear();
+        step.coarse.edge_weight.clear();
+      }
     }
     st.level_rows.push_back(step.coarse.graph.num_rows);
     st.level_entries.push_back(step.coarse.graph.num_entries());
@@ -213,6 +224,7 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
   Timer build_timer;
   const Context ctx = opts_.ctx ? *opts_.ctx : Context::default_ctx();
   Context::Scope scope(ctx);
+  PARMIS_SPAN("multilevel.build");
   if (opts_.ctx) h.ws_.coarsen.set_context(ctx);
   const std::size_t bytes_before = h.scratch_bytes();
 
@@ -254,9 +266,15 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
       break;
     }
 
+    obs::Span level_span("multilevel.level");
+    level_span.arg("level", level);
+    level_span.arg("rows", lvl.a.num_rows);
     const graph::CrsGraph adj = graph::remove_self_loops(graph::GraphView(lvl.a));
     Timer agg_timer;
-    aggregate_level(opts_, coarsener.get(), adj, {}, h.ws_.coarsen, level, agg);
+    {
+      PARMIS_SPAN("multilevel.aggregate");
+      aggregate_level(opts_, coarsener.get(), adj, {}, h.ws_.coarsen, level, agg);
+    }
     st.aggregation_seconds += agg_timer.seconds();
     lvl.num_aggregates = agg.num_aggregates;
     if (step_stalled(opts_, agg.num_aggregates, lvl.a.num_rows)) {
@@ -268,16 +286,20 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
 
     if (static_cast<std::size_t>(level) == gws.size()) gws.emplace_back();
     SetupWorkspace::GalerkinLevel& gl = gws[static_cast<std::size_t>(level)];
-    tentative_prolongator(agg, gl.phat);
-    // P = (I - omega D^{-1} A) P̂: ap holds the D⁻¹-scaled product so the
-    // warm rebuild can replay the same three steps value-only.
-    gl.ap = graph::spgemm(lvl.a, gl.phat);
-    scale_rows(gl.ap, lvl.inv_diag);
-    lvl.p = graph::matrix_add(1.0, gl.phat, -opts_.prolongator_omega, gl.ap);
-    lvl.r = graph::transpose_matrix(lvl.p);
-    gl.tperm = graph::transpose_permutation(lvl.p);
-    gl.apc = graph::spgemm(lvl.a, lvl.p);
-    graph::CrsMatrix next = graph::spgemm(lvl.r, gl.apc);
+    graph::CrsMatrix next;
+    {
+      PARMIS_SPAN("multilevel.triple_product");
+      tentative_prolongator(agg, gl.phat);
+      // P = (I - omega D^{-1} A) P̂: ap holds the D⁻¹-scaled product so the
+      // warm rebuild can replay the same three steps value-only.
+      gl.ap = graph::spgemm(lvl.a, gl.phat);
+      scale_rows(gl.ap, lvl.inv_diag);
+      lvl.p = graph::matrix_add(1.0, gl.phat, -opts_.prolongator_omega, gl.ap);
+      lvl.r = graph::transpose_matrix(lvl.p);
+      gl.tperm = graph::transpose_permutation(lvl.p);
+      gl.apc = graph::spgemm(lvl.a, lvl.p);
+      next = graph::spgemm(lvl.r, gl.apc);
+    }
 
     // Operator-complexity cap: accepting `next` would blow the budget, so
     // stop coarsening here instead of densifying (the AMG+HEM power-law
@@ -326,12 +348,15 @@ const std::vector<OperatorLevel>& Builder::rebuild_galerkin(const graph::CrsMatr
   Timer rebuild_timer;
   const Context ctx = opts_.ctx ? *opts_.ctx : Context::default_ctx();
   Context::Scope scope(ctx);
+  PARMIS_SPAN("multilevel.rebuild");
   const std::size_t bytes_before = h.scratch_bytes();
 
   std::copy(a_fine.values.begin(), a_fine.values.end(), fine.a.values.begin());
   const std::size_t nlevels = h.ops_.size();
   for (std::size_t l = 0; l < nlevels; ++l) {
     OperatorLevel& lvl = h.ops_[l];
+    obs::Span level_span("multilevel.rebuild_level");
+    level_span.arg("level", static_cast<std::int64_t>(l));
     invert_diagonal(lvl.a, lvl.inv_diag);
     if (l + 1 == nlevels) break;
     SetupWorkspace::GalerkinLevel& gl = h.ws_.galerkin[l];

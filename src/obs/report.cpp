@@ -1,0 +1,133 @@
+#include "obs/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace parmis::obs {
+
+namespace {
+
+std::string render_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Report::put(const std::string& key, std::string rendered) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(rendered));
+}
+
+void Report::set(const std::string& key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  put(key, buf);
+}
+
+void Report::set(const std::string& key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  put(key, buf);
+}
+
+void Report::set(const std::string& key, double value) { put(key, render_double(value)); }
+
+void Report::set(const std::string& key, bool value) { put(key, value ? "true" : "false"); }
+
+void Report::set(const std::string& key, const std::string& value) {
+  put(key, '"' + json_escape(value) + '"');
+}
+
+void Report::set(const std::string& key, const std::vector<std::int64_t>& values) {
+  std::string out = "[";
+  char buf[32];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    std::snprintf(buf, sizeof buf, "%" PRId64, values[i]);
+    out += buf;
+  }
+  out += ']';
+  put(key, std::move(out));
+}
+
+void Report::set(const std::string& key, const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += render_double(values[i]);
+  }
+  out += ']';
+  put(key, std::move(out));
+}
+
+void Report::set_raw(const std::string& key, std::string json_value) {
+  put(key, std::move(json_value));
+}
+
+std::string Report::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\": ";
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+JsonArrayWriter::JsonArrayWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_) std::fputs("[\n", file_);
+}
+
+JsonArrayWriter::~JsonArrayWriter() { close(); }
+
+void JsonArrayWriter::row(const std::string& json) {
+  if (!file_) return;
+  if (!first_) std::fputs(",\n", file_);
+  first_ = false;
+  if (std::fputs(json.c_str(), file_) < 0) failed_ = true;
+}
+
+bool JsonArrayWriter::close() {
+  if (!file_) return !failed_;
+  if (std::fputs("\n]\n", file_) < 0) failed_ = true;
+  if (std::fclose(file_) != 0) failed_ = true;
+  file_ = nullptr;
+  return !failed_;
+}
+
+}  // namespace parmis::obs

@@ -1,0 +1,78 @@
+#pragma once
+/// \file report.hpp
+/// \brief `obs::Report` — the one JSON telemetry schema for the whole
+/// stack.
+///
+/// Before this layer, `linear_solve --json`, `graph_partition --json`, and
+/// each bench hand-assembled JSON with snprintf, and the same hierarchy
+/// quantity was spelled `rebuild_seconds` in one file and
+/// `warm_rebuild_seconds` in another. A Report is an insertion-ordered
+/// list of key → pre-rendered-JSON-value pairs with typed setters; the
+/// telemetry adapters (telemetry.hpp) populate it from the stats structs,
+/// so every driver and bench emits the same keys for the same quantities.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parmis::obs {
+
+/// Insertion-ordered flat JSON object builder. Setting an existing key
+/// overwrites its value in place (first-insertion position wins), so
+/// adapters can layer defaults then refinements.
+class Report {
+ public:
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, int value) { set(key, static_cast<std::int64_t>(value)); }
+  void set(const std::string& key, double value);  ///< %.9g — round-trips telemetry doubles
+  void set(const std::string& key, bool value);
+  void set(const std::string& key, const std::string& value);  ///< JSON-escaped
+  void set(const std::string& key, const char* value) { set(key, std::string(value)); }
+  void set(const std::string& key, const std::vector<std::int64_t>& values);
+  void set(const std::string& key, const std::vector<double>& values);
+
+  /// Insert a value that is already valid JSON (nested object/array).
+  void set_raw(const std::string& key, std::string json_value);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// The report as a single-line JSON object (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  void put(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// JSON-escape `s` (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Streams a JSON array of objects to a file: `[` on open, comma-separated
+/// rows, `]` on close. The shared writer behind every bench's
+/// `BENCH_*.json` and the drivers' `--json-file` outputs.
+class JsonArrayWriter {
+ public:
+  /// Opens `path` for writing; `ok()` is false on failure.
+  explicit JsonArrayWriter(const std::string& path);
+  ~JsonArrayWriter();
+  JsonArrayWriter(const JsonArrayWriter&) = delete;
+  JsonArrayWriter& operator=(const JsonArrayWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  /// Append one row (a rendered JSON value, typically `Report::to_json()`).
+  void row(const std::string& json);
+
+  /// Write the closing bracket and flush. Called by the destructor if not
+  /// called explicitly; returns false if any write failed.
+  bool close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+  bool failed_ = false;
+};
+
+}  // namespace parmis::obs

@@ -1,0 +1,75 @@
+#include "obs/telemetry.hpp"
+
+#include "core/mis2.hpp"
+#include "graph/spgemm.hpp"
+#include "multilevel/hierarchy.hpp"
+#include "solver/handle.hpp"
+#include "solver/options.hpp"
+
+namespace parmis::obs {
+
+void add_graph(Report& r, const std::string& name, std::int64_t num_rows,
+               std::int64_t num_entries) {
+  r.set("graph", name);
+  r.set("num_rows", num_rows);
+  r.set("num_entries", num_entries);
+}
+
+void add_kernel_stats(Report& r, const core::KernelStats& s) {
+  r.set("runs", s.runs);
+  r.set("kernel_iterations", s.iterations);
+  r.set("scratch_grows", s.scratch_grows);
+}
+
+void add_solve_stats(Report& r, const solver::SolveStats& s) {
+  r.set("solves", s.solves);
+  r.set("total_iterations", s.iterations);
+  r.set("converged_solves", s.converged);
+  r.set("prec_setups", s.prec_setups);
+  r.set("scratch_grows", s.scratch_grows);
+}
+
+void add_iter_result(Report& r, const solver::IterResult& res) {
+  r.set("iterations", res.iterations);
+  r.set("converged", res.converged);
+  r.set("relative_residual", res.relative_residual);
+}
+
+void add_hierarchy(Report& r, const multilevel::HierarchyStats& s) {
+  r.set("levels", s.levels);
+  std::vector<std::int64_t> rows(s.level_rows.begin(), s.level_rows.end());
+  std::vector<std::int64_t> entries(s.level_entries.begin(), s.level_entries.end());
+  r.set("level_rows", rows);
+  r.set("level_entries", entries);
+  r.set("operator_complexity", s.operator_complexity);
+  r.set("grid_complexity", s.grid_complexity);
+  r.set("stop", std::string(multilevel::to_string(s.stop)));
+  r.set("aggregation_seconds", s.aggregation_seconds);
+  r.set("cold_build_seconds", s.build_seconds);
+  r.set("warm_rebuild_seconds", s.rebuild_seconds);
+}
+
+void add_spgemm_counters(Report& r) {
+  r.set("spgemm_rows_traversed", graph::spgemm_rows_traversed());
+}
+
+void add_span_summary(Report& r) {
+  const std::vector<SpanSummary> spans = summarize_spans();
+  if (spans.empty()) return;
+  std::string out = "[";
+  Report row;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i) out += ", ";
+    row = Report();
+    row.set("name", spans[i].name);
+    row.set("count", spans[i].count);
+    row.set("total_seconds", spans[i].total_seconds);
+    row.set("min_seconds", spans[i].min_seconds);
+    row.set("max_seconds", spans[i].max_seconds);
+    out += row.to_json();
+  }
+  out += ']';
+  r.set_raw("spans", std::move(out));
+}
+
+}  // namespace parmis::obs

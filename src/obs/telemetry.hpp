@@ -1,0 +1,72 @@
+#pragma once
+/// \file telemetry.hpp
+/// \brief Adapters from the stack's stats structs into `obs::Report`.
+///
+/// One function per telemetry source, each owning the canonical key names
+/// for its quantities. Drivers and benches compose these instead of
+/// spelling keys by hand, which is what keeps `linear_solve --json`,
+/// `graph_partition --json`, and every `BENCH_*.json` on a single schema:
+///
+///   graph, num_rows, num_entries                       add_graph
+///   runs, kernel_iterations, scratch_grows             add_kernel_stats
+///   solves, total_iterations, converged_solves,
+///   prec_setups, scratch_grows                         add_solve_stats
+///   iterations, converged, relative_residual           add_iter_result
+///   levels, level_rows, level_entries,
+///   operator_complexity, grid_complexity, stop,
+///   aggregation_seconds, cold_build_seconds,
+///   warm_rebuild_seconds                               add_hierarchy
+///   spgemm_rows_traversed                              add_spgemm_counters
+///   spans (nested array of per-name aggregates)        add_span_summary
+
+#include <string>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace parmis::core {
+struct KernelStats;
+}
+namespace parmis::solver {
+struct SolveStats;
+struct IterResult;
+}  // namespace parmis::solver
+namespace parmis::multilevel {
+struct HierarchyStats;
+}
+
+namespace parmis::obs {
+
+/// Identify the input graph/matrix: `graph` (label), `num_rows`,
+/// `num_entries`.
+void add_graph(Report& r, const std::string& name, std::int64_t num_rows,
+               std::int64_t num_entries);
+
+/// Kernel-handle counters (`Mis2Handle`, `CoarsenHandle`): `runs`,
+/// `kernel_iterations`, `scratch_grows`.
+void add_kernel_stats(Report& r, const core::KernelStats& s);
+
+/// Solve-handle counters: `solves`, `total_iterations`, `converged_solves`,
+/// `prec_setups`, `scratch_grows`.
+void add_solve_stats(Report& r, const solver::SolveStats& s);
+
+/// One solve's outcome: `iterations`, `converged`, `relative_residual`.
+void add_iter_result(Report& r, const solver::IterResult& res);
+
+/// Hierarchy telemetry under the unified names: `levels`, `level_rows`,
+/// `level_entries`, `operator_complexity`, `grid_complexity`, `stop`,
+/// `aggregation_seconds`, `cold_build_seconds`, `warm_rebuild_seconds`.
+/// (Previously linear_solve said `setup_seconds`/`rebuild_seconds` while
+/// hierarchy_ablation said `cold_build_seconds`/`warm_rebuild_seconds` for
+/// the same quantities — the drift this adapter removes.)
+void add_hierarchy(Report& r, const multilevel::HierarchyStats& s);
+
+/// Process-wide SpGEMM traversal counter: `spgemm_rows_traversed`.
+void add_spgemm_counters(Report& r);
+
+/// Buffered span aggregates as a nested `spans` array
+/// (`[{"name":..,"count":..,"total_seconds":..,"min_seconds":..,
+/// "max_seconds":..}, ...]`). No-op when nothing is buffered.
+void add_span_summary(Report& r);
+
+}  // namespace parmis::obs

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "parallel/execution.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -83,6 +84,11 @@ Index balanced_chunk_bound(Index n, const Cost* prefix, int nchunks, int t) {
 template <typename Index, typename Cost, typename F>
 void balanced_chunks(Index n, const Cost* prefix, F&& f) {
   if (n <= 0) return;
+  // Per-chunk wall-time spans, decimated by TraceOptions::chunk_sample_every
+  // — the measured-cost feedback the work-stealing ROADMAP item needs.
+  // One sampling decision per loop, taken before the parallel region so
+  // every chunk of a sampled loop records.
+  const bool sample_chunks = obs::chunk_sampling_due();
 #ifdef PARMIS_HAVE_OPENMP
   if (Execution::is_parallel() && static_cast<std::int64_t>(n) >= parallel_for_grain) {
     const int nchunks = balanced_chunk_count();
@@ -100,14 +106,30 @@ void balanced_chunks(Index n, const Cost* prefix, F&& f) {
         const Index hi = by_cost
                              ? balanced_chunk_bound(n, prefix, nchunks, c + 1)
                              : static_cast<Index>((static_cast<std::int64_t>(n) * (c + 1)) / nchunks);
-        if (lo < hi) f(c, lo, hi);
+        if (lo < hi) {
+          if (sample_chunks) {
+            obs::Span span("par.chunk");
+            span.arg("chunk", c);
+            span.arg("items", static_cast<std::int64_t>(hi - lo));
+            f(c, lo, hi);
+          } else {
+            f(c, lo, hi);
+          }
+        }
       }
     }
     return;
   }
 #endif
   (void)prefix;
-  f(0, Index{0}, n);
+  if (sample_chunks) {
+    obs::Span span("par.chunk");
+    span.arg("chunk", 0);
+    span.arg("items", static_cast<std::int64_t>(n));
+    f(0, Index{0}, n);
+  } else {
+    f(0, Index{0}, n);
+  }
 }
 
 /// Execute `f(i)` for every `i` in `[0, n)` under the active `Schedule`:

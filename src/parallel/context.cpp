@@ -55,9 +55,19 @@ Context::Scope::Scope(const Context& ctx)
   par::Execution::set_backend(ctx.backend);
   par::Execution::set_num_threads(ctx.num_threads);
   par::Execution::set_schedule(ctx.schedule);
+  // Tracing state is only touched when the context asks for a change —
+  // `Inherit` keeps an enclosing traced region visible through handles
+  // whose contexts were snapshotted before tracing was enabled.
+  if (ctx.trace.mode != obs::TraceOptions::Mode::Inherit) {
+    saved_trace_ = obs::trace_state();
+    trace_pinned_ = true;
+    obs::set_tracing(ctx.trace.mode == obs::TraceOptions::Mode::On,
+                     ctx.trace.chunk_sample_every);
+  }
 }
 
 Context::Scope::~Scope() {
+  if (trace_pinned_) obs::restore_tracing(saved_trace_);
   par::Execution::set_backend(saved_backend_);
   par::Execution::set_num_threads(saved_threads_);
   par::Execution::set_schedule(saved_schedule_);

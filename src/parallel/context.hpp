@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "parallel/execution.hpp"
 #include "parallel/simd.hpp"
 
@@ -59,6 +60,13 @@ struct Context {
   /// (XORed with per-call option seeds). 0 reproduces the paper's
   /// generator.
   std::uint64_t seed = 0;
+
+  /// Tracing for the scope (`obs::TraceOptions`). The default `Inherit`
+  /// leaves the ambient (process-global) tracing state untouched, so
+  /// contexts that never mention tracing keep composing exactly as before;
+  /// `On`/`Off` pin it for the scope and restore on exit. Tracing is
+  /// observational only — it never changes results.
+  obs::TraceOptions trace{};
 
   /// Snapshot of the process-global `par::Execution` configuration — the
   /// migration bridge: code that never mentions contexts keeps its exact
@@ -101,6 +109,8 @@ struct Context {
     par::Backend saved_backend_;
     int saved_threads_;
     par::Schedule saved_schedule_;
+    obs::TraceState saved_trace_{};
+    bool trace_pinned_ = false;
   };
 
   friend bool operator==(const Context&, const Context&) = default;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/traversal.hpp"
+#include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
@@ -90,6 +91,7 @@ std::vector<ordinal_t> lp_grow_partition(const WeightedGraph& g, ordinal_t k,
   // work, so they chunk by the row_map cost prefix under EdgeBalanced.
   std::vector<ordinal_t> proposal(static_cast<std::size_t>(n));
   for (;;) {
+    obs::Span round("partition.lp_round");
     par::balanced_for(n, g.graph.row_map.data(), [&](ordinal_t v) {
       proposal[static_cast<std::size_t>(v)] = invalid_ordinal;
       if (part[static_cast<std::size_t>(v)] != invalid_ordinal) return;

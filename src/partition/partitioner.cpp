@@ -12,6 +12,7 @@
 #include "graph/ops.hpp"
 #include "graph/traversal.hpp"
 #include "multilevel/builder.hpp"
+#include "obs/trace.hpp"
 #include "random/hash.hpp"
 
 namespace parmis::partition {
@@ -93,7 +94,9 @@ Bisection grow_bisection_frac(const WeightedGraph& g, double target_fraction,
 /// Greedy boundary refinement toward per-side weight caps.
 std::int64_t refine_frac(const WeightedGraph& g, Bisection& b, int passes,
                          double target_fraction, double tolerance) {
+  obs::Span span("partition.refine");
   const ordinal_t n = g.graph.num_rows;
+  span.arg("rows", n);
   const std::int64_t total = g.total_vertex_weight();
   const double ideal[2] = {target_fraction * static_cast<double>(total),
                            (1.0 - target_fraction) * static_cast<double>(total)};
@@ -141,6 +144,7 @@ std::int64_t refine_frac(const WeightedGraph& g, Bisection& b, int passes,
     moved_total += moved;
     if (moved == 0) break;
   }
+  span.arg("moved", moved_total);
   assert(b.cut_weight == cut_weight(g, b.side));
   return moved_total;
 }
@@ -173,6 +177,8 @@ Bisection multilevel_bisect_frac(const WeightedGraph& fine, double target_fracti
                                  const PartitionOptions& opts,
                                  const multilevel::Builder& builder,
                                  multilevel::HierarchyHandle& mh) {
+  obs::Span span("partition.bisect");
+  span.arg("rows", fine.graph.num_rows);
   // Coarsen all the way down through the unified Builder (one weighted
   // hierarchy per bisection; aggregation scratch, contraction maps, and
   // level storage are all reused across the recursive-bisection tree),

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/spmv.hpp"
+#include "obs/trace.hpp"
 #include "solver/interface.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -48,6 +49,8 @@ void cg_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<
       result.converged = true;
       break;
     }
+    obs::Span iter_span("solver.iteration");
+    iter_span.arg("iteration", it);
     graph::spmv(a, p, ap);
     const scalar_t pap = dot(p, ap);
     if (pap == 0 || !std::isfinite(pap)) break;  // breakdown

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/spmv.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "solver/interface.hpp"
 #include "solver/jacobi.hpp"
@@ -136,6 +137,8 @@ void chebyshev_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
   if (opts.track_history) result.history.push_back(relres);
 
   while (result.iterations < opts.max_iterations && relres > opts.tolerance) {
+    obs::Span iter_span("solver.iteration");
+    iter_span.arg("iteration", result.iterations);
     ws.chebyshev->smooth(a, b, x, r, d, ad);
     ++result.iterations;
     graph::spmv(a, x, resid);

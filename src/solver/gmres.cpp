@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/spmv.hpp"
+#include "obs/trace.hpp"
 #include "solver/interface.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -73,6 +74,8 @@ void gmres_core(const graph::CrsMatrix& a, std::span<const scalar_t> b,
 
     int k = 0;  // columns built this cycle
     for (; k < m && result.iterations < opts.max_iterations; ++k) {
+      obs::Span iter_span("solver.iteration");
+      iter_span.arg("iteration", result.iterations);
       // Arnoldi: w = A M^{-1} v_k, orthogonalized against the basis.
       apply_right_prec(basis(k), tmp);
       graph::spmv(a, tmp, w);

@@ -1,5 +1,7 @@
 #include "solver/handle.hpp"
 
+#include "obs/trace.hpp"
+
 namespace parmis::solver {
 
 SolveHandle::SolveHandle(const std::string& solver, const std::string& prec,
@@ -55,6 +57,7 @@ void SolveHandle::ensure_preconditioner(const graph::CrsMatrix& a) {
   const bool warm = prec_ && prec_matrix_ == &a && prec_rows_ == a.num_rows &&
                     prec_entries_ == a.num_entries();
   if (warm) return;
+  PARMIS_SPAN("solver.prec_setup");
   prec_ = make_preconditioner(prec_name_, a, prec_opts_, ctx_);
   prec_matrix_ = &a;
   prec_rows_ = a.num_rows;
@@ -77,7 +80,10 @@ const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const 
   if (solver_->uses_preconditioner()) ensure_preconditioner(a);
   const std::size_t bytes_before = scratch_bytes();
   const std::uint64_t grows_before = ws_.grow_events;
+  obs::Span span("solver.solve");
+  span.arg("rows", a.num_rows);
   solver_->solve(a, b, x, opts, prec_.get(), ws_, result_);
+  span.arg("iterations", result_.iterations);
   ++stats_.solves;
   stats_.iterations += static_cast<std::uint64_t>(result_.iterations);
   if (result_.converged) ++stats_.converged;
