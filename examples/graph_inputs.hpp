@@ -15,11 +15,14 @@
 /// matrices are accepted.
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "check/validate.hpp"
 #include "graph/generators.hpp"
 #include "graph/matrix_market.hpp"
 #include "graph/ops.hpp"
@@ -59,27 +62,62 @@ inline graph::CrsGraph load_graph(const std::string& spec, double scale = 1.0) {
     const std::size_t end = spec.find(':', pos);
     return spec.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
   };
-  auto bad_spec = [&](const char* why) {
+  auto bad_spec = [&](const std::string& why) {
     return std::runtime_error("bad graph spec '" + spec + "': " + why);
+  };
+  // Checked numeric fields: std::atoi silently truncates garbage to 0 and
+  // wraps overflowing sizes, so "gen:rgg:9999999999:14" used to become a
+  // tiny (or negative) graph instead of an error.
+  auto parse_ordinal = [&](const std::string& text, const char* what) -> ordinal_t {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      throw bad_spec(std::string(what) + " is not an integer: '" + text + "'");
+    }
+    if (errno == ERANGE || v < 0 || v > max_ordinal) {
+      throw bad_spec(std::string(what) + " overflows the 32-bit vertex ordinal: '" + text + "'");
+    }
+    return static_cast<ordinal_t>(v);
+  };
+  auto parse_double = [&](const std::string& text, const char* what) -> double {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size() || !std::isfinite(v)) {
+      throw bad_spec(std::string(what) + " is not a finite number: '" + text + "'");
+    }
+    return v;
+  };
+  // Grid generators produce f(nx) vertices (nx^2, nx^3, 3*nx^3); reject
+  // sizes whose vertex count overflows ordinal_t before generating.
+  auto check_grid_cells = [&](ordinal_t nx, int dims, ordinal_t dof) {
+    std::int64_t cells = dof;
+    for (int d = 0; d < dims; ++d) cells *= nx;
+    if (cells > max_ordinal) {
+      throw bad_spec("grid of " + std::to_string(cells) +
+                     " vertices overflows the 32-bit vertex ordinal");
+    }
   };
 
   graph::CrsMatrix m;
   if (spec.rfind("gen:", 0) == 0) {
     const std::string kind = field(1);
     if (kind == "laplace3d" || kind == "laplace2d" || kind == "elasticity") {
-      const ordinal_t nx = std::atoi(field(2).c_str());
+      const ordinal_t nx = parse_ordinal(field(2), "grid size");
       if (nx < 2) throw bad_spec("needs a grid size >= 2, e.g. gen:laplace2d:100");
+      check_grid_cells(nx, kind == "laplace2d" ? 2 : 3, kind == "elasticity" ? 3 : 1);
       m = kind == "laplace3d"   ? graph::laplace3d(nx, nx, nx)
           : kind == "laplace2d" ? graph::laplace2d(nx, nx)
                                 : graph::elasticity3d(nx, nx, nx);
     } else if (kind == "rgg") {
-      const ordinal_t n = std::atoi(field(2).c_str());
-      const double deg = std::atof(field(3).c_str());
+      const ordinal_t n = parse_ordinal(field(2), "N");
+      const double deg = parse_double(field(3), "DEG");
       if (n < 1 || deg <= 0) throw bad_spec("needs N and DEG, e.g. gen:rgg:100000:14");
       return graph::random_geometric_3d(n, deg, 1);
     } else if (kind == "powerlaw") {
-      const ordinal_t n = std::atoi(field(2).c_str());
-      const double exp = field(3).empty() ? 2.2 : std::atof(field(3).c_str());
+      const ordinal_t n = parse_ordinal(field(2), "N");
+      const double exp = field(3).empty() ? 2.2 : parse_double(field(3), "EXP");
       if (n < 1 || exp <= 1) throw bad_spec("needs N [EXP>1], e.g. gen:powerlaw:100000:2.2");
       return graph::power_law_graph(n, exp, 4, std::max<ordinal_t>(64, n / 60), 42);
     } else {
@@ -90,7 +128,15 @@ inline graph::CrsGraph load_graph(const std::string& spec, double scale = 1.0) {
   } else {
     m = graph::read_matrix_market(spec);
   }
-  return graph::remove_self_loops(graph::symmetrize(graph::GraphView(m)));
+  graph::CrsGraph g = graph::remove_self_loops(graph::symmetrize(graph::GraphView(m)));
+  // Boundary validation, unconditional: whatever the source, a graph
+  // handed to the drivers satisfies the kernel preconditions.
+  if (const check::Result res = check::validate(
+          graph::GraphView(g), {.require_loop_free = true, .require_symmetric = true});
+      !res) {
+    throw std::runtime_error("graph spec '" + spec + "': " + res.diagnostic());
+  }
+  return g;
 }
 
 }  // namespace parmis::examples

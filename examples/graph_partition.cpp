@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "check/digest.hpp"
 #include "graph_inputs.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
@@ -41,7 +42,7 @@ using examples::split_csv;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--algos=a,b,...|all] [--graphs=SPEC,...] [--k=K] [--scale=F]\n"
-               "          [--json] [--trace=FILE] [--trace-sample=N] [--list]\n"
+               "          [--json] [--digest] [--trace=FILE] [--trace-sample=N] [--list]\n"
                "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
                "        gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME | reg:table2\n",
                argv0);
@@ -55,6 +56,9 @@ int main(int argc, char** argv) {
   ordinal_t k = 8;
   double scale = 0.05;
   bool json = false;
+  // --digest: print check::digest_hex of each labeling — one word a user
+  // can diff across machines/backends ("same digest = same bits").
+  bool digest = false;
   std::string trace_path;
   int trace_sample = 1;
 
@@ -71,6 +75,8 @@ int main(int argc, char** argv) {
       scale = std::atof(s + 8);
     } else if (!std::strcmp(s, "--json")) {
       json = true;
+    } else if (!std::strcmp(s, "--digest")) {
+      digest = true;
     } else if (!std::strncmp(s, "--trace=", 8)) {
       trace_path = s + 8;
     } else if (!std::strncmp(s, "--trace-sample=", 15)) {
@@ -146,19 +152,23 @@ int main(int argc, char** argv) {
     for (const auto& p : partitioners) {
       const partition::PartitionResult r = p->run(wg, k);
       const partition::QualityReport& q = r.quality;
+      const std::string pdigest =
+          digest ? check::digest_hex(check::digest(r.part)) : std::string{};
       if (json) {
         obs::Report report;
         obs::add_graph(report, spec, wg.graph.num_rows, wg.graph.num_entries());
         report.set("algorithm", p->name());
         report.set("k", static_cast<std::int64_t>(k));
         report.set("seconds", r.seconds);
+        if (digest) report.set("part_digest", pdigest);
         report.set_raw("quality", q.to_json());
         std::printf("%s\n", report.to_json().c_str());
       } else {
-        std::printf("  %-16s %12lld %6.2f%% %10lld %8.2f%% %6.2f%% %6d %9.3f\n",
+        std::printf("  %-16s %12lld %6.2f%% %10lld %8.2f%% %6.2f%% %6d %9.3f%s%s\n",
                     p->name().c_str(), static_cast<long long>(q.edge_cut),
                     100.0 * q.cut_fraction(), static_cast<long long>(q.comm_volume),
-                    100.0 * q.boundary_fraction, 100.0 * q.imbalance, q.empty_parts, r.seconds);
+                    100.0 * q.boundary_fraction, 100.0 * q.imbalance, q.empty_parts, r.seconds,
+                    digest ? "  " : "", pdigest.c_str());
       }
     }
   }

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "check/digest.hpp"
 #include "core/coarsener.hpp"
 #include "graph/generators.hpp"
 #include "graph_inputs.hpp"
@@ -64,7 +65,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--solvers=s,...|all] [--precs=p,...|all] [--coarseners=c,...]\n"
                "          [--graphs=SPEC,...] [--scale=F] [--tol=T] [--maxit=N] "
-               "[--rebuilds=N] [--json] [--trace=FILE] [--trace-sample=N] [--list]\n"
+               "[--rebuilds=N] [--json] [--digest] [--trace=FILE] [--trace-sample=N] [--list]\n"
                "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
                "        gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME | reg:table2\n",
                argv0);
@@ -82,6 +83,9 @@ int main(int argc, char** argv) {
   int maxit = 1000;
   int rebuilds = 0;
   bool json = false;
+  // --digest: print check::digest_hex of each solution vector — one word a
+  // user can diff across machines/backends ("same digest = same bits").
+  bool digest = false;
   std::string trace_path;
   int trace_sample = 1;
 
@@ -108,6 +112,8 @@ int main(int argc, char** argv) {
       rebuilds = std::atoi(s + 11);
     } else if (!std::strcmp(s, "--json")) {
       json = true;
+    } else if (!std::strcmp(s, "--digest")) {
+      digest = true;
     } else if (!std::strncmp(s, "--trace=", 8)) {
       trace_path = s + 8;
     } else if (!std::strncmp(s, "--trace-sample=", 15)) {
@@ -229,6 +235,8 @@ int main(int argc, char** argv) {
           const solver::IterResult& r = handle.solve(a, b, x, opts);
           const double solve_s = solve_timer.seconds();
           if (!r.converged) any_failed = true;
+          const std::string xdigest =
+              digest ? check::digest_hex(check::digest(x)) : std::string{};
           if (json) {
             // --json keeps stdout pure JSON-lines so the output pipes
             // straight into jq. Rows are obs::Report objects — the same
@@ -248,12 +256,14 @@ int main(int argc, char** argv) {
             if (rebuilds > 0 && pname == "amg") {
               report.set("warm_rebuild_seconds", rebuild_s);
             }
+            if (digest) report.set("solution_digest", xdigest);
             obs::add_spgemm_counters(report);
             std::printf("%s\n", report.to_json().c_str());
           } else {
-            std::printf("  %-10s %-12s %-11s %6d %10.2e %9.4f %9.4f%s\n", sname.c_str(),
+            std::printf("  %-10s %-12s %-11s %6d %10.2e %9.4f %9.4f%s%s%s\n", sname.c_str(),
                         pname.c_str(), cname.c_str(), r.iterations, r.relative_residual,
-                        setup_s, solve_s, r.converged ? "" : "  (no convergence)");
+                        setup_s, solve_s, digest ? "  " : "", xdigest.c_str(),
+                        r.converged ? "" : "  (no convergence)");
           }
         }
       }

@@ -3,7 +3,7 @@
 /// Market file or a generated problem.
 ///
 /// Usage:
-///   parmis_tool [--trace=FILE] [--trace-sample=N] <input> <command> [k]
+///   parmis_tool [--trace=FILE] [--trace-sample=N] [--digest] <input> <command> [k]
 ///
 /// input:
 ///   path/to/matrix.mtx          any Matrix Market coordinate file
@@ -24,12 +24,17 @@
 ///
 /// `--trace=FILE` records obs spans for the run and writes a Chrome
 /// trace-event file (chrome://tracing / Perfetto).
+///
+/// `--digest` appends a `digest: 0x...` line hashing the command's result
+/// array (check::digest, FNV-1a) — one word to diff across machines and
+/// backends when checking the bit-identity contract.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "check/digest.hpp"
 #include "coloring/d1_coloring.hpp"
 #include "coloring/d2_coloring.hpp"
 #include "coloring/verify.hpp"
@@ -52,12 +57,15 @@ int main(int argc, char** argv) {
   // Leading options are consumed before the positional arguments.
   std::string trace_path;
   int trace_sample = 1;
+  bool want_digest = false;
   int first = 1;
   for (; first < argc; ++first) {
     if (!std::strncmp(argv[first], "--trace=", 8)) {
       trace_path = argv[first] + 8;
     } else if (!std::strncmp(argv[first], "--trace-sample=", 15)) {
       trace_sample = std::atoi(argv[first] + 15);
+    } else if (!std::strcmp(argv[first], "--digest")) {
+      want_digest = true;
     } else {
       break;
     }
@@ -66,7 +74,7 @@ int main(int argc, char** argv) {
   argc -= first - 1;
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s [--trace=FILE] [--trace-sample=N] <input> "
+                 "usage: %s [--trace=FILE] [--trace-sample=N] [--digest] <input> "
                  "<stats|mis2|aggregate|color-d1|color-d2|partition K [ALGO]>\n"
                  "  input: file.mtx | gen:laplace3d:NX | gen:laplace2d:NX |\n"
                  "         gen:elasticity:NX | gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME\n",
@@ -82,18 +90,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[2];
+  // `digest: 0x...` trailer for --digest; same digest = same bits.
+  auto print_digest = [&](std::uint64_t h) {
+    if (want_digest) std::printf("digest: %s\n", check::digest_hex(h).c_str());
+  };
 
   const graph::DegreeStats stats = graph::degree_stats(g);
   std::printf("graph: %d vertices, %lld edges, degree min/avg/max = %d/%.2f/%d\n", g.num_rows,
               static_cast<long long>(g.num_entries() / 2), stats.min_degree, stats.avg_degree,
               stats.max_degree);
-  if (cmd == "stats") return 0;
+  if (cmd == "stats") {
+    print_digest(check::digest(g));
+    return 0;
+  }
 
   Timer timer;
   if (cmd == "mis2") {
     const core::Mis2Result r = core::mis2(g);
     std::printf("MIS-2: %d vertices, %d iterations, %.3f s, valid=%s\n", r.set_size(),
                 r.iterations, timer.seconds(), core::verify_mis2(g, r.in_set) ? "yes" : "NO");
+    print_digest(check::digest(r.in_set));
   } else if (cmd == "aggregate") {
     const core::Aggregation agg = core::aggregate_mis2(g);
     const core::AggregationStats s = core::aggregation_stats(agg);
@@ -101,14 +117,17 @@ int main(int argc, char** argv) {
                 s.num_aggregates, static_cast<double>(g.num_rows) / s.num_aggregates,
                 s.min_size, s.max_size, s.avg_size, timer.seconds(),
                 core::verify_aggregation(g, agg) ? "yes" : "NO");
+    print_digest(check::digest(agg.labels));
   } else if (cmd == "color-d1") {
     const coloring::Coloring c = coloring::parallel_d1_coloring(g);
     std::printf("distance-1 coloring: %d colors, %d rounds, %.3f s, valid=%s\n", c.num_colors,
                 c.rounds, timer.seconds(), coloring::verify_d1_coloring(g, c) ? "yes" : "NO");
+    print_digest(check::digest(c.colors));
   } else if (cmd == "color-d2") {
     const coloring::Coloring c = coloring::parallel_d2_coloring(g);
     std::printf("distance-2 coloring: %d colors, %d rounds, %.3f s, valid=%s\n", c.num_colors,
                 c.rounds, timer.seconds(), coloring::verify_d2_coloring(g, c) ? "yes" : "NO");
+    print_digest(check::digest(c.colors));
   } else if (cmd == "partition") {
     const ordinal_t k = argc > 3 ? static_cast<ordinal_t>(std::atoi(argv[3])) : 8;
     if (k < 1) {
@@ -130,6 +149,7 @@ int main(int argc, char** argv) {
                 k, algo.c_str(), static_cast<long long>(r.quality.edge_cut),
                 100.0 * r.quality.cut_fraction(), static_cast<long long>(r.quality.comm_volume),
                 100.0 * r.quality.boundary_fraction, 100.0 * r.quality.imbalance, r.seconds);
+    print_digest(check::digest(r.part));
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 1;

@@ -1,0 +1,12 @@
+#include "check/check.hpp"
+
+namespace parmis::check {
+
+void fail(const char* file, int line, const std::string& diagnostic) {
+  // Strip the build-tree prefix so messages are stable across checkouts.
+  std::string f = file;
+  if (const std::size_t pos = f.rfind("src/"); pos != std::string::npos) f = f.substr(pos);
+  throw CheckError(f + ":" + std::to_string(line) + ": " + diagnostic);
+}
+
+}  // namespace parmis::check

@@ -1,0 +1,84 @@
+#pragma once
+/// \file check.hpp
+/// \brief The `PARMIS_CHECK` invariant-assertion macro family and its
+/// failure machinery.
+///
+/// The library's load-bearing contracts — bit-identical results across
+/// backends, structurally valid CRS everywhere, zero-allocation warm
+/// handles — were historically enforced only by scattered test assertions.
+/// This header is the runtime half of the `parmis::check` correctness
+/// layer: debug-mode invariant checks inserted at the entry and exit of
+/// every hot path, compiled to **nothing** unless the build opts in.
+///
+///  - Configure with `-DPARMIS_CHECK_INVARIANTS=ON` (a CMake option that
+///    defines the same-named macro) to arm every check site.
+///  - In a default (release) build each `PARMIS_CHECK*` expands to an
+///    unevaluated-operand no-op: arguments are syntax-checked but never
+///    executed, so a check may call an O(E) validator with zero release
+///    cost (pinned by the zero-overhead tests in tests/test_check.cpp).
+///  - A failing check throws `check::CheckError` naming the source
+///    location and the violated invariant, so tests can assert on the
+///    diagnostic and services can turn one corrupt request into an error
+///    response instead of undefined behavior downstream.
+///
+/// Macro family:
+///   PARMIS_CHECK(cond)            boolean invariant
+///   PARMIS_CHECK_MSG(cond, msg)   boolean invariant with extra context
+///   PARMIS_CHECK_OK(expr)         expr yields a `check::Result`; failure
+///                                 reuses the validator's own diagnostic
+///
+/// `PARMIS_CHECK_ENABLED` is 1/0 for the rare site that needs to branch
+/// (e.g. to compute a value only a check consumes).
+
+#include <stdexcept>
+#include <string>
+
+#include "check/validate.hpp"
+
+namespace parmis::check {
+
+/// Thrown by an armed `PARMIS_CHECK*` on violation. `what()` carries
+/// "file:line: invariant violated: <diagnostic>".
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void fail(const char* file, int line, const std::string& diagnostic);
+
+}  // namespace parmis::check
+
+#ifdef PARMIS_CHECK_INVARIANTS
+
+#define PARMIS_CHECK_ENABLED 1
+
+#define PARMIS_CHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) ::parmis::check::fail(__FILE__, __LINE__, #cond);  \
+  } while (0)
+
+#define PARMIS_CHECK_MSG(cond, msg)                                                          \
+  do {                                                                                       \
+    if (!(cond)) ::parmis::check::fail(__FILE__, __LINE__, std::string(#cond) + ": " + (msg)); \
+  } while (0)
+
+#define PARMIS_CHECK_OK(expr)                                                    \
+  do {                                                                           \
+    const ::parmis::check::Result parmis_check_r_ = (expr);                      \
+    if (!parmis_check_r_.ok) {                                                   \
+      ::parmis::check::fail(__FILE__, __LINE__, parmis_check_r_.diagnostic());   \
+    }                                                                            \
+  } while (0)
+
+#else  // !PARMIS_CHECK_INVARIANTS
+
+#define PARMIS_CHECK_ENABLED 0
+
+// sizeof of a parenthesized comma expression: the operand is syntax- and
+// type-checked but *unevaluated*, so release builds pay nothing — not even
+// the argument evaluation (asserted by tests/test_check.cpp).
+#define PARMIS_CHECK(cond) static_cast<void>(sizeof((cond), 0))
+#define PARMIS_CHECK_MSG(cond, msg) static_cast<void>(sizeof((cond), (msg), 0))
+#define PARMIS_CHECK_OK(expr) static_cast<void>(sizeof((expr), 0))
+
+#endif  // PARMIS_CHECK_INVARIANTS

@@ -1,0 +1,40 @@
+#include "check/digest.hpp"
+
+namespace parmis::check {
+
+std::uint64_t digest(const graph::CrsGraph& g) {
+  Digest d;
+  d.update_value(g.num_rows);
+  d.update_value(g.num_cols);
+  d.update(std::span<const offset_t>(g.row_map));
+  d.update(std::span<const ordinal_t>(g.entries));
+  return d.value();
+}
+
+std::uint64_t digest(const graph::CrsMatrix& a) {
+  Digest d;
+  d.update_value(a.num_rows);
+  d.update_value(a.num_cols);
+  d.update(std::span<const offset_t>(a.row_map));
+  d.update(std::span<const ordinal_t>(a.entries));
+  d.update(std::span<const scalar_t>(a.values));
+  return d.value();
+}
+
+std::uint64_t digest_combine(std::uint64_t h1, std::uint64_t h2) {
+  Digest d;
+  d.update_value(h1);
+  d.update_value(h2);
+  return d.value();
+}
+
+std::string digest_hex(std::uint64_t h) {
+  static const char* hex = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(hex[(h >> shift) & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace parmis::check

@@ -1,0 +1,99 @@
+#pragma once
+/// \file digest.hpp
+/// \brief FNV-1a digests of arrays and core structures — the compact way
+/// to assert (and report) bit-identical results across backends.
+///
+/// The paper's headline property is that every kernel produces the *same
+/// bits* on any backend at any thread count. Checking that used to mean
+/// hauling whole label/value vectors around and comparing element-wise;
+/// a 64-bit digest carries the same evidence in one word, which
+///  - lets the determinism sweeps (tests/test_determinism.cpp) compare
+///    dozens of configurations without storing each result,
+///  - gives every driver a `--digest` mode that prints a hash a user can
+///    diff across machines/backends ("same digest = same bits"), and
+///  - feeds `PARMIS_CHECK` sites that want to pin a result cheaply.
+///
+/// FNV-1a (64-bit) is used deliberately: byte-order-sensitive, trivially
+/// portable, zero dependencies, and fast enough to hash every value array
+/// in a hierarchy without showing up in a profile. It is **not**
+/// cryptographic and not meant to be — it detects divergence, not
+/// adversaries. Floating-point data is hashed by bit pattern, which is
+/// exactly right for a bit-identity contract (+0.0 and -0.0 differ).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "graph/crs.hpp"
+
+namespace parmis::check {
+
+/// FNV-1a 64-bit offset basis / prime.
+inline constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Incremental FNV-1a hasher. Feed byte ranges or trivially copyable
+/// spans; `value()` can be read at any point.
+class Digest {
+ public:
+  /// Absorb `n` raw bytes.
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = h_;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kFnvPrime;
+    }
+    h_ = h;
+  }
+
+  /// Absorb a span of trivially copyable elements by bit pattern.
+  template <typename T>
+  void update(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(v.data(), v.size_bytes());
+  }
+
+  /// Absorb one trivially copyable value by bit pattern.
+  template <typename T>
+  void update_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(&v, sizeof(T));
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvBasis;
+};
+
+/// Digest of one span (the common case: a label or value array).
+template <typename T>
+[[nodiscard]] std::uint64_t digest(std::span<const T> v) {
+  Digest d;
+  d.update(v);
+  return d.value();
+}
+
+/// Digest of a vector (deduces the span overload).
+template <typename T>
+[[nodiscard]] std::uint64_t digest(const std::vector<T>& v) {
+  return digest(std::span<const T>(v));
+}
+
+/// Structure digest of a CRS graph: dims + row_map + entries.
+[[nodiscard]] std::uint64_t digest(const graph::CrsGraph& g);
+
+/// Full digest of a CRS matrix: structure + value bit patterns.
+[[nodiscard]] std::uint64_t digest(const graph::CrsMatrix& a);
+
+/// Combine two digests order-sensitively (h1 then h2).
+[[nodiscard]] std::uint64_t digest_combine(std::uint64_t h1, std::uint64_t h2);
+
+/// Fixed-width lowercase hex rendering ("0x" + 16 digits) for driver
+/// output — diffable across runs, machines, and backends.
+[[nodiscard]] std::string digest_hex(std::uint64_t h);
+
+}  // namespace parmis::check

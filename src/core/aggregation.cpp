@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 #include "parallel/parallel_scan.hpp"
@@ -84,6 +86,7 @@ const Aggregation& CoarsenHandle::aggregate_basic(graph::GraphView g) {
   mis2_.run(g);
   build_basic(g, mis2_.result(), agg_, tent_);
   record_run(bytes_before);
+  PARMIS_CHECK_OK(check::validate(agg_, g.num_rows));
   return agg_;
 }
 
@@ -197,6 +200,8 @@ const Aggregation& CoarsenHandle::aggregate_mis2(graph::GraphView g) {
   });
 
   record_run(bytes_before);
+  PARMIS_CHECK_OK(check::validate(agg, g.num_rows));
+  PARMIS_CHECK_MSG(verify_aggregation(g, agg), "mis2 aggregation has a disconnected aggregate");
   return agg;
 }
 
@@ -257,6 +262,7 @@ const Aggregation& CoarsenHandle::aggregate_hem(graph::GraphView g,
   }
   agg.num_aggregates = num_coarse;
   record_run(bytes_before);
+  PARMIS_CHECK_OK(check::validate(agg, g.num_rows));
   return agg;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "core/coarsener.hpp"
 #include "multilevel/builder.hpp"
 #include "parallel/balanced_for.hpp"
@@ -77,6 +79,7 @@ thread_local Workspace t_ws;
 
 graph::CrsGraph coarse_graph(graph::GraphView g, const Aggregation& agg) {
   assert(agg.labels.size() == static_cast<std::size_t>(g.num_rows));
+  PARMIS_CHECK_OK(check::validate(agg, g.num_rows));
   const AggregateMembers mem = aggregate_members(agg);
   const ordinal_t nc = agg.num_aggregates;
 
@@ -152,6 +155,8 @@ graph::CrsGraph coarse_graph(graph::GraphView g, const Aggregation& agg) {
                 c.row_map[a + 1] - c.row_map[a],
                 c.entries.begin() + static_cast<std::ptrdiff_t>(c.row_map[a]));
   });
+  PARMIS_CHECK_OK(check::validate(
+      graph::GraphView(c), {.require_sorted = true, .require_unique = true, .require_loop_free = true}));
   return c;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "check/alloc_guard.hpp"
+#include "check/check.hpp"
+#include "core/verify.hpp"
 #include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
@@ -305,7 +308,7 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
     while (iter < opts.max_iterations) {
       obs::Span round("mis2.round");
       {
-        PARMIS_SPAN("mis2.refresh_row");
+        PARMIS_SPAN("mis2.sweep.refresh_row");
         par::parallel_for(n, [&](ordinal_t v) {
           if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) {
             refresh_row(v, iter);
@@ -313,13 +316,13 @@ void mis2_impl(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
         });
       }
       {
-        PARMIS_SPAN("mis2.refresh_col");
+        PARMIS_SPAN("mis2.sweep.refresh_col");
         par::balanced_for(n, g.row_map, [&](ordinal_t v) {
           if (is_active(v) && !P::is_out(col_m[static_cast<std::size_t>(v)])) refresh_col(v);
         });
       }
       {
-        PARMIS_SPAN("mis2.decide");
+        PARMIS_SPAN("mis2.sweep.decide");
         par::balanced_for(n, g.row_map, [&](ordinal_t v) {
           if (is_active(v) && P::is_undecided(row_t[static_cast<std::size_t>(v)])) decide(v);
         });
@@ -359,21 +362,39 @@ void dispatch(graph::GraphView g, const Mis2Options& opts, const Context& ctx,
 
 const Mis2Result& Mis2Handle::run(graph::GraphView g) {
   Context::Scope scope(ctx_);
+  PARMIS_CHECK_OK(check::validate(g, {.require_loop_free = true, .require_symmetric = true}));
   const std::size_t bytes_before = ws_.capacity_bytes();
+  const std::size_t result_capacity =
+      result_.in_set.capacity() + result_.members.capacity() * sizeof(ordinal_t);
+  check::AllocGuard guard;
   dispatch<false>(g, opts_, ctx_, {}, ws_, result_);
   ++stats_.runs;
   stats_.iterations += static_cast<std::uint64_t>(result_.iterations);
+  const bool grew = ws_.capacity_bytes() > bytes_before ||
+                    result_.in_set.capacity() + result_.members.capacity() * sizeof(ordinal_t) >
+                        result_capacity;
   if (ws_.capacity_bytes() > bytes_before) ++stats_.scratch_grows;
+  // Zero-allocation warm-run contract, enforced at the allocator: a run
+  // whose scratch and result capacities both sufficed must not have
+  // touched the heap at all. (Tracing is exempt: obs event blocks
+  // allocate, orthogonally to the kernel path.)
+  PARMIS_CHECK_MSG(grew || obs::tracing_enabled() || guard.allocations() == 0,
+                   "mis2 warm run allocated");
+  PARMIS_CHECK_MSG(verify_mis2(g, result_.in_set), "mis2 result not a valid MIS-2");
   return result_;
 }
 
 const Mis2Result& Mis2Handle::run_masked(graph::GraphView g, std::span<const char> active) {
   Context::Scope scope(ctx_);
+  PARMIS_CHECK_OK(check::validate(g, {.require_loop_free = true, .require_symmetric = true}));
+  PARMIS_CHECK(active.size() == static_cast<std::size_t>(g.num_rows));
   const std::size_t bytes_before = ws_.capacity_bytes();
   dispatch<true>(g, opts_, ctx_, active, ws_, result_);
   ++stats_.runs;
   stats_.iterations += static_cast<std::uint64_t>(result_.iterations);
   if (ws_.capacity_bytes() > bytes_before) ++stats_.scratch_grows;
+  PARMIS_CHECK_MSG(verify_mis2_masked(g, result_.in_set, active),
+                   "mis2 result not a valid masked MIS-2");
   return result_;
 }
 

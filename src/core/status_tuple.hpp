@@ -82,7 +82,7 @@ class TupleCodec {
   /// b = ceil(log2(n + 2)): smallest b with 2^b >= n + 2.
   static constexpr int bits_for(ordinal_t n) {
     const std::uint64_t need = static_cast<std::uint64_t>(n) + 2;
-    return std::bit_width(need - 1);
+    return static_cast<int>(std::bit_width(need - 1));
   }
 
   int id_bits_;

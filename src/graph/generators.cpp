@@ -74,7 +74,7 @@ CrsMatrix assemble_stencil(ordinal_t nx, ordinal_t ny, ordinal_t nz,
   par::parallel_for(n, [&](ordinal_t v) {
     const ordinal_t x = v % nx;
     const ordinal_t y = (v / nx) % ny;
-    const ordinal_t z = v / (static_cast<std::int64_t>(nx) * ny);
+    const ordinal_t z = static_cast<ordinal_t>(v / (static_cast<std::int64_t>(nx) * ny));
     offset_t count = 0;
     for (const Offset3& o : offs) {
       if (in_grid(x, y, z, o)) ++count;
@@ -90,7 +90,7 @@ CrsMatrix assemble_stencil(ordinal_t nx, ordinal_t ny, ordinal_t nz,
   par::parallel_for(n, [&](ordinal_t v) {
     const ordinal_t x = v % nx;
     const ordinal_t y = (v / nx) % ny;
-    const ordinal_t z = v / (static_cast<std::int64_t>(nx) * ny);
+    const ordinal_t z = static_cast<ordinal_t>(v / (static_cast<std::int64_t>(nx) * ny));
     offset_t o = m.row_map[v];
     for (const Offset3& off : offs) {
       if (!in_grid(x, y, z, off)) continue;
@@ -136,7 +136,7 @@ CrsMatrix elasticity3d(ordinal_t nx, ordinal_t ny, ordinal_t nz) {
     const ordinal_t node = v / 3;
     const ordinal_t x = node % nx;
     const ordinal_t y = (node / nx) % ny;
-    const ordinal_t z = node / (static_cast<std::int64_t>(nx) * ny);
+    const ordinal_t z = static_cast<ordinal_t>(node / (static_cast<std::int64_t>(nx) * ny));
     offset_t count = 0;
     for (const Offset3& o : offs) {
       if (in_grid(x, y, z, o)) count += 3;
@@ -153,7 +153,7 @@ CrsMatrix elasticity3d(ordinal_t nx, ordinal_t ny, ordinal_t nz) {
     const ordinal_t node = v / 3;
     const ordinal_t x = node % nx;
     const ordinal_t y = (node / nx) % ny;
-    const ordinal_t z = node / (static_cast<std::int64_t>(nx) * ny);
+    const ordinal_t z = static_cast<ordinal_t>(node / (static_cast<std::int64_t>(nx) * ny));
     offset_t o = m.row_map[v];
     for (const Offset3& off : offs) {
       if (!in_grid(x, y, z, off)) continue;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "check/validate.hpp"
 #include "graph/builders.hpp"
 
 namespace parmis::graph {
@@ -100,14 +102,28 @@ CrsMatrix read_matrix_market(const std::string& path) {
       if (!(entry >> v)) throw std::runtime_error("matrix_market: truncated values");
     }
     if (r < 1 || r > nrows || c < 1 || c > ncols) {
-      throw std::runtime_error("matrix_market: entry out of range");
+      throw std::runtime_error("matrix_market: entry (" + std::to_string(r) + ", " +
+                               std::to_string(c) + ") out of range for " +
+                               std::to_string(nrows) + " x " + std::to_string(ncols));
+    }
+    if (!std::isfinite(v)) {
+      throw std::runtime_error("matrix_market: non-finite value at entry (" + std::to_string(r) +
+                               ", " + std::to_string(c) + ")");
     }
     triplets.push_back({static_cast<ordinal_t>(r - 1), static_cast<ordinal_t>(c - 1), v});
     if (symmetry == "symmetric" && r != c) {
       triplets.push_back({static_cast<ordinal_t>(c - 1), static_cast<ordinal_t>(r - 1), v});
     }
   }
-  return matrix_from_coo(static_cast<ordinal_t>(nrows), static_cast<ordinal_t>(ncols), triplets);
+  CrsMatrix m =
+      matrix_from_coo(static_cast<ordinal_t>(nrows), static_cast<ordinal_t>(ncols), triplets);
+  // Boundary validation is unconditional (not PARMIS_CHECK-gated): corrupt
+  // input should be reported here, naming the invariant, instead of
+  // constructing a matrix that misbehaves three subsystems later.
+  if (const check::Result res = check::validate(m); !res) {
+    throw std::runtime_error("matrix_market: " + path + ": " + res.diagnostic());
+  }
+  return m;
 }
 
 void write_matrix_market(const std::string& path, const CrsMatrix& m) {

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <span>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
@@ -119,6 +121,9 @@ CrsGraph spgemm_symbolic(GraphView a, GraphView b) {
 
 CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b) {
   assert(a.num_cols == b.num_rows);
+  PARMIS_CHECK_MSG(a.num_cols == b.num_rows, "spgemm operand shapes do not chain");
+  PARMIS_CHECK_OK(check::validate(a));
+  PARMIS_CHECK_OK(check::validate(b));
   obs::Span span("spgemm.numeric");
   span.arg("rows", a.num_rows);
   CrsMatrix c;
@@ -187,12 +192,17 @@ CrsMatrix spgemm(const CrsMatrix& a, const CrsMatrix& b) {
     std::copy_n(ar.vals.begin() + src, len,
                 c.values.begin() + static_cast<std::ptrdiff_t>(c.row_map[i]));
   });
+  PARMIS_CHECK_OK(check::validate(c));
   return c;
 }
 
 void spgemm_numeric(const CrsMatrix& a, const CrsMatrix& b, CrsMatrix& c) {
   assert(a.num_cols == b.num_rows);
   assert(c.num_rows == a.num_rows && c.num_cols == b.num_cols);
+  PARMIS_CHECK_MSG(a.num_cols == b.num_rows, "spgemm_numeric operand shapes do not chain");
+  PARMIS_CHECK_MSG(c.num_rows == a.num_rows && c.num_cols == b.num_cols,
+                   "spgemm_numeric product shape does not match operands");
+  PARMIS_CHECK(c.values.size() == c.entries.size());
   if (a.num_rows == 0) return;
   obs::Span span("spgemm.replay");
   span.arg("rows", a.num_rows);

@@ -6,6 +6,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "check/alloc_guard.hpp"
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "core/coarsen.hpp"
 #include "core/coarsener.hpp"
 #include "graph/ops.hpp"
@@ -207,6 +210,7 @@ const std::vector<Step>& Builder::build_steps(graph::GraphView g0, const Weighte
   ++h.stats_.runs;
   h.stats_.iterations += static_cast<std::uint64_t>(st.levels);
   if (h.scratch_bytes() > bytes_before) ++h.stats_.scratch_grows;
+  PARMIS_CHECK_OK(check::validate_steps(fine_view.num_rows, h.steps_));
   return h.steps_;
 }
 
@@ -224,7 +228,7 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
   Timer build_timer;
   const Context ctx = opts_.ctx ? *opts_.ctx : Context::default_ctx();
   Context::Scope scope(ctx);
-  PARMIS_SPAN("multilevel.build");
+  PARMIS_SPAN("multilevel.build_galerkin");
   if (opts_.ctx) h.ws_.coarsen.set_context(ctx);
   const std::size_t bytes_before = h.scratch_bytes();
 
@@ -272,7 +276,7 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
     const graph::CrsGraph adj = graph::remove_self_loops(graph::GraphView(lvl.a));
     Timer agg_timer;
     {
-      PARMIS_SPAN("multilevel.aggregate");
+      PARMIS_SPAN("multilevel.aggregate_galerkin");
       aggregate_level(opts_, coarsener.get(), adj, {}, h.ws_.coarsen, level, agg);
     }
     st.aggregation_seconds += agg_timer.seconds();
@@ -290,6 +294,8 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
     {
       PARMIS_SPAN("multilevel.triple_product");
       tentative_prolongator(agg, gl.phat);
+      PARMIS_CHECK_OK(check::validate_prolongator(gl.phat, lvl.a.num_rows, agg.num_aggregates,
+                                                  /*require_column_partition=*/true));
       // P = (I - omega D^{-1} A) P̂: ap holds the D⁻¹-scaled product so the
       // warm rebuild can replay the same three steps value-only.
       gl.ap = graph::spgemm(lvl.a, gl.phat);
@@ -328,6 +334,7 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
   ++h.stats_.runs;
   h.stats_.iterations += static_cast<std::uint64_t>(st.levels);
   if (h.scratch_bytes() > bytes_before) ++h.stats_.scratch_grows;
+  PARMIS_CHECK_OK(check::validate_hierarchy(ops));
   return ops;
 }
 
@@ -352,6 +359,10 @@ const std::vector<OperatorLevel>& Builder::rebuild_galerkin(const graph::CrsMatr
   const std::size_t bytes_before = h.scratch_bytes();
 
   std::copy(a_fine.values.begin(), a_fine.values.end(), fine.a.values.begin());
+  // The rebuild is a value-only replay into buffers sized by the cold
+  // build; its documented contract is zero allocations. Enforce that at
+  // the allocator, not just via scratch_bytes accounting.
+  check::AllocGuard guard;
   const std::size_t nlevels = h.ops_.size();
   for (std::size_t l = 0; l < nlevels; ++l) {
     OperatorLevel& lvl = h.ops_[l];
@@ -371,10 +382,13 @@ const std::vector<OperatorLevel>& Builder::rebuild_galerkin(const graph::CrsMatr
     graph::spgemm_numeric(lvl.r, gl.apc, h.ops_[l + 1].a);
   }
 
+  PARMIS_CHECK_MSG(obs::tracing_enabled() || guard.allocations() == 0,
+                   "rebuild_galerkin warm replay allocated");
   h.build_stats_.rebuild_seconds = rebuild_timer.seconds();
   ++h.stats_.runs;
   h.stats_.iterations += static_cast<std::uint64_t>(nlevels);
   if (h.scratch_bytes() > bytes_before) ++h.stats_.scratch_grows;
+  PARMIS_CHECK_OK(check::validate_hierarchy(h.ops_));
   return h.ops_;
 }
 

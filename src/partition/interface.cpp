@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "common/timer.hpp"
 #include "partition/label_prop.hpp"
 #include "partition/streaming.hpp"
@@ -26,6 +28,10 @@ PartitionResult Partitioner::run(const WeightedGraph& g, ordinal_t k,
       throw std::runtime_error("partitioner '" + name() + "' produced an out-of-range label");
     }
   }
+  // Nonempty parts are a quality expectation, not a hard API guarantee, so
+  // they are only asserted in check builds (and skipped on graphs with
+  // fewer vertices than parts, where emptiness is forced).
+  PARMIS_CHECK_OK(check::validate_partition(r.part, k, /*require_nonempty_parts=*/true));
   r.quality = evaluate_partition(g, r.part, k);
   return r;
 }

@@ -55,7 +55,8 @@ Bisection grow_bisection_frac(const WeightedGraph& g, double target_fraction,
   if (n == 0) return b;
 
   const std::int64_t total = g.total_vertex_weight();
-  const std::int64_t target = static_cast<std::int64_t>(std::llround(target_fraction * total));
+  const std::int64_t target =
+      static_cast<std::int64_t>(std::llround(target_fraction * static_cast<double>(total)));
 
   // BFS-grow side 0 from a pseudo-peripheral seed; jump to a fresh seed if
   // a whole component is consumed before the target weight is reached.

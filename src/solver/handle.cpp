@@ -1,5 +1,8 @@
 #include "solver/handle.hpp"
 
+#include "check/alloc_guard.hpp"
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "obs/trace.hpp"
 
 namespace parmis::solver {
@@ -74,14 +77,20 @@ const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const 
                                      std::span<scalar_t> x, const IterOptions& opts) {
   const Context ctx = opts.ctx ? *opts.ctx : ctx_;
   Context::Scope scope(ctx);
+  PARMIS_CHECK_OK(check::validate(a, {.structure = {}, .require_finite = true,
+                                      .require_square = true}));
+  PARMIS_CHECK(b.size() == static_cast<std::size_t>(a.num_rows));
+  PARMIS_CHECK(x.size() == static_cast<std::size_t>(a.num_rows));
   ensure_solver();
   // Solvers that ignore preconditioning ("chebyshev") skip the build — an
   // AMG setup nobody applies is the most expensive no-op in the stack.
   if (solver_->uses_preconditioner()) ensure_preconditioner(a);
   const std::size_t bytes_before = scratch_bytes();
   const std::uint64_t grows_before = ws_.grow_events;
+  const std::uint64_t setups_before = stats_.prec_setups;
   obs::Span span("solver.solve");
   span.arg("rows", a.num_rows);
+  check::AllocGuard guard;
   solver_->solve(a, b, x, opts, prec_.get(), ws_, result_);
   span.arg("iterations", result_.iterations);
   ++stats_.solves;
@@ -89,9 +98,19 @@ const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const 
   if (result_.converged) ++stats_.converged;
   // grow_events additionally catches allocations capacity_bytes() cannot
   // see (the Chebyshev smoother rebuild).
-  if (scratch_bytes() > bytes_before || ws_.grow_events > grows_before) {
-    ++stats_.scratch_grows;
-  }
+  const bool grew = scratch_bytes() > bytes_before || ws_.grow_events > grows_before;
+  if (grew) ++stats_.scratch_grows;
+  // Warm-solve zero-allocation contract, enforced at the allocator: once
+  // scratch and preconditioner are warm, a repeat solve must not allocate.
+  // (Tracing is exempt: obs event blocks allocate, orthogonally to the
+  // solver path.)
+  PARMIS_CHECK_MSG(grew || stats_.prec_setups > setups_before || obs::tracing_enabled() ||
+                       guard.allocations() == 0,
+                   "warm solve allocated");
+  // A non-converged solve may legitimately hold a diverged iterate; only a
+  // converged result is contractually finite.
+  PARMIS_CHECK_MSG(!result_.converged || check::all_finite(x),
+                   "converged solve produced non-finite solution entries");
   return result_;
 }
 

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "check/digest.hpp"
 #include "coloring/d1_coloring.hpp"
 #include "coloring/d2_coloring.hpp"
 #include "core/aggregation.hpp"
@@ -157,17 +158,19 @@ TEST(Determinism, SchedulesAcrossRegisteredCoarseners) {
     return g;
   }();
   for (const core::CoarsenerSpec& spec : core::coarsener_registry()) {
-    std::vector<ordinal_t> reference;
+    // One 64-bit check::digest per configuration carries the bit-identity
+    // evidence; hex digests in the failure message diff across machines.
+    std::uint64_t reference = 0;
     bool first = true;
     for (const Context& ctx : schedule_contexts()) {
       core::CoarsenHandle handle(ctx);
       const std::unique_ptr<core::Coarsener> c = spec.make();
-      const std::vector<ordinal_t> labels = c->run(skew, {}, handle).labels;
+      const std::uint64_t d = check::digest(c->run(skew, {}, handle).labels);
       if (first) {
-        reference = labels;
+        reference = d;
         first = false;
       } else {
-        EXPECT_EQ(labels, reference)
+        EXPECT_EQ(check::digest_hex(d), check::digest_hex(reference))
             << spec.name << " schedule=" << static_cast<int>(ctx.schedule)
             << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
       }
@@ -180,16 +183,16 @@ TEST(Determinism, SchedulesAcrossRegisteredPartitioners) {
       partition::WeightedGraph::unit(graph::power_law_graph(2500, 2.3, 3, 250, 17));
   const ordinal_t k = 4;
   for (const partition::PartitionerSpec& spec : partition::partitioner_registry()) {
-    std::vector<ordinal_t> reference;
+    std::uint64_t reference = 0;
     bool first = true;
     for (const Context& ctx : schedule_contexts()) {
       Context::Scope scope(ctx);
-      const partition::PartitionResult r = spec.make()->run(wg, k);
+      const std::uint64_t d = check::digest(spec.make()->run(wg, k).part);
       if (first) {
-        reference = r.part;
+        reference = d;
         first = false;
       } else {
-        EXPECT_EQ(r.part, reference)
+        EXPECT_EQ(check::digest_hex(d), check::digest_hex(reference))
             << spec.name << " schedule=" << static_cast<int>(ctx.schedule)
             << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
       }
@@ -205,9 +208,9 @@ TEST(Determinism, SchedulesAcrossBuilderHierarchies) {
   const multilevel::WeightedGraph wskew = multilevel::WeightedGraph::unit(skew);
   const graph::CrsMatrix a = graph::laplacian_matrix(skew, 1.0);
   for (const core::CoarsenerSpec& spec : core::coarsener_registry()) {
-    std::vector<std::vector<ordinal_t>> ref_labels;
-    std::vector<std::vector<ordinal_t>> ref_wlabels;
-    std::vector<std::vector<scalar_t>> ref_values;
+    std::uint64_t ref_labels = 0;
+    std::uint64_t ref_wlabels = 0;
+    std::uint64_t ref_values = 0;
     bool first = true;
     for (const Context& ctx : schedule_contexts()) {
       multilevel::Options mo;
@@ -218,29 +221,33 @@ TEST(Determinism, SchedulesAcrossBuilderHierarchies) {
       const multilevel::Builder builder(mo);
       multilevel::HierarchyHandle h;
 
-      std::vector<std::vector<ordinal_t>> labels;
+      // Per-level digests folded order-sensitively into one word per mode;
+      // the levels can't reorder without changing the fold.
+      std::uint64_t labels = check::kFnvBasis;
       for (const multilevel::Step& s : builder.build(skew, h)) {
-        labels.push_back(s.aggregation.labels);
+        labels = check::digest_combine(labels, check::digest(s.aggregation.labels));
       }
-      std::vector<std::vector<ordinal_t>> wlabels;
+      std::uint64_t wlabels = check::kFnvBasis;
       for (const multilevel::Step& s : builder.build_weighted(wskew, h)) {
-        wlabels.push_back(s.aggregation.labels);
+        wlabels = check::digest_combine(wlabels, check::digest(s.aggregation.labels));
       }
-      std::vector<std::vector<scalar_t>> values;
+      std::uint64_t values = check::kFnvBasis;
       for (const multilevel::OperatorLevel& l : builder.build_galerkin(a, h)) {
-        values.push_back(l.a.values);
+        values = check::digest_combine(values, check::digest(l.a.values));
       }
       if (first) {
-        ref_labels = std::move(labels);
-        ref_wlabels = std::move(wlabels);
-        ref_values = std::move(values);
+        ref_labels = labels;
+        ref_wlabels = wlabels;
+        ref_values = values;
         first = false;
       } else {
-        EXPECT_EQ(labels, ref_labels)
+        EXPECT_EQ(check::digest_hex(labels), check::digest_hex(ref_labels))
             << spec.name << " topology schedule=" << static_cast<int>(ctx.schedule)
             << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
-        EXPECT_EQ(wlabels, ref_wlabels) << spec.name << " weighted";
-        EXPECT_EQ(values, ref_values) << spec.name << " galerkin";
+        EXPECT_EQ(check::digest_hex(wlabels), check::digest_hex(ref_wlabels))
+            << spec.name << " weighted";
+        EXPECT_EQ(check::digest_hex(values), check::digest_hex(ref_values))
+            << spec.name << " galerkin";
       }
     }
   }
@@ -262,7 +269,7 @@ TEST(Determinism, SchedulesAcrossSolverStack) {
 
   for (const solver::SolverSpec& sspec : solver::solver_registry()) {
     for (const solver::PreconditionerSpec& pspec : solver::preconditioner_registry()) {
-      std::vector<scalar_t> reference;
+      std::uint64_t reference = 0;
       int reference_iters = 0;
       bool first = true;
       for (const Context& ctx : schedule_contexts()) {
@@ -270,12 +277,13 @@ TEST(Determinism, SchedulesAcrossSolverStack) {
         handle.prec_options().amg.coarse_size = 200;
         std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
         const solver::IterResult& r = handle.solve(a, b, x, opts);
+        const std::uint64_t d = check::digest(x);
         if (first) {
-          reference = x;
+          reference = d;
           reference_iters = r.iterations;
           first = false;
         } else {
-          EXPECT_EQ(x, reference)
+          EXPECT_EQ(check::digest_hex(d), check::digest_hex(reference))
               << sspec.name << "+" << pspec.name << " schedule=" << static_cast<int>(ctx.schedule)
               << " backend=" << static_cast<int>(ctx.backend) << " threads=" << ctx.num_threads;
           EXPECT_EQ(r.iterations, reference_iters) << sspec.name << "+" << pspec.name;
