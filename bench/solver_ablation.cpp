@@ -30,6 +30,7 @@
 #include "graph/generators.hpp"
 #include "graph/rgg.hpp"
 #include "obs/telemetry.hpp"
+#include "resilience/status.hpp"
 #include "solver/amg.hpp"
 #include "solver/handle.hpp"
 #include "solver/vector_ops.hpp"
@@ -123,7 +124,33 @@ int main(int argc, char** argv) {
           handle.prec_options().amg.coarsener = cname;
         }
         Timer setup_timer;
-        handle.setup(a);
+        try {
+          handle.setup(a);
+        } catch (const std::exception& e) {
+          // A combo whose setup fails still gets a row (status
+          // "setup_failed" / "singular_operator") instead of being
+          // silently dropped from the sweep — absent rows read as
+          // "not measured", not "failed".
+          const auto* classified = dynamic_cast<const resilience::SolveError*>(&e);
+          for (const std::string& sname : solver::solver_names()) {
+            obs::Report report;
+            report.set("bench", "solver_ablation");
+            obs::add_graph(report, in.name, a.num_rows, a.num_entries());
+            report.set("solver", sname);
+            report.set("prec", pname);
+            report.set("coarsener", cname);
+            report.set("converged", false);
+            report.set("status",
+                       std::string(resilience::to_string(
+                           classified ? classified->status()
+                                      : resilience::SolveStatus::SetupFailed)));
+            if (classified && classified->info().reason[0] != '\0') {
+              report.set("failure_reason", std::string(classified->info().reason));
+            }
+            emit(report);
+          }
+          continue;
+        }
         const double setup_s = setup_timer.seconds();
 
         for (const std::string& sname : solver::solver_names()) {

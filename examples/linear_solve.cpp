@@ -14,7 +14,20 @@
 ///   linear_solve [--solvers=s,...|all] [--precs=p,...|all]
 ///                [--coarseners=c,...] [--graphs=SPEC,...] [--scale=F]
 ///                [--tol=T] [--maxit=N] [--rebuilds=N] [--json]
-///                [--trace=FILE] [--trace-sample=N] [--list]
+///                [--fallback=CHAIN] [--timeout-ms=F] [--stagnation-window=N]
+///                [--fault=SPEC[@N],...] [--trace=FILE] [--trace-sample=N]
+///                [--list]
+///
+/// Resilience flags: `--fallback=amg+cg,jacobi+cg,none+gmres` declares a
+/// fallback chain on every row's handle (replacing that row's
+/// solver/preconditioner selection — narrow --solvers/--precs to one entry
+/// when chaining) and skips the up-front setup so the chain owns setup
+/// failures too. `--timeout-ms` bounds each solve's wall clock;
+/// `--stagnation-window` arms the no-progress guard. `--fault` arms
+/// deterministic fault points (check builds only; see
+/// resilience/fault.hpp), e.g. `--fault=cg.pap@3` breaks the third CG
+/// iteration. Every row reports its taxonomy `status`; `--json` rows add
+/// the per-attempt chain record.
 ///
 /// `--json` rows are `obs::Report` objects carrying the multilevel
 /// hierarchy telemetry for the "amg" preconditioner (levels,
@@ -40,6 +53,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +66,8 @@
 #include "obs/telemetry.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/status.hpp"
 #include "solver/amg.hpp"
 #include "solver/handle.hpp"
 #include "solver/vector_ops.hpp"
@@ -65,7 +81,10 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--solvers=s,...|all] [--precs=p,...|all] [--coarseners=c,...]\n"
                "          [--graphs=SPEC,...] [--scale=F] [--tol=T] [--maxit=N] "
-               "[--rebuilds=N] [--json] [--digest] [--trace=FILE] [--trace-sample=N] [--list]\n"
+               "[--rebuilds=N] [--json] [--digest]\n"
+               "          [--fallback=PREC+SOLVER,...] [--timeout-ms=F] "
+               "[--stagnation-window=N] [--fault=NAME[@N],...]\n"
+               "          [--trace=FILE] [--trace-sample=N] [--list]\n"
                "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
                "        gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME | reg:table2\n",
                argv0);
@@ -88,6 +107,10 @@ int main(int argc, char** argv) {
   bool digest = false;
   std::string trace_path;
   int trace_sample = 1;
+  std::string fallback_spec;
+  double timeout_ms = 0;
+  int stagnation_window = 0;
+  std::string fault_spec;
 
   for (int i = 1; i < argc; ++i) {
     const char* s = argv[i];
@@ -114,6 +137,14 @@ int main(int argc, char** argv) {
       json = true;
     } else if (!std::strcmp(s, "--digest")) {
       digest = true;
+    } else if (!std::strncmp(s, "--fallback=", 11)) {
+      fallback_spec = s + 11;
+    } else if (!std::strncmp(s, "--timeout-ms=", 13)) {
+      timeout_ms = std::atof(s + 13);
+    } else if (!std::strncmp(s, "--stagnation-window=", 20)) {
+      stagnation_window = std::atoi(s + 20);
+    } else if (!std::strncmp(s, "--fault=", 8)) {
+      fault_spec = s + 8;
     } else if (!std::strncmp(s, "--trace=", 8)) {
       trace_path = s + 8;
     } else if (!std::strncmp(s, "--trace-sample=", 15)) {
@@ -156,9 +187,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Fault points: armed from --fault and/or the PARMIS_FAULTS environment
+  // variable. In release builds every PARMIS_FAULT_POINT is compiled out,
+  // so arming would silently do nothing — say so instead.
+  resilience::arm_faults_from_env();
+  if (!fault_spec.empty()) {
+    if (!PARMIS_FAULT_ENABLED) {
+      std::fprintf(stderr,
+                   "--fault ignored: fault points are compiled out in this build "
+                   "(configure with -DPARMIS_CHECK_INVARIANTS=ON)\n");
+    }
+    try {
+      resilience::arm_faults_spec(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --fault spec: %s\n", e.what());
+      return 1;
+    }
+  }
+  // Validate the fallback chain once up front (it is applied per handle).
+  if (!fallback_spec.empty()) {
+    try {
+      solver::SolveHandle probe;
+      probe.set_fallback(fallback_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --fallback chain: %s (try --list)\n", e.what());
+      return 1;
+    }
+  }
+
   solver::IterOptions opts;
   opts.tolerance = tol;
   opts.max_iterations = maxit;
+  opts.timeout_ms = timeout_ms;
+  opts.stagnation_window = stagnation_window;
 
   // Tracing covers the whole batch; per-chunk spans record on the worker
   // threads (so the trace shows every tid), decimated by --trace-sample.
@@ -177,9 +238,19 @@ int main(int argc, char** argv) {
       continue;
     }
     // A = Laplacian(G) + I: SPD with unit-bounded smallest eigenvalue, so
-    // the same stack configuration behaves comparably across inputs.
-    const graph::CrsMatrix a = graph::laplacian_matrix(g, 1.0);
-    const std::vector<scalar_t> b = solver::random_vector(a.num_rows, 1);
+    // the same stack configuration behaves comparably across inputs. The
+    // driver.singular_matrix fault drops the +I shift, leaving the graph
+    // Laplacian's constant null space in place (Krylov stagnates, Jacobi
+    // setup sees zero diagonals on isolated vertices, the AMG coarse block
+    // is singular — the whole setup-failure surface from one switch).
+    const scalar_t diag_shift = PARMIS_FAULT_POINT("driver.singular_matrix") ? 0.0 : 1.0;
+    const graph::CrsMatrix a = graph::laplacian_matrix(g, diag_shift);
+    std::vector<scalar_t> b = solver::random_vector(a.num_rows, 1);
+    // driver.poison_b: the NonFiniteInput path — rejected by SolveHandle
+    // before any attempt runs.
+    if (PARMIS_FAULT_POINT("driver.poison_b")) {
+      b[0] = std::numeric_limits<scalar_t>::quiet_NaN();
+    }
 
     if (!json) {
       std::printf("\n%s: %d unknowns, %lld entries, tol=%.1e\n", spec.c_str(), a.num_rows,
@@ -201,14 +272,20 @@ int main(int argc, char** argv) {
           handle.prec_options().coarsener = cname;
           handle.prec_options().amg.coarsener = cname;
         }
+        if (!fallback_spec.empty()) handle.set_fallback(fallback_spec);
         Timer setup_timer;
-        try {
-          handle.setup(a);
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "setup %s/%s on '%s': %s\n", pname.c_str(), cname.c_str(),
-                       spec.c_str(), e.what());
-          any_failed = true;
-          continue;
+        if (fallback_spec.empty()) {
+          // Eager setup separates setup cost from solve cost in the table.
+          // With a fallback chain the chain owns setup (and its failures):
+          // a setup throw becomes a classified attempt, not a dropped row.
+          try {
+            handle.setup(a);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "setup %s/%s on '%s': %s\n", pname.c_str(), cname.c_str(),
+                         spec.c_str(), e.what());
+            any_failed = true;
+            continue;
+          }
         }
         const double setup_s = setup_timer.seconds();
 
@@ -260,10 +337,24 @@ int main(int argc, char** argv) {
             obs::add_spgemm_counters(report);
             std::printf("%s\n", report.to_json().c_str());
           } else {
+            // Failed rows name their taxonomy status; chained rows append
+            // the attempt sequence so recovery is visible in the table.
+            std::string tag;
+            if (!r.converged) {
+              tag = std::string("  (") + resilience::to_string(r.status) + ")";
+            }
+            if (r.attempts.size() > 1) {
+              tag += "  [";
+              for (std::size_t ai = 0; ai < r.attempts.size(); ++ai) {
+                if (ai) tag += " -> ";
+                tag += r.attempts[ai].prec + '+' + r.attempts[ai].solver + ':' +
+                       resilience::to_string(r.attempts[ai].status);
+              }
+              tag += ']';
+            }
             std::printf("  %-10s %-12s %-11s %6d %10.2e %9.4f %9.4f%s%s%s\n", sname.c_str(),
                         pname.c_str(), cname.c_str(), r.iterations, r.relative_residual,
-                        setup_s, solve_s, digest ? "  " : "", xdigest.c_str(),
-                        r.converged ? "" : "  (no convergence)");
+                        setup_s, solve_s, digest ? "  " : "", xdigest.c_str(), tag.c_str());
           }
         }
       }

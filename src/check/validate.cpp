@@ -317,4 +317,11 @@ bool all_finite(std::span<const scalar_t> v) {
   return true;
 }
 
+std::int64_t first_non_finite(std::span<const scalar_t> v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
 }  // namespace parmis::check

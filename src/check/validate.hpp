@@ -18,6 +18,7 @@
 /// Validators are deliberately serial and allocation-light: they are
 /// debug/boundary tooling, never part of a measured path.
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -109,5 +110,9 @@ struct MatrixChecks {
 /// True iff every element is finite (no NaN/Inf). Cheap enough for
 /// check-build exit assertions on solution vectors.
 [[nodiscard]] bool all_finite(std::span<const scalar_t> v);
+
+/// Index of the first NaN/Inf element, or -1 when all are finite (the
+/// located variant the resilience layer's NonFiniteInput diagnostics use).
+[[nodiscard]] std::int64_t first_non_finite(std::span<const scalar_t> v);
 
 }  // namespace parmis::check

@@ -17,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
+#include "resilience/status.hpp"
 
 namespace parmis::multilevel {
 
@@ -89,9 +90,16 @@ void tentative_prolongator(const core::Aggregation& agg, graph::CrsMatrix& p) {
 void invert_diagonal(const graph::CrsMatrix& a, std::vector<scalar_t>& inv) {
   inv.resize(static_cast<std::size_t>(a.num_rows));
   graph::extract_diagonal(a, inv);
-  for (scalar_t& v : inv) {
-    if (v == 0) throw std::runtime_error("multilevel: zero diagonal entry");
-    v = 1.0 / v;
+  for (std::size_t i = 0; i < inv.size(); ++i) {
+    const scalar_t v = inv[i];
+    if (v == 0 || !std::isfinite(v)) {
+      throw resilience::SolveError(
+          resilience::SolveStatus::SingularOperator,
+          resilience::FailureInfo{"setup", "setup.multilevel.zero_diagonal", -1,
+                                  static_cast<std::int64_t>(i)},
+          "multilevel: zero or non-finite diagonal entry at row " + std::to_string(i));
+    }
+    inv[i] = 1.0 / v;
   }
 }
 

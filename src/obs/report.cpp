@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 namespace parmis::obs {
@@ -8,6 +9,9 @@ namespace parmis::obs {
 namespace {
 
 std::string render_double(double value) {
+  // JSON has no NaN/Inf literal; emit null (a failed solve legitimately
+  // reports a non-finite residual, and the row must stay machine-valid).
+  if (!std::isfinite(value)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.9g", value);
   return buf;

@@ -27,12 +27,44 @@ void add_solve_stats(Report& r, const solver::SolveStats& s) {
   r.set("converged_solves", s.converged);
   r.set("prec_setups", s.prec_setups);
   r.set("scratch_grows", s.scratch_grows);
+  r.set("failed_solves", s.failures);
+  r.set("fallback_attempts", s.fallback_attempts);
 }
 
 void add_iter_result(Report& r, const solver::IterResult& res) {
   r.set("iterations", res.iterations);
   r.set("converged", res.converged);
   r.set("relative_residual", res.relative_residual);
+  r.set("status", std::string(resilience::to_string(res.status)));
+  if (resilience::is_failure(res.status) && res.failure.reason[0] != '\0') {
+    r.set("failure_reason", std::string(res.failure.reason));
+    r.set("failure_stage", std::string(res.failure.stage));
+    r.set("failure_iteration", res.failure.iteration);
+    r.set("failure_index", res.failure.index);
+  }
+  // The fallback-chain attempt records, same nested-array shape as
+  // add_span_summary: one row per attempt, oldest first.
+  if (!res.attempts.empty()) {
+    std::string out = "[";
+    Report row;
+    for (std::size_t i = 0; i < res.attempts.size(); ++i) {
+      const solver::AttemptInfo& at = res.attempts[i];
+      if (i) out += ", ";
+      row = Report();
+      row.set("solver", at.solver);
+      row.set("prec", at.prec);
+      row.set("status", std::string(resilience::to_string(at.status)));
+      row.set("iterations", at.iterations);
+      row.set("relative_residual", at.relative_residual);
+      row.set("seconds", at.seconds);
+      if (resilience::is_failure(at.status) && at.failure.reason[0] != '\0') {
+        row.set("failure_reason", std::string(at.failure.reason));
+      }
+      out += row.to_json();
+    }
+    out += ']';
+    r.set_raw("attempts", std::move(out));
+  }
 }
 
 void add_hierarchy(Report& r, const multilevel::HierarchyStats& s) {

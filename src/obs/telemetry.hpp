@@ -10,8 +10,11 @@
 ///   graph, num_rows, num_entries                       add_graph
 ///   runs, kernel_iterations, scratch_grows             add_kernel_stats
 ///   solves, total_iterations, converged_solves,
-///   prec_setups, scratch_grows                         add_solve_stats
-///   iterations, converged, relative_residual           add_iter_result
+///   prec_setups, scratch_grows, failed_solves,
+///   fallback_attempts                                  add_solve_stats
+///   iterations, converged, relative_residual,
+///   status, failure_* (when failed),
+///   attempts (nested array, when chained)              add_iter_result
 ///   levels, level_rows, level_entries,
 ///   operator_complexity, grid_complexity, stop,
 ///   aggregation_seconds, cold_build_seconds,
@@ -47,10 +50,15 @@ void add_graph(Report& r, const std::string& name, std::int64_t num_rows,
 void add_kernel_stats(Report& r, const core::KernelStats& s);
 
 /// Solve-handle counters: `solves`, `total_iterations`, `converged_solves`,
-/// `prec_setups`, `scratch_grows`.
+/// `prec_setups`, `scratch_grows`, `failed_solves`, `fallback_attempts`.
 void add_solve_stats(Report& r, const solver::SolveStats& s);
 
-/// One solve's outcome: `iterations`, `converged`, `relative_residual`.
+/// One solve's outcome: `iterations`, `converged`, `relative_residual`,
+/// the taxonomy `status`, `failure_reason`/`failure_stage`/
+/// `failure_iteration`/`failure_index` when the solve failed, and the
+/// nested `attempts` array when a fallback chain ran
+/// (`[{"solver":..,"prec":..,"status":..,"iterations":..,
+/// "relative_residual":..,"seconds":..}, ...]`).
 void add_iter_result(Report& r, const solver::IterResult& res);
 
 /// Hierarchy telemetry under the unified names: `levels`, `level_rows`,

@@ -1,0 +1,139 @@
+#include "resilience/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace parmis::resilience {
+
+namespace {
+
+/// One registered point. Points are few (tens) and hit at serial sites, so
+/// a flat vector under a mutex is simpler and fast enough; the mutex only
+/// exists at all because drivers may arm from one thread while a handle
+/// solves on another.
+struct Point {
+  std::string name;
+  std::uint64_t hits = 0;
+  std::uint64_t fire_at = 0;  ///< 0 = not armed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Point> points;
+
+  /// Lookup by C string without constructing a temporary std::string:
+  /// `fault_fires` runs once per solver iteration in check builds, and an
+  /// allocating lookup would trip the warm-solve AllocGuard contract.
+  Point& find(const char* name) {
+    for (Point& p : points) {
+      if (p.name == name) return p;
+    }
+    points.push_back(Point{std::string(name), 0, 0});
+    return points.back();
+  }
+  Point& find(const std::string& name) { return find(name.c_str()); }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+bool faults_armed() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const Point& p : r.points) {
+    if (p.fire_at != 0) return true;
+  }
+  return false;
+}
+
+void arm_fault(const std::string& name, std::uint64_t fire_at) {
+  if (fire_at == 0) throw std::invalid_argument("arm_fault: fire_at must be >= 1");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  Point& p = r.find(name);
+  p.fire_at = fire_at;
+  p.hits = 0;
+}
+
+int arm_faults_spec(const std::string& spec, std::uint64_t default_fire_at) {
+  int armed = 0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    std::uint64_t fire_at = default_fire_at;
+    std::string name = entry;
+    if (const std::size_t at = entry.find('@'); at != std::string::npos) {
+      name = entry.substr(0, at);
+      const std::string n = entry.substr(at + 1);
+      char* rest = nullptr;
+      fire_at = std::strtoull(n.c_str(), &rest, 10);
+      if (n.empty() || (rest != nullptr && *rest != '\0') || fire_at == 0) {
+        throw std::invalid_argument("malformed fault spec entry '" + entry +
+                                    "' (want name[@N], N >= 1)");
+      }
+    }
+    if (name.empty()) {
+      throw std::invalid_argument("malformed fault spec entry '" + entry + "'");
+    }
+    arm_fault(name, fire_at);
+    ++armed;
+  }
+  return armed;
+}
+
+int arm_faults_from_env() {
+  const char* env = std::getenv("PARMIS_FAULTS");
+  if (env == nullptr || *env == '\0') return 0;
+  return arm_faults_spec(env);
+}
+
+void disarm_faults() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+}
+
+std::uint64_t fault_hits(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.find(name).hits;
+}
+
+bool fault_fires(const char* name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  Point& p = r.find(name);
+  ++p.hits;
+  const bool fires = p.fire_at != 0 && p.hits == p.fire_at;
+  if (fires) p.fire_at = 0;  // one-shot: the retry sees the recovered world
+  return fires;
+}
+
+const std::vector<const char*>& known_fault_points() {
+  static const std::vector<const char*> points = {
+      "cg.pap",               // force pᵀAp = 0 → Breakdown (cg.cpp)
+      "cg.diverge",           // scale r by 1e30 → Diverged (cg.cpp)
+      "cg.poison",            // NaN into r → Breakdown via non-finite (cg.cpp)
+      "gmres.poison",         // NaN into the Arnoldi vector → Breakdown (gmres.cpp)
+      "chebyshev.poison",     // NaN into the residual → Breakdown (chebyshev.cpp)
+      "jacobi.zero_diag",     // treat row 0's diagonal as zero → SingularOperator
+      "lu.zero_pivot",        // force a zero pivot → SingularOperator (dense_lu.cpp)
+      "amg.setup_throw",      // throw at AMG build entry → SetupFailed (amg.cpp)
+      "amg.coarse_singular",  // coarsest LU reported singular → perturb/smoother
+      "workspace.alloc",      // std::bad_alloc from the solve workspace pool
+      "driver.poison_b",      // NaN into b before the solve (linear_solve)
+      "driver.singular_matrix",  // zero out the last row/col of A (linear_solve)
+  };
+  return points;
+}
+
+}  // namespace parmis::resilience

@@ -1,0 +1,88 @@
+#pragma once
+/// \file fault.hpp
+/// \brief `PARMIS_FAULT_POINT` — the seeded, deterministic fault-injection
+/// registry behind every detection and recovery path in the solver stack.
+///
+/// A resilience layer that is never exercised is trusted on faith: the
+/// breakdown guards, setup reroutes, and fallback chains in this PR all
+/// need *failures on demand* to be testable. A fault point is a named site
+/// in the code that normally does nothing; when the registry arms the name,
+/// the site "fires" on a chosen hit and the surrounding code injects the
+/// failure it guards against (a zero pᵀAp, a NaN residual, a singular
+/// pivot, a setup throw, an allocation failure).
+///
+///   scalar_t pap = dot(p, ap);
+///   if (PARMIS_FAULT_POINT("cg.pap")) pap = 0;   // injected breakdown
+///   if (pap == 0 || !std::isfinite(pap)) { ...   // the real guard fires
+///
+/// Contract (same shape as `PARMIS_CHECK`):
+///  - Compiled **out** unless `PARMIS_CHECK_INVARIANTS` is defined: in a
+///    release build the macro is the constant `false` with an unevaluated
+///    operand, so the injection branch is dead code with zero cost
+///    (timing-pinned by tests/test_resilience.cpp).
+///  - Deterministic: a site fires on exactly the Nth hit of its name
+///    (`arm_fault(name, N)`), counted in program order at serial points —
+///    never inside parallel regions — so the same arming produces the same
+///    failure on every backend, thread count, and schedule.
+///  - One-shot: after firing, the point is spent. A fallback chain's retry
+///    therefore sees the *recovered* world, which is exactly the scenario
+///    the chain exists for.
+///
+/// Arming comes from tests (`arm_fault`), from driver flags
+/// (`--fault=name[@N]` via `arm_faults_spec`), or from the environment
+/// (`PARMIS_FAULTS="cg.pap@3,amg.setup_throw"` via `arm_faults_from_env`) —
+/// the hook the CI fault sweep uses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parmis::resilience {
+
+/// True when any point is armed. Always callable — in a release build
+/// arming is still recorded (so drivers can parse `--fault` uniformly),
+/// but no compiled-out site ever consults the registry or fires.
+[[nodiscard]] bool faults_armed();
+
+/// Arm `name` to fire on its `fire_at`-th hit (1-based), once.
+void arm_fault(const std::string& name, std::uint64_t fire_at = 1);
+
+/// Arm a comma-separated spec `name[@N],name2[@M]`; entries without an
+/// explicit `@N` fire on hit `default_fire_at` (the "fault seed" the CI
+/// sweep varies). Returns the number of points armed; throws
+/// std::invalid_argument on a malformed entry.
+int arm_faults_spec(const std::string& spec, std::uint64_t default_fire_at = 1);
+
+/// Arm from the `PARMIS_FAULTS` environment variable (same spec syntax);
+/// returns the number of points armed (0 when unset/empty).
+int arm_faults_from_env();
+
+/// Disarm everything and reset all hit counters (test isolation).
+void disarm_faults();
+
+/// Cumulative hit count of `name` (counted only in check builds).
+[[nodiscard]] std::uint64_t fault_hits(const std::string& name);
+
+/// Called by the macro; not part of the public API surface.
+[[nodiscard]] bool fault_fires(const char* name);
+
+/// The canonical fault-point sites compiled into the library and drivers
+/// (documentation + the CI sweep's source of truth). Kept by hand next to
+/// the sites; tests assert the list is non-empty and duplicate-free.
+[[nodiscard]] const std::vector<const char*>& known_fault_points();
+
+}  // namespace parmis::resilience
+
+#ifdef PARMIS_CHECK_INVARIANTS
+
+#define PARMIS_FAULT_ENABLED 1
+#define PARMIS_FAULT_POINT(name) (::parmis::resilience::fault_fires(name))
+
+#else  // !PARMIS_CHECK_INVARIANTS
+
+#define PARMIS_FAULT_ENABLED 0
+// sizeof keeps the name syntax-checked but unevaluated; the comparison is
+// constant false, so the whole injection branch folds away in release.
+#define PARMIS_FAULT_POINT(name) (sizeof(name) == 0)
+
+#endif  // PARMIS_CHECK_INVARIANTS

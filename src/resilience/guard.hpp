@@ -1,0 +1,84 @@
+#pragma once
+/// \file guard.hpp
+/// \brief `IterGuard` — the cheap in-loop failure detector shared by the
+/// iterative solvers (CG, GMRES, Chebyshev).
+///
+/// Each outer solver calls `check(relres, iteration, info)` once per
+/// iteration, right after it computes the relative residual it already
+/// had to compute. The guard classifies, in priority order:
+///
+///   non-finite residual            → Breakdown  (solve.residual.nonfinite)
+///   growth past divergence_factor  → Diverged   (solve.residual.diverged)
+///   no progress over the window    → Stagnated  (solve.residual.stagnated)
+///   wall-clock deadline exceeded   → Timeout    (solve.deadline)
+///
+/// Everything but the deadline depends only on the (deterministic)
+/// residual sequence, so detection is bit-identical across backends,
+/// thread counts, and schedules. The deadline is the one documented
+/// wall-clock decision in the stack; solves that need determinism leave
+/// `timeout_ms` at 0.
+///
+/// Cost per iteration: a few compares and — only when a deadline is set —
+/// one steady_clock read. Nothing here touches vectors.
+
+#include <cmath>
+#include <limits>
+
+#include "obs/timer.hpp"
+#include "resilience/status.hpp"
+
+namespace parmis::resilience {
+
+class IterGuard {
+ public:
+  /// Knobs, mirrored from `solver::IterOptions` (kept as a plain struct so
+  /// this header stays below the solver layer).
+  struct Config {
+    double timeout_ms = 0;          ///< wall-clock budget; 0 = unbounded
+    double divergence_factor = 1e8; ///< relres above factor×max(1, r0) → Diverged; 0 = off
+    int stagnation_window = 0;      ///< iterations without progress → Stagnated; 0 = off
+    double stagnation_rtol = 1e-3;  ///< required relative improvement to count as progress
+  };
+
+  explicit IterGuard(const Config& cfg) : cfg_(cfg) {}
+
+  /// Inspect the residual after `iteration` completed iterations (0 = the
+  /// initial residual). Returns Converged when the solve should continue;
+  /// any other value is the failure to stop with, and `info` is filled.
+  [[nodiscard]] SolveStatus check(double relres, int iteration, FailureInfo& info) {
+    if (!std::isfinite(relres)) {
+      info = FailureInfo{"iterate", "solve.residual.nonfinite", iteration, -1};
+      return SolveStatus::Breakdown;
+    }
+    // Divergence is judged against the worse of the initial residual and 1
+    // (x0 = 0 gives r0/||b|| = 1), so a bad initial guess is not itself
+    // "divergence" but any later blowup is.
+    if (initial_ < 0) initial_ = relres < 1.0 ? 1.0 : relres;
+    if (cfg_.divergence_factor > 0 && relres > cfg_.divergence_factor * initial_) {
+      info = FailureInfo{"iterate", "solve.residual.diverged", iteration, -1};
+      return SolveStatus::Diverged;
+    }
+    if (relres < best_ * (1.0 - cfg_.stagnation_rtol)) {
+      best_ = relres;
+      best_iteration_ = iteration;
+    } else if (cfg_.stagnation_window > 0 &&
+               iteration - best_iteration_ >= cfg_.stagnation_window) {
+      info = FailureInfo{"iterate", "solve.residual.stagnated", iteration, -1};
+      return SolveStatus::Stagnated;
+    }
+    if (cfg_.timeout_ms > 0 && timer_.milliseconds() >= cfg_.timeout_ms) {
+      info = FailureInfo{"iterate", "solve.deadline", iteration, -1};
+      return SolveStatus::Timeout;
+    }
+    return SolveStatus::Converged;
+  }
+
+ private:
+  Config cfg_;
+  obs::Timer timer_;
+  double initial_ = -1;
+  double best_ = std::numeric_limits<double>::infinity();
+  int best_iteration_ = 0;
+};
+
+}  // namespace parmis::resilience

@@ -1,0 +1,39 @@
+#include "resilience/policy.hpp"
+
+#include <stdexcept>
+
+namespace parmis::resilience {
+
+FallbackPolicy FallbackPolicy::parse(const std::string& spec) {
+  FallbackPolicy policy;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    // Trim surrounding whitespace so "amg+cg, jacobi+cg" parses as intended.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) entry.erase(0, 1);
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) entry.pop_back();
+    if (entry.empty()) continue;
+    const std::size_t plus = entry.find('+');
+    if (plus == std::string::npos || plus == 0 || plus + 1 == entry.size() ||
+        entry.find('+', plus + 1) != std::string::npos) {
+      throw std::invalid_argument("malformed fallback entry '" + entry +
+                                  "' (want PREC+SOLVER, e.g. amg+cg)");
+    }
+    policy.chain.push_back(Attempt{entry.substr(0, plus), entry.substr(plus + 1)});
+  }
+  return policy;
+}
+
+std::string FallbackPolicy::to_string() const {
+  std::string out;
+  for (const Attempt& a : chain) {
+    if (!out.empty()) out += ',';
+    out += a.prec + '+' + a.solver;
+  }
+  return out;
+}
+
+}  // namespace parmis::resilience

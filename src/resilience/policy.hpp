@@ -1,0 +1,67 @@
+#pragma once
+/// \file policy.hpp
+/// \brief `FallbackPolicy` — a declarative, ordered (preconditioner,
+/// solver) fallback chain with a retry budget.
+///
+/// Recovery is configuration, not code: instead of a service hand-writing
+/// try/catch ladders around `SolveHandle::solve`, it declares a chain
+///
+///   FallbackPolicy::parse("amg+cg,jacobi+cg,none+gmres")
+///
+/// and the handle walks it — attempt 1 is `amg`-preconditioned CG; if that
+/// attempt *fails* (any `SolveStatus` but Converged: breakdown, setup
+/// throw, stagnation, ...) the next entry retries the same right-hand side
+/// from the *original* initial guess (the handle snapshots x0, so a
+/// poisoned iterate never leaks into the retry), reusing the handle's
+/// scratch. Decisions
+/// depend only on the attempt's `SolveStatus`, which is deterministic, so
+/// the same chain produces the same attempt sequence — and bit-identical
+/// final x — on every backend, thread count, and schedule. (The one
+/// documented exception: a wall-clock `timeout_ms` budget can cut the
+/// chain at a machine-dependent point.)
+///
+/// The spec grammar is `PREC+SOLVER[,PREC+SOLVER...]` using registry names
+/// (`interface.hpp`); name validation happens in
+/// `SolveHandle::set_fallback`, which sees the registries — parse itself
+/// only checks shape, so this header stays below the solver layer.
+
+#include <string>
+#include <vector>
+
+namespace parmis::resilience {
+
+/// Ordered fallback chain. Empty chain = no fallback (a solve is exactly
+/// one attempt with the handle's configured stack — the pre-policy
+/// behavior).
+struct FallbackPolicy {
+  struct Attempt {
+    std::string prec;    ///< preconditioner registry name ("none", "jacobi", "amg", ...)
+    std::string solver;  ///< solver registry name ("cg", "gmres", "chebyshev")
+  };
+
+  std::vector<Attempt> chain;
+
+  /// Retry budget: at most this many attempts run even if the chain is
+  /// longer. 0 (default) = the whole chain.
+  int max_attempts = 0;
+
+  [[nodiscard]] bool empty() const { return chain.empty(); }
+
+  /// Attempts that may actually run: min(chain length, budget).
+  [[nodiscard]] std::size_t budget() const {
+    const std::size_t n = chain.size();
+    return max_attempts > 0 && static_cast<std::size_t>(max_attempts) < n
+               ? static_cast<std::size_t>(max_attempts)
+               : n;
+  }
+
+  /// Parse `"PREC+SOLVER,PREC+SOLVER,..."` (e.g.
+  /// `"amg+cg,jacobi+cg,none+gmres"`). Throws std::invalid_argument on a
+  /// malformed entry. Registry names are NOT validated here.
+  [[nodiscard]] static FallbackPolicy parse(const std::string& spec);
+
+  /// Round-trip back to the spec string ("" for an empty chain).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace parmis::resilience

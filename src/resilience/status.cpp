@@ -1,0 +1,30 @@
+#include "resilience/status.hpp"
+
+namespace parmis::resilience {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::MaxIterations: return "max_iterations";
+    case SolveStatus::Breakdown: return "breakdown";
+    case SolveStatus::Diverged: return "diverged";
+    case SolveStatus::Stagnated: return "stagnated";
+    case SolveStatus::Timeout: return "timeout";
+    case SolveStatus::SetupFailed: return "setup_failed";
+    case SolveStatus::SingularOperator: return "singular_operator";
+    case SolveStatus::NonFiniteInput: return "non_finite_input";
+  }
+  return "?";
+}
+
+const std::vector<SolveStatus>& all_statuses() {
+  static const std::vector<SolveStatus> statuses = {
+      SolveStatus::Converged,       SolveStatus::MaxIterations, SolveStatus::Breakdown,
+      SolveStatus::Diverged,        SolveStatus::Stagnated,     SolveStatus::Timeout,
+      SolveStatus::SetupFailed,     SolveStatus::SingularOperator,
+      SolveStatus::NonFiniteInput,
+  };
+  return statuses;
+}
+
+}  // namespace parmis::resilience

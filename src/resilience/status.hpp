@@ -1,0 +1,95 @@
+#pragma once
+/// \file status.hpp
+/// \brief The solver failure taxonomy: `SolveStatus`, the structured
+/// `FailureInfo` diagnostic, and the `SolveError` exception that carries
+/// both through setup paths.
+///
+/// Before this layer a failed solve had exactly one bit of signal
+/// (`IterResult::converged == false`) and a failed *setup* threw a raw
+/// `std::runtime_error` out of the hot path. Production serving needs the
+/// same contract-hardening the `parmis::check` layer applied to structure,
+/// applied to numerics and control flow: every failure is *classified*
+/// (one enum the whole stack shares), *located* (stage, iteration,
+/// offending index), and *named* (a stable dotted reason id tests and
+/// dashboards can match on, mirroring the `check::Result` invariant ids).
+///
+/// The taxonomy is deliberately closed and small — one value per
+/// *recovery-relevant* failure class, because `FallbackPolicy`
+/// (policy.hpp) makes decisions on it and decision tables over open sets
+/// do not stay deterministic:
+///
+///   Converged         reached tolerance
+///   MaxIterations     ran out of iterations, residual finite
+///   Breakdown         a Krylov recurrence denominator hit zero/non-finite
+///   Diverged          residual grew past the divergence factor
+///   Stagnated         no relative progress over the stagnation window
+///   Timeout           wall-clock deadline hit; best iterate returned
+///   SetupFailed       preconditioner/workspace setup threw
+///   SingularOperator  zero diagonal or singular pivot during setup
+///   NonFiniteInput    b or x0 contained NaN/Inf on entry
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace parmis::resilience {
+
+/// Outcome classification of one solve attempt (or of a whole fallback
+/// chain: the chain reports its final attempt's status).
+enum class SolveStatus : std::uint8_t {
+  Converged = 0,
+  MaxIterations,
+  Breakdown,
+  Diverged,
+  Stagnated,
+  Timeout,
+  SetupFailed,
+  SingularOperator,
+  NonFiniteInput,
+};
+
+/// Stable display name ("converged", "max_iterations", ...): the spelling
+/// used in `--json` output, CI assertions, and error messages.
+[[nodiscard]] const char* to_string(SolveStatus s);
+
+/// Every taxonomy value, declaration order (drivers and the CI fault sweep
+/// iterate this to assert coverage).
+[[nodiscard]] const std::vector<SolveStatus>& all_statuses();
+
+/// Anything but Converged counts as a failure for fallback purposes.
+[[nodiscard]] constexpr bool is_failure(SolveStatus s) {
+  return s != SolveStatus::Converged;
+}
+
+/// Structured diagnostic attached to a failed attempt. All strings are
+/// pointers to string literals so recording a failure never allocates —
+/// the warm-solve zero-allocation contract covers failing solves too.
+struct FailureInfo {
+  const char* stage = "";   ///< "input" | "setup" | "iterate"
+  const char* reason = "";  ///< stable dotted id, e.g. "solver.cg.breakdown.pap"
+  int iteration = -1;       ///< iteration the failure was detected at (-1: n/a)
+  std::int64_t index = -1;  ///< offending row/column/entry (-1: n/a)
+
+  void clear() { *this = FailureInfo{}; }
+};
+
+/// Thrown by setup-stage code (diagonal inversion, dense LU, AMG build)
+/// instead of a raw `std::runtime_error`: carries the taxonomy status and
+/// the located diagnostic so `SolveHandle` can turn the throw into a
+/// classified attempt outcome. Derives from `std::runtime_error`, so
+/// pre-taxonomy catch sites keep working unchanged.
+class SolveError : public std::runtime_error {
+ public:
+  SolveError(SolveStatus status, const FailureInfo& info, const std::string& what)
+      : std::runtime_error(what), status_(status), info_(info) {}
+
+  [[nodiscard]] SolveStatus status() const { return status_; }
+  [[nodiscard]] const FailureInfo& info() const { return info_; }
+
+ private:
+  SolveStatus status_;
+  FailureInfo info_;
+};
+
+}  // namespace parmis::resilience

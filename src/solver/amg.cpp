@@ -11,6 +11,8 @@
 #include "graph/spgemm.hpp"
 #include "graph/spmv.hpp"
 #include "parallel/parallel_for.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/status.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/serial_aggregation.hpp"
 #include "solver/vector_ops.hpp"
@@ -103,6 +105,14 @@ multilevel::Options builder_options(const AmgOptions& opts) {
 }  // namespace
 
 AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts) {
+  // Injected setup failure (check builds): the classified throw a fallback
+  // chain reroutes into a SetupFailed attempt record.
+  if (PARMIS_FAULT_POINT("amg.setup_throw")) {
+    throw resilience::SolveError(
+        resilience::SolveStatus::SetupFailed,
+        resilience::FailureInfo{"setup", "setup.amg.injected_fault", -1, -1},
+        "amg: injected setup failure (fault point amg.setup_throw)");
+  }
   AmgHierarchy h;
   h.opts_ = opts;
   Timer setup_timer;
@@ -127,6 +137,47 @@ ordinal_t direct_limit(const AmgOptions& opts) {
   return opts.direct_size_limit > 0 ? opts.direct_size_limit : 4 * opts.coarse_size;
 }
 
+/// Factor the coarsest operator resiliently. A singular coarsest block
+/// (near-null-space aliasing on a singular fine operator, or the injected
+/// `amg.coarse_singular` fault) used to throw a raw runtime_error out of
+/// the whole setup; instead the bottom solve degrades in two steps:
+/// plain LU → LU of a diagonally perturbed copy → smoother-only bottom.
+/// `bottom` names the variant chosen ("lu", "lu-perturbed", "smoother").
+std::unique_ptr<DenseLU> factor_bottom(const graph::CrsMatrix& a, const char*& bottom) {
+  if (!PARMIS_FAULT_POINT("amg.coarse_singular")) {
+    try {
+      auto lu = std::make_unique<DenseLU>(a);
+      bottom = "lu";
+      return lu;
+    } catch (const resilience::SolveError&) {
+      // fall through to the perturbed retry
+    }
+  }
+  // Shift the diagonal by a tiny multiple of the largest entry: exact for
+  // the well-posed part of the operator, well-posed for the null space.
+  graph::CrsMatrix shifted = a;
+  scalar_t amax = 0;
+  for (const scalar_t v : shifted.values) amax = std::max(amax, std::abs(v));
+  const scalar_t shift = (amax > 0 ? amax : scalar_t{1}) * scalar_t{1e-10};
+  for (ordinal_t i = 0; i < shifted.num_rows; ++i) {
+    for (offset_t j = shifted.row_map[i]; j < shifted.row_map[i + 1]; ++j) {
+      if (shifted.entries[static_cast<std::size_t>(j)] == i) {
+        shifted.values[static_cast<std::size_t>(j)] += shift;
+      }
+    }
+  }
+  try {
+    auto lu = std::make_unique<DenseLU>(shifted);
+    bottom = "lu-perturbed";
+    return lu;
+  } catch (const resilience::SolveError&) {
+    // Rows with no stored diagonal cannot be fixed by a shift; bottom out
+    // with smoother sweeps, which never factor anything.
+    bottom = "smoother";
+    return nullptr;
+  }
+}
+
 }  // namespace
 
 void AmgHierarchy::rebuild(const graph::CrsMatrix& a_fine) {
@@ -143,7 +194,7 @@ void AmgHierarchy::rebuild(const graph::CrsMatrix& a_fine) {
       chebyshev_[i] = std::make_unique<ChebyshevSmoother>(levels[i].a, opts_.chebyshev_degree);
     }
   }
-  if (coarse_lu_) coarse_lu_ = std::make_unique<DenseLU>(levels.back().a);
+  if (coarse_lu_) coarse_lu_ = factor_bottom(levels.back().a, bottom_solve_);
   setup_seconds_ = setup_timer.seconds();
 }
 
@@ -159,10 +210,14 @@ void AmgHierarchy::finish_setup() {
   // Bottom solve: a dense LU when the coarsest level is genuinely coarse;
   // when an early stop (rate floor, complexity cap, stall) left it large,
   // factoring it densely would be the new blowup — bottom out with
-  // smoother sweeps instead.
-  coarse_lu_ = levels.back().a.num_rows <= direct_limit(opts_)
-                   ? std::make_unique<DenseLU>(levels.back().a)
-                   : nullptr;
+  // smoother sweeps instead. The factorization itself degrades through
+  // `factor_bottom` when the coarsest block is singular.
+  if (levels.back().a.num_rows <= direct_limit(opts_)) {
+    coarse_lu_ = factor_bottom(levels.back().a, bottom_solve_);
+  } else {
+    coarse_lu_ = nullptr;
+    bottom_solve_ = "smoother";
+  }
 
   // V-cycle workspaces, including the smoother scratch: apply()/vcycle()
   // never allocate.

@@ -133,6 +133,13 @@ class AmgHierarchy final : public Preconditioner {
     return handle_.build_stats();
   }
 
+  /// Which bottom-solve variant setup chose: "lu" (plain dense LU),
+  /// "lu-perturbed" (LU of a diagonally shifted copy after the plain
+  /// factorization found the coarsest block singular), or "smoother"
+  /// (sweeps only — coarsest level too large, or even the shifted
+  /// factorization failed).
+  [[nodiscard]] const char* bottom_solve() const { return bottom_solve_; }
+
  private:
   void cycle_level(std::size_t lvl, std::span<const scalar_t> b, std::span<scalar_t> x) const;
   void smooth_level(std::size_t lvl, std::span<const scalar_t> rhs,
@@ -144,6 +151,7 @@ class AmgHierarchy final : public Preconditioner {
   multilevel::HierarchyHandle handle_;
   std::vector<std::unique_ptr<ChebyshevSmoother>> chebyshev_;  ///< per level iff Chebyshev
   std::unique_ptr<DenseLU> coarse_lu_;
+  const char* bottom_solve_ = "smoother";  ///< see bottom_solve()
   AmgOptions opts_;
   double aggregation_seconds_{0};
   double setup_seconds_{0};

@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "graph/spmv.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/guard.hpp"
 #include "solver/interface.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -41,10 +44,15 @@ void cg_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<
   copy(z, p);
   scalar_t rz = dot(r, z);
 
+  resilience::IterGuard guard(opts.guard_config());
   double relres = norm2(r) / bnorm;
   if (opts.track_history) result.history.push_back(relres);
+  // Guard the initial residual too: a deadline of ~0 or a non-finite r0
+  // must not enter the loop at all.
+  resilience::SolveStatus stop = guard.check(relres, 0, result.failure);
 
-  for (int it = 0; it < opts.max_iterations; ++it) {
+  for (int it = 0; stop == resilience::SolveStatus::Converged && it < opts.max_iterations;
+       ++it) {
     if (relres <= opts.tolerance) {
       result.converged = true;
       break;
@@ -52,11 +60,21 @@ void cg_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<
     obs::Span iter_span("solver.iteration");
     iter_span.arg("iteration", it);
     graph::spmv(a, p, ap);
-    const scalar_t pap = dot(p, ap);
-    if (pap == 0 || !std::isfinite(pap)) break;  // breakdown
+    scalar_t pap = dot(p, ap);
+    if (PARMIS_FAULT_POINT("cg.pap")) pap = 0;  // injected Krylov breakdown
+    if (pap == 0 || !std::isfinite(pap)) {
+      result.failure = resilience::FailureInfo{"iterate", "solver.cg.breakdown.pap", it, -1};
+      stop = resilience::SolveStatus::Breakdown;
+      break;
+    }
     const scalar_t alpha = rz / pap;
     axpby(alpha, p, 1.0, x);
     axpby(-alpha, ap, 1.0, r);
+    // Injected residual faults (check builds): blow r up past the
+    // divergence factor, or poison it with a NaN — the *real* guards below
+    // must catch both.
+    if (PARMIS_FAULT_POINT("cg.diverge")) scale(r, 1e30);
+    if (PARMIS_FAULT_POINT("cg.poison")) r[0] = std::numeric_limits<scalar_t>::quiet_NaN();
     precondition(r, z);
     const scalar_t rz_next = dot(r, z);
     const scalar_t beta = rz_next / rz;
@@ -66,8 +84,14 @@ void cg_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<
     ++result.iterations;
     relres = norm2(r) / bnorm;
     if (opts.track_history) result.history.push_back(relres);
+    stop = guard.check(relres, result.iterations, result.failure);
   }
+  if (stop != resilience::SolveStatus::Converged) result.status = stop;
   result.converged = result.converged || relres <= opts.tolerance;
+  if (result.converged) {
+    result.status = resilience::SolveStatus::Converged;
+    result.failure.clear();
+  }
   result.relative_residual = relres;
 }
 

@@ -2,10 +2,13 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "graph/spmv.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/guard.hpp"
 #include "solver/interface.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/vector_ops.hpp"
@@ -135,21 +138,33 @@ void chebyshev_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
   axpby(1.0, b, -1.0, resid);  // resid = b - A x
   double relres = norm2(resid) / bnorm;
   if (opts.track_history) result.history.push_back(relres);
+  resilience::IterGuard guard(opts.guard_config());
+  resilience::SolveStatus stop = guard.check(relres, 0, result.failure);
 
-  while (result.iterations < opts.max_iterations && relres > opts.tolerance) {
+  while (stop == resilience::SolveStatus::Converged &&
+         result.iterations < opts.max_iterations && relres > opts.tolerance) {
     obs::Span iter_span("solver.iteration");
     iter_span.arg("iteration", result.iterations);
     ws.chebyshev->smooth(a, b, x, r, d, ad);
+    // Injected NaN (check builds): surfaces in the recomputed residual
+    // below, which the guard classifies as Breakdown.
+    if (PARMIS_FAULT_POINT("chebyshev.poison"))
+      x[0] = std::numeric_limits<scalar_t>::quiet_NaN();
     ++result.iterations;
     graph::spmv(a, x, resid);
     axpby(1.0, b, -1.0, resid);
     relres = norm2(resid) / bnorm;
     if (opts.track_history) result.history.push_back(relres);
-    if (!std::isfinite(relres)) break;  // divergence guard
+    stop = guard.check(relres, result.iterations, result.failure);
   }
 
+  if (stop != resilience::SolveStatus::Converged) result.status = stop;
   result.relative_residual = relres;
   result.converged = relres <= opts.tolerance;
+  if (result.converged) {
+    result.status = resilience::SolveStatus::Converged;
+    result.failure.clear();
+  }
 }
 
 }  // namespace parmis::solver

@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <cmath>
-#include <stdexcept>
+#include <string>
+
+#include "resilience/fault.hpp"
+#include "resilience/status.hpp"
 
 namespace parmis::solver {
 
@@ -32,7 +35,14 @@ DenseLU::DenseLU(const graph::CrsMatrix& a) : n_(a.num_rows) {
         piv = i;
       }
     }
-    if (best == 0) throw std::runtime_error("DenseLU: singular matrix");
+    if (k == 0 && PARMIS_FAULT_POINT("lu.zero_pivot")) best = 0;  // injected singular pivot
+    if (best == 0 || !std::isfinite(best)) {
+      throw resilience::SolveError(
+          resilience::SolveStatus::SingularOperator,
+          resilience::FailureInfo{"setup", "setup.lu.singular_pivot", -1,
+                                  static_cast<std::int64_t>(k)},
+          "DenseLU: singular matrix (no usable pivot in column " + std::to_string(k) + ")");
+    }
     if (piv != k) {
       for (ordinal_t j = 0; j < n_; ++j) {
         std::swap(lu_[static_cast<std::size_t>(k) * n + static_cast<std::size_t>(j)],

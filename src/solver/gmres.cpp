@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "graph/spmv.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/guard.hpp"
 #include "solver/interface.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -58,8 +61,15 @@ void gmres_core(const graph::CrsMatrix& a, std::span<const scalar_t> b,
     relres = norm2(w) / bnorm;
   }
   if (opts.track_history) result.history.push_back(relres);
+  resilience::IterGuard guard(opts.guard_config());
+  resilience::SolveStatus stop = guard.check(relres, 0, result.failure);
+  // Set when a guard or breakdown stops the solve mid-cycle: the pending
+  // partial-cycle x update is skipped, leaving x at the last completed
+  // restart's (finite) iterate instead of folding in garbage.
+  bool abort_cycle = false;
 
-  while (result.iterations < opts.max_iterations && relres > opts.tolerance) {
+  while (stop == resilience::SolveStatus::Converged &&
+         result.iterations < opts.max_iterations && relres > opts.tolerance) {
     // Outer (restart) cycle: v0 = r / ||r||.
     graph::spmv(a, x, basis(0));
     axpby(1.0, b, -1.0, basis(0));
@@ -79,6 +89,9 @@ void gmres_core(const graph::CrsMatrix& a, std::span<const scalar_t> b,
       // Arnoldi: w = A M^{-1} v_k, orthogonalized against the basis.
       apply_right_prec(basis(k), tmp);
       graph::spmv(a, tmp, w);
+      // Injected NaN (check builds): propagates through the Hessenberg
+      // column into the Givens residual estimate the guard inspects.
+      if (PARMIS_FAULT_POINT("gmres.poison")) w[0] = std::numeric_limits<scalar_t>::quiet_NaN();
       for (int i = 0; i <= k; ++i) {
         h(i, k) = dot(w, basis(i));
         axpby(-h(i, k), basis(i), 1.0, w);
@@ -99,13 +112,18 @@ void gmres_core(const graph::CrsMatrix& a, std::span<const scalar_t> b,
         h(i, k) = t;
       }
       const scalar_t denom = std::hypot(h(k, k), h(k + 1, k));
-      if (denom == 0) {
-        ws.cs[static_cast<std::size_t>(k)] = 1;
-        ws.sn[static_cast<std::size_t>(k)] = 0;
-      } else {
-        ws.cs[static_cast<std::size_t>(k)] = h(k, k) / denom;
-        ws.sn[static_cast<std::size_t>(k)] = h(k + 1, k) / denom;
+      if (denom == 0 || !std::isfinite(denom)) {
+        // A zero column of the rotated Hessenberg means the triangular
+        // solve would divide by h(k,k) = 0; previously this silently
+        // produced NaN. Classify and stop instead of updating x.
+        result.failure = resilience::FailureInfo{"iterate", "solver.gmres.breakdown.hessenberg",
+                                                 result.iterations, -1};
+        stop = resilience::SolveStatus::Breakdown;
+        abort_cycle = true;
+        break;
       }
+      ws.cs[static_cast<std::size_t>(k)] = h(k, k) / denom;
+      ws.sn[static_cast<std::size_t>(k)] = h(k + 1, k) / denom;
       h(k, k) = ws.cs[static_cast<std::size_t>(k)] * h(k, k) +
                 ws.sn[static_cast<std::size_t>(k)] * h(k + 1, k);
       h(k + 1, k) = 0;
@@ -121,7 +139,13 @@ void gmres_core(const graph::CrsMatrix& a, std::span<const scalar_t> b,
         ++k;
         break;
       }
+      stop = guard.check(relres, result.iterations, result.failure);
+      if (stop != resilience::SolveStatus::Converged) {
+        abort_cycle = true;
+        break;
+      }
     }
+    if (abort_cycle) break;
 
     // Solve the k x k triangular system and update x += M^{-1} (V y).
     for (int i = k - 1; i >= 0; --i) {
@@ -138,14 +162,22 @@ void gmres_core(const graph::CrsMatrix& a, std::span<const scalar_t> b,
     apply_right_prec(w, tmp);
     axpby(1.0, tmp, 1.0, x);
 
-    // Recompute the true residual after the restart update.
+    // Recompute the true residual after the restart update, and guard it:
+    // a restart whose true residual disagrees badly with the Givens
+    // estimate (divergence, stagnation across restarts) stops here.
     graph::spmv(a, x, w);
     axpby(1.0, b, -1.0, w);
     relres = norm2(w) / bnorm;
+    if (relres > opts.tolerance) stop = guard.check(relres, result.iterations, result.failure);
   }
 
+  if (stop != resilience::SolveStatus::Converged) result.status = stop;
   result.relative_residual = relres;
   result.converged = relres <= opts.tolerance;
+  if (result.converged) {
+    result.status = resilience::SolveStatus::Converged;
+    result.failure.clear();
+  }
 }
 
 }  // namespace

@@ -1,9 +1,14 @@
 #include "solver/handle.hpp"
 
+#include <new>
+#include <stdexcept>
+
 #include "check/alloc_guard.hpp"
 #include "check/check.hpp"
 #include "check/validate.hpp"
+#include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "solver/vector_ops.hpp"
 
 namespace parmis::solver {
 
@@ -28,6 +33,20 @@ void SolveHandle::set_preconditioner(const std::string& name) {
 void SolveHandle::set_context(const Context& ctx) {
   ctx_ = ctx;
   invalidate();
+}
+
+void SolveHandle::set_fallback(const std::string& spec) {
+  set_fallback(resilience::FallbackPolicy::parse(spec));
+}
+
+void SolveHandle::set_fallback(resilience::FallbackPolicy policy) {
+  // Validate every registry name now, where the registries are visible —
+  // a typo should fail at configuration time, not mid-chain.
+  for (const resilience::FallbackPolicy::Attempt& entry : policy.chain) {
+    (void)find_solver(entry.solver);
+    (void)find_preconditioner(entry.prec);
+  }
+  fallback_ = std::move(policy);
 }
 
 void SolveHandle::invalidate() {
@@ -73,6 +92,73 @@ void SolveHandle::setup(const graph::CrsMatrix& a) {
   ensure_preconditioner(a);
 }
 
+resilience::SolveStatus SolveHandle::run_attempt(const graph::CrsMatrix& a,
+                                                 std::span<const scalar_t> b,
+                                                 std::span<scalar_t> x, const IterOptions& opts,
+                                                 const std::string& sname,
+                                                 const std::string& pname,
+                                                 bool& used_transient) {
+  obs::Timer attempt_timer;
+  resilience::SolveStatus status = resilience::SolveStatus::MaxIterations;
+  resilience::FailureInfo failure;
+  bool ran = false;
+  try {
+    // Resolve the solver: the handle's cached instance when the name
+    // matches, a transient otherwise (chain entries diverging from the
+    // handle's configuration).
+    std::unique_ptr<Solver> transient_solver;
+    Solver* solver = nullptr;
+    if (sname == solver_name_) {
+      ensure_solver();
+      solver = solver_.get();
+    } else {
+      transient_solver = make_solver(sname);
+      solver = transient_solver.get();
+      used_transient = true;
+    }
+    // Solvers that ignore preconditioning ("chebyshev") skip the build — an
+    // AMG setup nobody applies is the most expensive no-op in the stack.
+    std::unique_ptr<Preconditioner> transient_prec;
+    const Preconditioner* prec = nullptr;
+    if (solver->uses_preconditioner() && pname != "none") {
+      if (pname == prec_name_) {
+        ensure_preconditioner(a);
+        prec = prec_.get();
+      } else {
+        PARMIS_SPAN("solver.prec_setup.transient");
+        transient_prec = make_preconditioner(pname, a, prec_opts_, ctx_);
+        prec = transient_prec.get();
+        used_transient = true;
+        ++stats_.prec_setups;
+      }
+    }
+    solver->solve(a, b, x, opts, prec, ws_, result_);
+    status = result_.status;
+    failure = result_.failure;
+    ran = true;
+  } catch (const check::CheckError&) {
+    throw;  // invariant violations are bugs, not solve outcomes
+  } catch (const resilience::SolveError& e) {
+    status = e.status();
+    failure = e.info();
+  } catch (const std::bad_alloc&) {
+    status = resilience::SolveStatus::SetupFailed;
+    failure = resilience::FailureInfo{"setup", "setup.allocation", -1, -1};
+  } catch (const std::exception&) {
+    status = resilience::SolveStatus::SetupFailed;
+    failure = resilience::FailureInfo{"setup", "setup.exception", -1, -1};
+  }
+  AttemptInfo& rec = result_.attempts.emplace_back();
+  rec.solver = sname;
+  rec.prec = pname;
+  rec.status = status;
+  rec.failure = failure;
+  rec.iterations = ran ? result_.iterations : 0;
+  rec.relative_residual = ran ? result_.relative_residual : 0.0;
+  rec.seconds = attempt_timer.seconds();
+  return status;
+}
+
 const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
                                      std::span<scalar_t> x, const IterOptions& opts) {
   const Context ctx = opts.ctx ? *opts.ctx : ctx_;
@@ -81,30 +167,106 @@ const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const 
                                       .require_square = true}));
   PARMIS_CHECK(b.size() == static_cast<std::size_t>(a.num_rows));
   PARMIS_CHECK(x.size() == static_cast<std::size_t>(a.num_rows));
-  ensure_solver();
-  // Solvers that ignore preconditioning ("chebyshev") skip the build — an
-  // AMG setup nobody applies is the most expensive no-op in the stack.
-  if (solver_->uses_preconditioner()) ensure_preconditioner(a);
+  result_.attempts.clear();  // keeps capacity: warm solves stay allocation-free
+
+  // Up-front input validation: a NaN/Inf in b or the initial guess would
+  // otherwise surface as a confusing mid-iteration Breakdown (or worse,
+  // converge the zero-rhs early-out against a poisoned norm).
+  std::int64_t bad = check::first_non_finite(b);
+  const char* reason = "input.b.nonfinite";
+  if (bad < 0) {
+    bad = check::first_non_finite(x);
+    reason = "input.x0.nonfinite";
+  }
+  if (bad >= 0) {
+    result_.iterations = 0;
+    result_.relative_residual = 0.0;
+    result_.converged = false;
+    result_.history.clear();
+    result_.status = resilience::SolveStatus::NonFiniteInput;
+    result_.failure = resilience::FailureInfo{"input", reason, -1, bad};
+    ++stats_.solves;
+    ++stats_.failures;
+    return result_;
+  }
+
   const std::size_t bytes_before = scratch_bytes();
   const std::uint64_t grows_before = ws_.grow_events;
   const std::uint64_t setups_before = stats_.prec_setups;
   obs::Span span("solver.solve");
   span.arg("rows", a.num_rows);
+
+  // A configured fallback chain replaces the handle's solver/prec
+  // selection; retries restart from the original initial guess so a
+  // poisoned iterate never leaks into the next attempt.
+  const bool chained = !fallback_.empty();
+  const std::size_t budget = chained ? fallback_.budget() : 1;
+  if (chained) {
+    ws_.ensure_small(x0_, x.size());
+    copy(x, std::span<scalar_t>(x0_));
+  }
+
+  obs::Timer chain_timer;
+  bool used_transient = false;
+  std::uint64_t total_iterations = 0;
   check::AllocGuard guard;
-  solver_->solve(a, b, x, opts, prec_.get(), ws_, result_);
+  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    const std::string& sname = chained ? fallback_.chain[attempt].solver : solver_name_;
+    const std::string& pname = chained ? fallback_.chain[attempt].prec : prec_name_;
+    IterOptions aopts = opts;
+    if (opts.timeout_ms > 0) {
+      // The wall-clock budget covers the whole chain: each attempt gets
+      // what is left, and an exhausted budget synthesizes a Timeout
+      // attempt without paying for another setup.
+      const double left = opts.timeout_ms - chain_timer.milliseconds();
+      if (left <= 0) {
+        AttemptInfo& rec = result_.attempts.emplace_back();
+        rec.solver = sname;
+        rec.prec = pname;
+        rec.status = resilience::SolveStatus::Timeout;
+        rec.failure = resilience::FailureInfo{"setup", "solve.deadline.chain", -1, -1};
+        rec.iterations = 0;
+        rec.relative_residual = 0.0;
+        rec.seconds = 0.0;
+        break;
+      }
+      aopts.timeout_ms = left;
+    }
+    if (attempt > 0) {
+      copy(std::span<const scalar_t>(x0_), x);
+      ++stats_.fallback_attempts;
+    }
+    const resilience::SolveStatus s = run_attempt(a, b, x, aopts, sname, pname, used_transient);
+    total_iterations += static_cast<std::uint64_t>(result_.attempts.back().iterations);
+    if (s == resilience::SolveStatus::Converged) break;
+  }
+
+  const AttemptInfo& last = result_.attempts.back();
+  result_.status = last.status;
+  result_.failure = last.failure;
+  result_.converged = last.status == resilience::SolveStatus::Converged;
+  result_.iterations = last.iterations;
+  result_.relative_residual = last.relative_residual;
+
   span.arg("iterations", result_.iterations);
   ++stats_.solves;
-  stats_.iterations += static_cast<std::uint64_t>(result_.iterations);
-  if (result_.converged) ++stats_.converged;
+  stats_.iterations += total_iterations;
+  if (result_.converged) {
+    ++stats_.converged;
+  } else {
+    ++stats_.failures;
+  }
   // grow_events additionally catches allocations capacity_bytes() cannot
   // see (the Chebyshev smoother rebuild).
   const bool grew = scratch_bytes() > bytes_before || ws_.grow_events > grows_before;
   if (grew) ++stats_.scratch_grows;
   // Warm-solve zero-allocation contract, enforced at the allocator: once
   // scratch and preconditioner are warm, a repeat solve must not allocate.
-  // (Tracing is exempt: obs event blocks allocate, orthogonally to the
-  // solver path.)
+  // Exempt: tracing (obs event blocks allocate orthogonally), transient
+  // chain solvers/preconditioners, and failing solves (exception machinery
+  // and error messages allocate — the contract covers the happy path).
   PARMIS_CHECK_MSG(grew || stats_.prec_setups > setups_before || obs::tracing_enabled() ||
+                       used_transient || resilience::is_failure(result_.status) ||
                        guard.allocations() == 0,
                    "warm solve allocated");
   // A non-converged solve may legitimately hold a diverged iterate; only a
@@ -115,7 +277,8 @@ const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const 
 }
 
 std::size_t SolveHandle::scratch_bytes() const {
-  return ws_.capacity_bytes() + result_.history.capacity() * sizeof(double);
+  return ws_.capacity_bytes() + result_.history.capacity() * sizeof(double) +
+         x0_.capacity() * sizeof(scalar_t) + result_.attempts.capacity() * sizeof(AttemptInfo);
 }
 
 }  // namespace parmis::solver

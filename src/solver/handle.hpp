@@ -27,8 +27,10 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "graph/crs.hpp"
+#include "resilience/policy.hpp"
 #include "solver/interface.hpp"
 
 namespace parmis::solver {
@@ -41,6 +43,8 @@ struct SolveStats {
   std::uint64_t converged = 0;      ///< solves that reached tolerance
   std::uint64_t prec_setups = 0;    ///< preconditioner (re)builds
   std::uint64_t scratch_grows = 0;  ///< solve() calls that grew scratch capacity
+  std::uint64_t failures = 0;           ///< solves whose final status was a failure
+  std::uint64_t fallback_attempts = 0;  ///< extra chain attempts beyond the first
 };
 
 /// Reusable solver handle: solver + preconditioner selected by registry
@@ -77,11 +81,31 @@ class SolveHandle {
   /// dropped: setup may be context-dependent.
   void set_context(const Context& ctx);
 
+  /// Declare a fallback chain from a `"PREC+SOLVER,..."` spec (e.g.
+  /// `"amg+cg,jacobi+cg,none+gmres"`). While a chain is set it *replaces*
+  /// the handle's solver/preconditioner selection: attempt 1 is the chain's
+  /// first entry; each failed attempt (any status but Converged) restores
+  /// the original initial guess and tries the next entry, within the
+  /// chain's retry budget and the solve's `timeout_ms`. Entries naming the
+  /// handle's configured solver/preconditioner reuse its cached state;
+  /// other entries build transient ones per attempt. Throws
+  /// std::invalid_argument on a malformed spec and std::out_of_range on a
+  /// name not in the registries. An empty spec clears the chain.
+  void set_fallback(const std::string& spec);
+  void set_fallback(resilience::FallbackPolicy policy);
+  [[nodiscard]] const resilience::FallbackPolicy& fallback() const { return fallback_; }
+
   /// Solve `a x = b` from the given initial `x` with the configured stack.
   /// Builds (or reuses) the preconditioner for `a`, pins the execution
   /// context (`opts.ctx` if set, else the handle's), runs the solver on
   /// handle-owned scratch, and updates the telemetry counters. The returned
   /// reference stays valid until the next solve on this handle.
+  ///
+  /// Resilience contract: `b`/`x` are validated for finiteness up front
+  /// (`status == NonFiniteInput`, no attempt runs); every attempt's outcome
+  /// lands in `result().attempts`; a configured fallback chain is walked as
+  /// documented on `set_fallback`. A failing solve never throws for
+  /// taxonomy-classified reasons — inspect `result().status`.
   const IterResult& solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
                           std::span<scalar_t> x, const IterOptions& opts = {});
 
@@ -106,6 +130,12 @@ class SolveHandle {
  private:
   void ensure_solver();
   void ensure_preconditioner(const graph::CrsMatrix& a);
+  /// One chain attempt: resolve solver/prec (cached or transient), run,
+  /// classify throws, and append the attempt record. Returns its status.
+  resilience::SolveStatus run_attempt(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                                      std::span<scalar_t> x, const IterOptions& opts,
+                                      const std::string& sname, const std::string& pname,
+                                      bool& used_transient);
 
   std::string solver_name_ = "cg";
   std::string prec_name_ = "none";
@@ -117,6 +147,9 @@ class SolveHandle {
   const graph::CrsMatrix* prec_matrix_ = nullptr;  ///< identity of the cached setup
   ordinal_t prec_rows_ = 0;
   offset_t prec_entries_ = 0;
+
+  resilience::FallbackPolicy fallback_;
+  std::vector<scalar_t> x0_;  ///< initial-guess snapshot for chain retries
 
   SolveWorkspace ws_;
   IterResult result_;

@@ -1,7 +1,9 @@
 #include "solver/interface.hpp"
 
+#include <new>
 #include <stdexcept>
 
+#include "resilience/fault.hpp"
 #include "solver/cluster_gs.hpp"
 #include "solver/gauss_seidel.hpp"
 #include "solver/jacobi.hpp"
@@ -12,6 +14,9 @@ namespace parmis::solver {
 // ------------------------------------------------------------- workspace
 
 std::span<scalar_t> SolveWorkspace::vec(std::size_t slot, std::size_t n) {
+  // Injected allocation failure (check builds): exercises the chain's
+  // bad_alloc → SetupFailed rerouting without actually exhausting memory.
+  if (PARMIS_FAULT_POINT("workspace.alloc")) throw std::bad_alloc();
   if (pool.size() <= slot) {
     pool.resize(slot + 1);
     ++grow_events;
@@ -46,6 +51,12 @@ bool begin_solve(const IterOptions& opts, std::span<const scalar_t> b, std::span
   result.iterations = 0;
   result.relative_residual = 0.0;
   result.converged = false;
+  // Default assumption: the loop runs to its iteration budget. Every other
+  // exit (convergence, breakdown, guard trip) overwrites this. `attempts`
+  // is deliberately NOT touched — it is owned by SolveHandle, which runs
+  // several solver calls per chain into the same result.
+  result.status = resilience::SolveStatus::MaxIterations;
+  result.failure.clear();
   result.history.clear();  // keeps capacity: warm tracked solves stay allocation-free
   if (opts.track_history) {
     ws.ensure_small(result.history, static_cast<std::size_t>(opts.max_iterations) + 1);
@@ -55,6 +66,7 @@ bool begin_solve(const IterOptions& opts, std::span<const scalar_t> b, std::span
   if (bnorm == 0) {
     fill(x, 0.0);
     result.converged = true;
+    result.status = resilience::SolveStatus::Converged;
     return false;
   }
   return true;

@@ -1,18 +1,28 @@
 #include "solver/jacobi.hpp"
 
 #include <cassert>
-#include <stdexcept>
+#include <cmath>
 
 #include "graph/spgemm.hpp"
 #include "parallel/parallel_for.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/status.hpp"
 
 namespace parmis::solver {
 
 std::vector<scalar_t> inverted_diagonal(const graph::CrsMatrix& a) {
   std::vector<scalar_t> d = graph::extract_diagonal(a);
-  for (scalar_t& v : d) {
-    if (v == 0) throw std::runtime_error("jacobi: zero diagonal entry");
-    v = 1.0 / v;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    scalar_t v = d[i];
+    if (i == 0 && PARMIS_FAULT_POINT("jacobi.zero_diag")) v = 0;  // injected singular diagonal
+    if (v == 0 || !std::isfinite(v)) {
+      throw resilience::SolveError(
+          resilience::SolveStatus::SingularOperator,
+          resilience::FailureInfo{"setup", "setup.jacobi.zero_diagonal", -1,
+                                  static_cast<std::int64_t>(i)},
+          "jacobi: zero or non-finite diagonal entry at row " + std::to_string(i));
+    }
+    d[i] = 1.0 / v;
   }
   return d;
 }
