@@ -1,0 +1,204 @@
+/// \file serve_replay.cpp
+/// \brief Serving-runtime bench: snapshot round-trip cost, then request
+/// replay through the `serve::Service` at 1 and N worker threads, with
+/// and without a live customize swap mid-replay.
+///
+/// What the rows price:
+///  - `snapshot`: save + validated mmap open of the matrix + hierarchy —
+///    the offline setup amortization the snapshot format exists for;
+///  - `replay` rows: p50/p99/mean request latency and solves/sec per
+///    (threads, customize) cell. Every row carries `combined_digest`; the
+///    serial and threaded digests must be equal bit for bit (including
+///    the swap rows — epoch pinning decouples results from scheduling),
+///    and the bench exits nonzero if they are not, so the JSON doubles as
+///    a determinism check.
+///
+/// Emits one JSON object per cell (stdout + `--out`, default
+/// BENCH_serve_replay.json) through `obs::Report`, like every other
+/// bench.
+///
+/// Usage: bench_serve_replay [--scale=F] [--requests=N] [--threads=N]
+///                           [--pool=N] [--out=PATH]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "check/digest.hpp"
+#include "graph/generators.hpp"
+#include "multilevel/builder.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timer.hpp"
+#include "serve/replay.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+
+namespace parmis {
+namespace {
+
+struct Options {
+  double scale = 0.25;
+  std::size_t requests = 64;
+  int threads = 4;
+  std::size_t pool = 4;
+  std::string out = "BENCH_serve_replay.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (!std::strncmp(s, "--scale=", 8)) {
+      o.scale = std::atof(s + 8);
+    } else if (!std::strncmp(s, "--requests=", 11)) {
+      o.requests = static_cast<std::size_t>(std::atoll(s + 11));
+    } else if (!std::strncmp(s, "--threads=", 10)) {
+      o.threads = std::atoi(s + 10);
+    } else if (!std::strncmp(s, "--pool=", 7)) {
+      o.pool = static_cast<std::size_t>(std::atoll(s + 7));
+    } else if (!std::strncmp(s, "--out=", 6)) {
+      o.out = s + 6;
+    } else if (!std::strcmp(s, "--full")) {
+      o.scale = 1.0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=F] [--requests=N] [--threads=N] [--pool=N] [--out=PATH]\n",
+                   argv[0]);
+      std::exit(1);
+    }
+  }
+  return o;
+}
+
+serve::Service make_service(const serve::SnapshotView& snap, std::size_t pool) {
+  serve::Service::Options sopts;
+  sopts.pool.solver = "cg";
+  sopts.pool.prec = "amg";
+  sopts.pool.size = pool;
+  return serve::Service::from_snapshot(sopts, snap);
+}
+
+}  // namespace
+}  // namespace parmis
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const Options opt = parse(argc, argv);
+
+  const ordinal_t nx = std::max<ordinal_t>(24, static_cast<ordinal_t>(64 * opt.scale));
+  const graph::CrsMatrix a = graph::laplace3d(nx, nx, nx);
+
+  obs::JsonArrayWriter out(opt.out);
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::printf("# serve_replay: laplace3d nx=%d (%d rows), requests=%zu, pool=%zu\n", nx,
+              a.num_rows, opt.requests, opt.pool);
+
+  // --- snapshot round trip -------------------------------------------------
+  const std::string snap_path = "bench_serve_replay.snap";
+  multilevel::HierarchyHandle h;
+  {
+    multilevel::Options mo;
+    mo.complexity_cap = 10.0;
+    mo.min_coarse_size = 500;
+    const multilevel::Builder builder(mo);
+    obs::Timer build_timer;
+    (void)builder.build_galerkin(a, h);
+    const double build_s = build_timer.seconds();
+
+    obs::Timer save_timer;
+    serve::save_snapshot(snap_path, a, &h);
+    const double save_s = save_timer.seconds();
+    obs::Timer open_timer;
+    const serve::SnapshotView probe = serve::SnapshotView::open(snap_path);
+    const double open_s = open_timer.seconds();
+
+    obs::Report report;
+    report.set("bench", "serve_replay");
+    obs::add_graph(report, "laplace3d", a.num_rows, a.num_entries());
+    report.set("mode", "snapshot");
+    report.set("levels", probe.hierarchy_levels("hierarchy"));
+    report.set("snapshot_bytes", probe.file_size());
+    report.set("hierarchy_build_seconds", build_s);
+    report.set("save_seconds", save_s);
+    report.set("open_verify_seconds", open_s);
+    const std::string json = report.to_json();
+    std::printf("%s\n", json.c_str());
+    out.row(json);
+  }
+  const serve::SnapshotView snap = serve::SnapshotView::open(snap_path);
+
+  // --- replay cells --------------------------------------------------------
+  struct Cell {
+    const char* name;
+    int threads;
+    bool customize;
+  };
+  const int nthreads = opt.threads < 2 ? 2 : opt.threads;
+  const std::vector<Cell> cells = {
+      {"serial", 1, false},
+      {"threaded", nthreads, false},
+      {"serial_customize", 1, true},
+      {"threaded_customize", nthreads, true},
+  };
+
+  bool digests_ok = true;
+  std::uint64_t expect_plain = 0;
+  std::uint64_t expect_swap = 0;
+  for (const Cell& cell : cells) {
+    serve::Service service = make_service(snap, opt.pool);
+    const std::size_t customize_at = cell.customize ? opt.requests / 2 : 0;
+    const std::vector<serve::ServeRequest> requests =
+        serve::make_requests(opt.requests, 1, service.epoch(), customize_at);
+    serve::ReplayOptions ropts;
+    ropts.threads = cell.threads;
+    ropts.customize_at = customize_at;
+    const serve::ReplayResult result = serve::replay(service, requests, ropts);
+    const serve::ReplayStats& st = result.stats;
+
+    // Serial rows define the expected digest; threaded rows must match.
+    std::uint64_t& expect = cell.customize ? expect_swap : expect_plain;
+    if (cell.threads == 1) {
+      expect = st.combined_digest;
+    } else if (st.combined_digest != expect) {
+      std::fprintf(stderr, "DIGEST MISMATCH: %s %s != serial %s\n", cell.name,
+                   check::digest_hex(st.combined_digest).c_str(),
+                   check::digest_hex(expect).c_str());
+      digests_ok = false;
+    }
+
+    const serve::PoolStats pstats = service.pool().stats();
+    obs::Report report;
+    report.set("bench", "serve_replay");
+    obs::add_graph(report, "laplace3d", a.num_rows, a.num_entries());
+    report.set("mode", cell.name);
+    report.set("threads", st.threads);
+    report.set("pool", static_cast<std::int64_t>(opt.pool));
+    report.set("customize_at", static_cast<std::int64_t>(customize_at));
+    report.set("converged", st.converged);
+    std::vector<double> lat(result.outcomes.size());
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+      lat[i] = result.outcomes[i].seconds;
+    }
+    obs::add_latency_stats(report, lat, st.wall_seconds);
+    report.set("combined_digest", check::digest_hex(st.combined_digest));
+    report.set("pool_level_adoptions", pstats.level_adoptions);
+    report.set("pool_warm_hits", pstats.warm_hits);
+    const std::string json = report.to_json();
+    std::printf("%s\n", json.c_str());
+    out.row(json);
+  }
+  std::remove(snap_path.c_str());
+
+  if (!out.close()) {
+    std::fprintf(stderr, "write error on %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s\n", opt.out.c_str());
+  return digests_ok ? 0 : 1;
+}

@@ -33,6 +33,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "partition/interface.hpp"
+#include "resilience/fault.hpp"
 
 namespace {
 
@@ -96,6 +97,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--k must be a positive integer\n");
     return 1;
   }
+  // Fault points (e.g. partition.bisect_fail) armed from the environment;
+  // compiled out unless the build configures PARMIS_CHECK_INVARIANTS.
+  resilience::arm_faults_from_env();
   if (algos.empty()) algos = partition::partitioner_names();
   if (graphs.empty()) graphs = {"gen:rgg:100000:14"};
 

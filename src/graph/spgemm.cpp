@@ -233,6 +233,8 @@ void spgemm_numeric(const CrsMatrix& a, const CrsMatrix& b, CrsMatrix& c) {
   });
 }
 
+void spgemm_warm_thread(ordinal_t ncols) { t_ws.ensure(ncols); }
+
 CrsMatrix matrix_add(scalar_t alpha, const CrsMatrix& a, scalar_t beta, const CrsMatrix& b) {
   assert(a.num_rows == b.num_rows && a.num_cols == b.num_cols);
   CrsMatrix c;

@@ -34,6 +34,15 @@ namespace parmis::graph {
 /// (Galerkin) rebuilds when matrix values change but structure is fixed.
 void spgemm_numeric(const CrsMatrix& a, const CrsMatrix& b, CrsMatrix& c);
 
+/// Pre-size the calling thread's SpGEMM accumulator for products with up
+/// to `ncols` output columns. The zero-allocation guarantee of
+/// `spgemm_numeric` is per *thread*: the dense accumulator is
+/// thread_local, so the first product a fresh thread ever runs allocates
+/// it. Callers that replay into a guarded warm path from a thread that
+/// never ran a cold build (e.g. a serving runtime's customize thread)
+/// call this first; on an already-warm thread it is a no-op.
+void spgemm_warm_thread(ordinal_t ncols);
+
 /// Structure-only product: pattern of A * B (no values).
 [[nodiscard]] CrsGraph spgemm_symbolic(GraphView a, GraphView b);
 

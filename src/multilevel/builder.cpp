@@ -17,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "parallel/balanced_for.hpp"
 #include "parallel/parallel_for.hpp"
+#include "resilience/fault.hpp"
 #include "resilience/status.hpp"
 
 namespace parmis::multilevel {
@@ -285,6 +286,14 @@ const std::vector<OperatorLevel>& Builder::build_galerkin(graph::CrsMatrix a_fin
     Timer agg_timer;
     {
       PARMIS_SPAN("multilevel.aggregate_galerkin");
+      if (PARMIS_FAULT_POINT("multilevel.aggregate_fail")) {
+        resilience::FailureInfo info;
+        info.stage = "setup";
+        info.reason = "setup.multilevel.injected_fault";
+        throw resilience::SolveError(resilience::SolveStatus::SetupFailed, info,
+                                     "injected fault: multilevel aggregation failed at level " +
+                                         std::to_string(level));
+      }
       aggregate_level(opts_, coarsener.get(), adj, {}, h.ws_.coarsen, level, agg);
     }
     st.aggregation_seconds += agg_timer.seconds();
@@ -350,6 +359,12 @@ const std::vector<OperatorLevel>& Builder::rebuild_galerkin(const graph::CrsMatr
                                                             HierarchyHandle& h) const {
   if (h.ops_.empty()) {
     throw std::logic_error("rebuild_galerkin: no Galerkin hierarchy on this handle");
+  }
+  if (h.ops_.size() > 1 && h.ws_.galerkin.size() + 1 != h.ops_.size()) {
+    // A hierarchy restored without its Galerkin workspace (solve-only
+    // snapshot) has nothing to replay values into.
+    throw std::logic_error(
+        "rebuild_galerkin: hierarchy has no rebuild workspace (restored solve-only?)");
   }
   OperatorLevel& fine = h.ops_.front();
   // Full sparsity check, not just shapes: replaying values into a stale

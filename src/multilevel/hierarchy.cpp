@@ -1,5 +1,9 @@
 #include "multilevel/hierarchy.hpp"
 
+#include <stdexcept>
+
+#include "check/validate.hpp"
+
 namespace parmis::multilevel {
 
 namespace {
@@ -59,6 +63,55 @@ std::size_t HierarchyHandle::scratch_bytes() const {
     total += bytes_of(l.a) + bytes_of(l.p) + bytes_of(l.r) + bytes_of(l.inv_diag);
   }
   return total;
+}
+
+void restore_galerkin(HierarchyHandle& h, std::vector<OperatorLevel> ops,
+                      std::vector<SetupWorkspace::GalerkinLevel> workspace,
+                      StopReason stop) {
+  if (ops.empty()) {
+    throw std::invalid_argument("restore_galerkin: empty level stack");
+  }
+  if (!workspace.empty() && workspace.size() + 1 != ops.size()) {
+    throw std::invalid_argument(
+        "restore_galerkin: workspace must have one entry per coarsening step (ops - 1)");
+  }
+  // Unconditional structural validation — restored levels come from
+  // outside the Builder (a file, another process), so this is input
+  // validation, not an internal invariant, and stays on in release.
+  const check::Result r = check::validate_hierarchy(ops);
+  if (!r) throw std::invalid_argument("restore_galerkin: " + r.diagnostic());
+
+  h.steps_.clear();
+  h.ops_ = std::move(ops);
+  h.ws_.galerkin = std::move(workspace);
+
+  // Recompute the per-build summary from the levels: a restored hierarchy
+  // reports the same stats a cold build of the same stack would (timings
+  // excepted — nothing was built here).
+  HierarchyStats& st = h.build_stats_;
+  st = HierarchyStats{};
+  st.levels = static_cast<int>(h.ops_.size());
+  st.stop = stop;
+  double rows = 0;
+  double nnz = 0;
+  for (const OperatorLevel& l : h.ops_) {
+    st.level_rows.push_back(l.a.num_rows);
+    st.level_entries.push_back(l.a.num_entries());
+    rows += static_cast<double>(l.a.num_rows);
+    nnz += static_cast<double>(l.a.num_entries());
+  }
+  const double rows0 = static_cast<double>(st.level_rows.front());
+  const double nnz0 = static_cast<double>(st.level_entries.front());
+  st.grid_complexity = rows0 > 0 ? rows / rows0 : 1.0;
+  st.operator_complexity = nnz0 > 0 ? nnz / nnz0 : 1.0;
+
+  ++h.stats_.runs;
+  h.stats_.iterations += static_cast<std::uint64_t>(st.levels);
+}
+
+const std::vector<SetupWorkspace::GalerkinLevel>& galerkin_workspace(
+    const HierarchyHandle& h) {
+  return h.ws_.galerkin;
 }
 
 }  // namespace parmis::multilevel

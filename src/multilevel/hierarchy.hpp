@@ -138,6 +138,11 @@ class HierarchyHandle {
 
  private:
   friend class Builder;
+  friend void restore_galerkin(HierarchyHandle& h, std::vector<OperatorLevel> ops,
+                               std::vector<SetupWorkspace::GalerkinLevel> workspace,
+                               StopReason stop);
+  friend const std::vector<SetupWorkspace::GalerkinLevel>& galerkin_workspace(
+      const HierarchyHandle& h);
 
   SetupWorkspace ws_;
   std::vector<Step> steps_;
@@ -145,5 +150,27 @@ class HierarchyHandle {
   HierarchyStats build_stats_;
   core::KernelStats stats_;
 };
+
+/// Snapshot bind hooks (the `parmis::serve` layer). `restore_galerkin`
+/// installs externally produced operator levels — deserialized from a
+/// snapshot, or copied from a published serving state — into `h` exactly
+/// as if `Builder::build_galerkin` had produced them: the per-build stats
+/// are recomputed from the levels and the handle solves immediately. When
+/// `workspace` is supplied (size `ops.size() - 1`, the per-level Galerkin
+/// rebuild scratch the snapshot format preserves) the handle additionally
+/// keeps the warm zero-allocation `rebuild_galerkin` contract; an empty
+/// workspace restores a solve-only hierarchy and a later `rebuild_galerkin`
+/// throws instead of replaying into missing structures. Throws
+/// std::invalid_argument on an empty or shape-inconsistent level stack.
+void restore_galerkin(HierarchyHandle& h, std::vector<OperatorLevel> ops,
+                      std::vector<SetupWorkspace::GalerkinLevel> workspace,
+                      StopReason stop);
+
+/// Read access to the per-level Galerkin rebuild workspace (what
+/// `serve::SnapshotWriter::add_hierarchy` serializes alongside the
+/// levels). Size is `ops().size() - 1` after a Galerkin build, 0 when the
+/// handle holds none.
+[[nodiscard]] const std::vector<SetupWorkspace::GalerkinLevel>& galerkin_workspace(
+    const HierarchyHandle& h);
 
 }  // namespace parmis::multilevel

@@ -1,5 +1,8 @@
 #include "obs/telemetry.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/mis2.hpp"
 #include "graph/spgemm.hpp"
 #include "multilevel/hierarchy.hpp"
@@ -102,6 +105,31 @@ void add_span_summary(Report& r) {
   }
   out += ']';
   r.set_raw("spans", std::move(out));
+}
+
+double percentile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  // Nearest-rank: the ⌈q·n⌉-th smallest observation (1-based).
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+void add_latency_stats(Report& r, std::span<const double> seconds, double wall_seconds) {
+  std::vector<double> sorted(seconds.begin(), seconds.end());
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double s : sorted) sum += s;
+  const double n = static_cast<double>(sorted.size());
+  r.set("requests", static_cast<std::int64_t>(sorted.size()));
+  r.set("p50_ms", percentile(sorted, 0.5) * 1e3);
+  r.set("p99_ms", percentile(sorted, 0.99) * 1e3);
+  r.set("mean_ms", (sorted.empty() ? 0.0 : sum / n) * 1e3);
+  r.set("max_ms", (sorted.empty() ? 0.0 : sorted.back()) * 1e3);
+  r.set("wall_seconds", wall_seconds);
+  r.set("solves_per_sec", wall_seconds > 0.0 ? n / wall_seconds : 0.0);
 }
 
 }  // namespace parmis::obs

@@ -22,6 +22,7 @@
 ///   spgemm_rows_traversed                              add_spgemm_counters
 ///   spans (nested array of per-name aggregates)        add_span_summary
 
+#include <span>
 #include <string>
 
 #include "obs/report.hpp"
@@ -76,5 +77,18 @@ void add_spgemm_counters(Report& r);
 /// (`[{"name":..,"count":..,"total_seconds":..,"min_seconds":..,
 /// "max_seconds":..}, ...]`). No-op when nothing is buffered.
 void add_span_summary(Report& r);
+
+/// The `q`-th percentile (0 ≤ q ≤ 1) of an **ascending-sorted** sample by
+/// the nearest-rank method (q = 0.5 → median position ⌈0.5·n⌉). Returns 0
+/// for an empty sample. Nearest-rank keeps the result an actual observed
+/// latency, which is what a serving SLO quotes.
+[[nodiscard]] double percentile(std::span<const double> sorted, double q);
+
+/// Latency aggregates of a replayed request stream: `requests`, `p50_ms`,
+/// `p99_ms`, `mean_ms`, `max_ms`, `wall_seconds`, `solves_per_sec`.
+/// `seconds` is the per-request latency sample (any order; sorted
+/// internally), `wall_seconds` the end-to-end wall time the throughput is
+/// computed against.
+void add_latency_stats(Report& r, std::span<const double> seconds, double wall_seconds);
 
 }  // namespace parmis::obs

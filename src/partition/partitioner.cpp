@@ -14,6 +14,7 @@
 #include "multilevel/builder.hpp"
 #include "obs/trace.hpp"
 #include "random/hash.hpp"
+#include "resilience/fault.hpp"
 
 namespace parmis::partition {
 
@@ -180,6 +181,9 @@ Bisection multilevel_bisect_frac(const WeightedGraph& fine, double target_fracti
                                  multilevel::HierarchyHandle& mh) {
   obs::Span span("partition.bisect");
   span.arg("rows", fine.graph.num_rows);
+  if (PARMIS_FAULT_POINT("partition.bisect_fail")) {
+    throw std::runtime_error("injected fault: multilevel bisection failed");
+  }
   // Coarsen all the way down through the unified Builder (one weighted
   // hierarchy per bisection; aggregation scratch, contraction maps, and
   // level storage are all reused across the recursive-bisection tree),

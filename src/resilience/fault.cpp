@@ -132,6 +132,9 @@ const std::vector<const char*>& known_fault_points() {
       "workspace.alloc",      // std::bad_alloc from the solve workspace pool
       "driver.poison_b",      // NaN into b before the solve (linear_solve)
       "driver.singular_matrix",  // zero out the last row/col of A (linear_solve)
+      "multilevel.aggregate_fail",  // throw SetupFailed from Galerkin aggregation (builder.cpp)
+      "partition.bisect_fail",      // throw from multilevel bisection (partitioner.cpp)
+      "serve.snapshot.corrupt",     // flip a section digest during open() (snapshot.cpp)
   };
   return points;
 }

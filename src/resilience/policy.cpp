@@ -16,13 +16,39 @@ FallbackPolicy FallbackPolicy::parse(const std::string& spec) {
     while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) entry.erase(0, 1);
     while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) entry.pop_back();
     if (entry.empty()) continue;
+    // Split off the optional status-conditional clause: "amg+cg on:breakdown".
+    Attempt attempt;
+    const std::size_t on = entry.find(" on:");
+    if (on != std::string::npos) {
+      std::string statuses = entry.substr(on + 4);
+      entry.erase(on);
+      while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) entry.pop_back();
+      std::size_t sstart = 0;
+      while (sstart <= statuses.size()) {
+        std::size_t send = statuses.find('|', sstart);
+        if (send == std::string::npos) send = statuses.size();
+        const std::string name = statuses.substr(sstart, send - sstart);
+        sstart = send + 1;
+        const std::optional<SolveStatus> s = status_from_string(name);
+        if (!s) {
+          throw std::invalid_argument("unknown status '" + name +
+                                      "' in fallback on: clause (want e.g. breakdown)");
+        }
+        attempt.retry_on.push_back(*s);
+      }
+      if (attempt.retry_on.empty()) {
+        throw std::invalid_argument("empty on: clause in fallback entry '" + entry + "'");
+      }
+    }
     const std::size_t plus = entry.find('+');
     if (plus == std::string::npos || plus == 0 || plus + 1 == entry.size() ||
         entry.find('+', plus + 1) != std::string::npos) {
       throw std::invalid_argument("malformed fallback entry '" + entry +
                                   "' (want PREC+SOLVER, e.g. amg+cg)");
     }
-    policy.chain.push_back(Attempt{entry.substr(0, plus), entry.substr(plus + 1)});
+    attempt.prec = entry.substr(0, plus);
+    attempt.solver = entry.substr(plus + 1);
+    policy.chain.push_back(std::move(attempt));
   }
   return policy;
 }
@@ -32,6 +58,10 @@ std::string FallbackPolicy::to_string() const {
   for (const Attempt& a : chain) {
     if (!out.empty()) out += ',';
     out += a.prec + '+' + a.solver;
+    for (std::size_t i = 0; i < a.retry_on.size(); ++i) {
+      out += i == 0 ? " on:" : "|";
+      out += resilience::to_string(a.retry_on[i]);
+    }
   }
   return out;
 }

@@ -20,13 +20,26 @@
 /// documented exception: a wall-clock `timeout_ms` budget can cut the
 /// chain at a machine-dependent point.)
 ///
-/// The spec grammar is `PREC+SOLVER[,PREC+SOLVER...]` using registry names
-/// (`interface.hpp`); name validation happens in
+/// The spec grammar is `PREC+SOLVER[ on:STATUS[|STATUS...]][,...]` using
+/// registry names (`interface.hpp`) and taxonomy status names
+/// (status.hpp). The optional `on:` clause makes an entry's fallback
+/// *status-conditional*: the chain proceeds past that entry only when its
+/// failure status is in the listed set, e.g.
+///
+///   "amg+cg on:breakdown|setup_failed,jacobi+cg"
+///
+/// retries with Jacobi-CG only when the AMG attempt broke down or its
+/// setup failed — a stagnating AMG attempt (which Jacobi would stagnate
+/// on too, slower) stops the chain there. No clause = any failure
+/// proceeds (the historical behavior). Name validation happens in
 /// `SolveHandle::set_fallback`, which sees the registries — parse itself
-/// only checks shape, so this header stays below the solver layer.
+/// only checks shape (status names *are* validated here, the taxonomy is
+/// closed), so this header stays below the solver layer.
 
 #include <string>
 #include <vector>
+
+#include "resilience/status.hpp"
 
 namespace parmis::resilience {
 
@@ -37,6 +50,18 @@ struct FallbackPolicy {
   struct Attempt {
     std::string prec;    ///< preconditioner registry name ("none", "jacobi", "amg", ...)
     std::string solver;  ///< solver registry name ("cg", "gmres", "chebyshev")
+    /// Statuses this entry falls through on. Empty = every failure (the
+    /// unconditional historical behavior).
+    std::vector<SolveStatus> retry_on;
+
+    /// May the chain proceed past this entry when it failed with `s`?
+    [[nodiscard]] bool allows_retry(SolveStatus s) const {
+      if (retry_on.empty()) return true;
+      for (SolveStatus r : retry_on) {
+        if (r == s) return true;
+      }
+      return false;
+    }
   };
 
   std::vector<Attempt> chain;
@@ -55,9 +80,10 @@ struct FallbackPolicy {
                : n;
   }
 
-  /// Parse `"PREC+SOLVER,PREC+SOLVER,..."` (e.g.
-  /// `"amg+cg,jacobi+cg,none+gmres"`). Throws std::invalid_argument on a
-  /// malformed entry. Registry names are NOT validated here.
+  /// Parse `"PREC+SOLVER[ on:STATUS|STATUS...],..."` (e.g.
+  /// `"amg+cg on:breakdown,jacobi+cg,none+gmres"`). Throws
+  /// std::invalid_argument on a malformed entry or an unknown status name.
+  /// Registry names are NOT validated here.
   [[nodiscard]] static FallbackPolicy parse(const std::string& spec);
 
   /// Round-trip back to the spec string ("" for an empty chain).

@@ -27,4 +27,11 @@ const std::vector<SolveStatus>& all_statuses() {
   return statuses;
 }
 
+std::optional<SolveStatus> status_from_string(const std::string& name) {
+  for (SolveStatus s : all_statuses()) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
 }  // namespace parmis::resilience

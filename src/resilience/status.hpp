@@ -29,6 +29,7 @@
 ///   NonFiniteInput    b or x0 contained NaN/Inf on entry
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -56,6 +57,11 @@ enum class SolveStatus : std::uint8_t {
 /// Every taxonomy value, declaration order (drivers and the CI fault sweep
 /// iterate this to assert coverage).
 [[nodiscard]] const std::vector<SolveStatus>& all_statuses();
+
+/// Inverse of `to_string` ("breakdown" → Breakdown): what the
+/// `FallbackPolicy` `on:` clause and driver flags parse with. Empty
+/// optional on an unknown spelling.
+[[nodiscard]] std::optional<SolveStatus> status_from_string(const std::string& name);
 
 /// Anything but Converged counts as a failure for fallback purposes.
 [[nodiscard]] constexpr bool is_failure(SolveStatus s) {

@@ -1,0 +1,134 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <thread>
+
+#include "check/digest.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timer.hpp"
+
+namespace parmis::serve {
+
+std::vector<ServeRequest> make_requests(std::size_t n, std::uint64_t seed0,
+                                        std::uint64_t epoch0, std::size_t customize_at) {
+  std::vector<ServeRequest> reqs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].id = i;
+    reqs[i].rhs_seed = seed0 + i;
+    reqs[i].epoch = epoch0;
+    if (customize_at > 0 && customize_at < n && i >= customize_at) {
+      reqs[i].epoch = epoch0 + 1;
+    }
+  }
+  return reqs;
+}
+
+ReplayResult replay(Service& service, std::span<const ServeRequest> requests,
+                    const ReplayOptions& opts) {
+  const std::size_t n = requests.size();
+  ReplayResult out;
+  out.outcomes.resize(n);
+  int threads = opts.threads < 1 ? 1 : opts.threads;
+  if (n > 0 && static_cast<std::size_t>(threads) > n) threads = static_cast<int>(n);
+  const bool swap = opts.customize_at > 0 && opts.customize_at < n;
+
+  std::atomic<std::size_t> next{0};
+  // One slot per worker plus one for the customizer; rethrown after join.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads) + 1);
+
+  // One-shot trigger: the worker that *dispatches* request customize_at-1
+  // fires it, so the swap overlaps that request's in-flight solve.
+  std::promise<void> trigger;
+  std::shared_future<void> triggered = trigger.get_future().share();
+  std::atomic<bool> fired{false};
+  std::atomic<bool> trigger_cancelled{false};
+  auto fire = [&] {
+    if (!fired.exchange(true)) trigger.set_value();
+  };
+
+  obs::Timer wall;
+  std::thread customizer;
+  if (swap) {
+    customizer = std::thread([&] {
+      triggered.wait();
+      if (trigger_cancelled.load(std::memory_order_acquire)) return;
+      try {
+        std::shared_ptr<const ServingState> base = service.current();
+        std::vector<scalar_t> scaled(base->a->values);
+        for (scalar_t& v : scaled) v *= opts.value_scale;
+        (void)service.customize(scaled);
+      } catch (...) {
+        errors.back() = std::current_exception();
+        // The failure is surfaced after join; meanwhile requests pinned
+        // to the never-published epoch must not block forever.
+        (void)service.republish();
+      }
+    });
+  }
+
+  auto worker = [&](std::size_t wid) {
+    try {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        if (swap && i + 1 == opts.customize_at) fire();
+        out.outcomes[i] = service.solve(requests[i]);
+      }
+    } catch (...) {
+      errors[wid] = std::current_exception();
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, static_cast<std::size_t>(t));
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  if (swap) {
+    // Workers are joined, so `fired` is stable: false only when every
+    // worker died before dispatching request customize_at-1 — cancel the
+    // customizer instead of leaving it waiting forever.
+    if (!fired.load(std::memory_order_acquire)) {
+      trigger_cancelled.store(true, std::memory_order_release);
+      fire();
+    }
+    customizer.join();
+  }
+  const double wall_seconds = wall.seconds();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  ReplayStats& st = out.stats;
+  st.threads = threads;
+  st.requests = n;
+  st.wall_seconds = wall_seconds;
+  st.final_epoch = service.epoch();
+  std::vector<double> lat(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RequestOutcome& o = out.outcomes[i];
+    lat[i] = o.seconds;
+    sum += o.seconds;
+    if (o.converged) ++st.converged;
+    st.combined_digest =
+        check::digest_combine(st.combined_digest, static_cast<std::uint64_t>(o.status));
+    st.combined_digest = check::digest_combine(st.combined_digest, o.solution_digest);
+  }
+  std::sort(lat.begin(), lat.end());
+  st.p50_ms = obs::percentile(lat, 0.5) * 1e3;
+  st.p99_ms = obs::percentile(lat, 0.99) * 1e3;
+  st.mean_ms = n > 0 ? sum / static_cast<double>(n) * 1e3 : 0.0;
+  st.solves_per_sec = wall_seconds > 0.0 ? static_cast<double>(n) / wall_seconds : 0.0;
+  return out;
+}
+
+}  // namespace parmis::serve

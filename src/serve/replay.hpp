@@ -1,0 +1,70 @@
+#pragma once
+/// \file replay.hpp
+/// \brief Request replay against a `serve::Service`: N worker threads
+/// drain a request list, optionally with one live `customize` swap
+/// mid-replay, and the harness aggregates latency percentiles and
+/// throughput.
+///
+/// Epoch pinning is what makes the replay a *determinism instrument* and
+/// not just a load generator: with `customize_at = K`, requests 0..K-1
+/// are pinned to the epoch current when the replay started and requests
+/// K.. to the next one, so the set of (operator, rhs) pairs solved is
+/// identical at every thread count — the combined solution digest of a
+/// 16-thread replay with a swap landing mid-flight must equal the serial
+/// one bit for bit. The customizer fires from its own thread once request
+/// K-1 has been *dispatched* (not completed), so at `threads > 1` the
+/// swap really does overlap in-flight solves on the old epoch.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace parmis::serve {
+
+struct ReplayOptions {
+  int threads = 1;
+  /// When > 0 and < the request count: index of the first request pinned
+  /// to the post-customize epoch; a customizer thread scales the current
+  /// values by `value_scale` and publishes once request
+  /// `customize_at - 1` has been dispatched. 0 (or out of range)
+  /// disables the swap.
+  std::size_t customize_at = 0;
+  double value_scale = 1.25;
+};
+
+/// Replay aggregates (latency sample lives in `ReplayResult::outcomes`).
+struct ReplayStats {
+  int threads = 1;
+  std::size_t requests = 0;
+  std::uint64_t converged = 0;
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double solves_per_sec = 0.0;
+  /// Order-sensitive fold of (status, solution digest) over requests in
+  /// request order — one word that must match across thread counts.
+  std::uint64_t combined_digest = 0;
+  std::uint64_t final_epoch = 0;  ///< service epoch after the replay
+};
+
+struct ReplayResult {
+  std::vector<RequestOutcome> outcomes;  ///< request order (not completion order)
+  ReplayStats stats;
+};
+
+/// Deterministic request list: ids 0..n-1, rhs seeds `seed0 + id`, epochs
+/// pinned per `ReplayOptions::customize_at` against base epoch `epoch0`.
+[[nodiscard]] std::vector<ServeRequest> make_requests(std::size_t n, std::uint64_t seed0,
+                                                      std::uint64_t epoch0,
+                                                      std::size_t customize_at = 0);
+
+/// Run the replay: workers claim requests by atomic index, each outcome
+/// lands at its request's slot. Exceptions on a worker are rethrown on
+/// the calling thread after join.
+[[nodiscard]] ReplayResult replay(Service& service, std::span<const ServeRequest> requests,
+                                  const ReplayOptions& opts = {});
+
+}  // namespace parmis::serve

@@ -1,0 +1,192 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "check/digest.hpp"
+#include "graph/spgemm.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "solver/amg.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace parmis::serve {
+
+namespace {
+
+/// The slice of the AMG configuration the customize replay reads:
+/// `rebuild_galerkin` re-runs prolongator smoothing and the triple
+/// products value-only into existing structures, so only the damping
+/// omega and the execution context matter — stopping rules and the
+/// coarsening scheme were baked into the structures at build time.
+multilevel::Options rebuild_options(const solver::AmgOptions& amg, const Context& ctx) {
+  multilevel::Options mo;
+  mo.prolongator_omega = amg.prolongator_omega;
+  mo.ctx = amg.ctx ? amg.ctx : std::optional<Context>(ctx);
+  return mo;
+}
+
+}  // namespace
+
+Service::Service(Options opts, graph::CrsMatrix a,
+                 std::vector<multilevel::OperatorLevel> levels,
+                 std::vector<multilevel::SetupWorkspace::GalerkinLevel> workspace)
+    : opts_(std::move(opts)),
+      pool_(opts_.pool),
+      builder_(rebuild_options(opts_.pool.prec_options.amg, opts_.pool.ctx)) {
+  if (opts_.max_history == 0) opts_.max_history = 1;
+  auto state = std::make_shared<ServingState>();
+  state->epoch = 0;
+  state->values_digest = check::digest(a.values);
+  if (!levels.empty()) {
+    if (levels[0].a.num_rows != a.num_rows || levels[0].a.num_entries() != a.num_entries()) {
+      throw std::invalid_argument(
+          "serve::Service: hierarchy finest level does not match the serving matrix");
+    }
+    multilevel::restore_galerkin(master_, std::move(levels), std::move(workspace),
+                                 multilevel::StopReason::CoarseEnough);
+    has_hierarchy_ = true;
+    state->levels =
+        std::make_shared<const std::vector<multilevel::OperatorLevel>>(master_.ops());
+  }
+  state->a = std::make_shared<const graph::CrsMatrix>(std::move(a));
+  states_.push_back(std::move(state));
+}
+
+Service Service::from_snapshot(Options opts, const SnapshotView& snap,
+                               const std::string& matrix_name,
+                               const std::string& hierarchy_name) {
+  graph::CrsMatrix a = snap.materialize_matrix(matrix_name);
+  std::vector<multilevel::OperatorLevel> levels;
+  std::vector<multilevel::SetupWorkspace::GalerkinLevel> workspace;
+  if (!hierarchy_name.empty() && snap.contains(hierarchy_name)) {
+    multilevel::HierarchyHandle h;
+    snap.load_hierarchy(hierarchy_name, h);
+    levels = h.ops();
+    workspace = multilevel::galerkin_workspace(h);
+  }
+  return Service(std::move(opts), std::move(a), std::move(levels), std::move(workspace));
+}
+
+std::shared_ptr<const ServingState> Service::current() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return states_.back();
+}
+
+std::shared_ptr<const ServingState> Service::state(std::uint64_t epoch) const {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait(lock, [&] { return states_.back()->epoch >= epoch; });
+  for (const std::shared_ptr<const ServingState>& s : states_) {
+    if (s->epoch == epoch) return s;
+  }
+  throw std::out_of_range("serve: epoch " + std::to_string(epoch) +
+                          " expired from the published-state history");
+}
+
+bool Service::can_rebuild() const {
+  if (!has_hierarchy_) return false;
+  const std::size_t nlevels = master_.ops().size();
+  return nlevels <= 1 || multilevel::galerkin_workspace(master_).size() + 1 == nlevels;
+}
+
+std::uint64_t Service::customize(std::span<const scalar_t> values) {
+  std::lock_guard<std::mutex> lock(customize_mu_);
+  PARMIS_SPAN("serve.customize");
+  std::shared_ptr<const ServingState> base = current();
+  const graph::CrsMatrix& old_a = *base->a;
+  if (values.size() != old_a.values.size()) {
+    throw std::invalid_argument("serve::customize: got " + std::to_string(values.size()) +
+                                " values for a matrix with " +
+                                std::to_string(old_a.values.size()) + " entries");
+  }
+  // Structure copy with the refreshed values. The copy is what lets
+  // in-flight solves keep reading the old state's arrays untouched.
+  graph::CrsMatrix a2;
+  a2.num_rows = old_a.num_rows;
+  a2.num_cols = old_a.num_cols;
+  a2.row_map = old_a.row_map;
+  a2.entries = old_a.entries;
+  a2.values.assign(values.begin(), values.end());
+
+  auto state = std::make_shared<ServingState>();
+  state->epoch = base->epoch + 1;  // customizes serialize on customize_mu_
+  state->values_digest = check::digest(a2.values);
+  if (has_hierarchy_) {
+    // The warm path this subsystem exists for: value-only Galerkin replay,
+    // zero heap allocations inside the multilevel handle. Throws
+    // logic_error when the hierarchy was restored solve-only. The replay's
+    // per-thread SpGEMM accumulator must be sized up front: customize is
+    // typically called from a thread that never ran a cold build.
+    graph::spgemm_warm_thread(a2.num_cols);
+    (void)builder_.rebuild_galerkin(a2, master_);
+    state->levels =
+        std::make_shared<const std::vector<multilevel::OperatorLevel>>(master_.ops());
+  }
+  state->a = std::make_shared<const graph::CrsMatrix>(std::move(a2));
+  const std::uint64_t epoch = state->epoch;
+  publish(std::move(state));
+  return epoch;
+}
+
+std::uint64_t Service::republish() {
+  std::lock_guard<std::mutex> lock(customize_mu_);
+  std::shared_ptr<const ServingState> base = current();
+  auto state = std::make_shared<ServingState>(*base);
+  ++state->epoch;
+  const std::uint64_t epoch = state->epoch;
+  publish(std::move(state));
+  return epoch;
+}
+
+void Service::publish(std::shared_ptr<const ServingState> state) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    states_.push_back(std::move(state));
+    while (states_.size() > opts_.max_history) {
+      states_.erase(states_.begin());
+    }
+  }
+  state_cv_.notify_all();
+}
+
+RequestOutcome Service::solve(const ServeRequest& req, std::span<scalar_t> x_out) {
+  obs::Timer timer;
+  PARMIS_SPAN("serve.request");
+  std::shared_ptr<const ServingState> st = state(req.epoch);
+  HandlePool::Lease lease = pool_.acquire();
+  HandlePool::Entry& e = lease.entry();
+  pool_.ensure(e, PrecKey{st->epoch, std::string()}, *st->a,
+               st->levels ? st->levels.get() : nullptr);
+
+  const std::size_t n = static_cast<std::size_t>(st->a->num_rows);
+  if (e.b.size() != n) {
+    e.b.resize(n);
+    e.x.resize(n);
+  }
+  solver::random_fill(e.b, req.rhs_seed);
+  solver::fill(e.x, 0.0);
+  const solver::IterResult& r = e.handle.solve(*st->a, e.b, e.x, opts_.iter);
+
+  RequestOutcome out;
+  out.id = req.id;
+  out.epoch = st->epoch;
+  out.status = r.status;
+  out.converged = r.converged;
+  out.iterations = r.iterations;
+  out.relative_residual = r.relative_residual;
+  out.solution_digest = check::digest(e.x);
+  if (const auto* amg = dynamic_cast<const solver::AmgHierarchy*>(e.handle.preconditioner())) {
+    out.bottom_solve = amg->bottom_solve();
+  }
+  if (opts_.record_attempts) out.attempts = r.attempts;
+  if (!x_out.empty()) {
+    if (x_out.size() != n) {
+      throw std::invalid_argument("serve::solve: x_out size does not match the matrix");
+    }
+    solver::copy(e.x, x_out);
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace parmis::serve

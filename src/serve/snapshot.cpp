@@ -1,0 +1,589 @@
+#include "serve/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "check/digest.hpp"
+#include "resilience/fault.hpp"
+
+namespace parmis::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'M', 'I', 'S', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint64_t kSectionAlign = 64;
+
+/// On-disk file header (fixed 64 bytes at offset 0).
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian;
+  std::uint32_t ordinal_bytes;
+  std::uint32_t offset_bytes;
+  std::uint32_t scalar_bytes;
+  std::uint32_t reserved;
+  std::uint64_t file_size;
+  std::uint64_t toc_offset;
+  std::uint64_t toc_count;
+  std::uint64_t toc_digest;
+};
+static_assert(sizeof(Header) == 64);
+
+/// Fixed-size object descriptors (".meta" sections).
+struct MatrixMeta {
+  ordinal_t num_rows;
+  ordinal_t num_cols;
+  std::uint64_t num_entries;
+  std::uint32_t has_values;
+  std::uint32_t pad;
+};
+static_assert(sizeof(MatrixMeta) == 24);
+
+struct PartitionMeta {
+  ordinal_t num_vertices;
+  ordinal_t num_parts;
+};
+
+struct HierarchyMeta {
+  std::int32_t levels;
+  std::uint32_t has_workspace;
+  std::uint32_t stop;  ///< multilevel::StopReason
+  std::uint32_t pad;
+};
+
+struct LevelMeta {
+  ordinal_t num_aggregates;
+  std::uint32_t pad;
+};
+
+std::uint64_t digest_bytes(const void* data, std::uint64_t size) {
+  check::Digest d;
+  d.update(data, static_cast<std::size_t>(size));
+  return d.value();
+}
+
+std::string level_prefix(const std::string& name, int level) {
+  return name + ".L" + std::to_string(level);
+}
+
+}  // namespace
+
+SnapshotError::SnapshotError(std::string path, std::string section, const std::string& detail)
+    : std::runtime_error("snapshot '" + path + "'" +
+                         (section.empty() ? std::string() : ": section '" + section + "'") +
+                         ": " + detail),
+      path_(std::move(path)),
+      section_(std::move(section)) {}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (!file_) throw SnapshotError(path_, "", "cannot open for writing");
+  // Reserve the header slot; the real header is written by finish() once
+  // the TOC location and digest are known.
+  const Header zero{};
+  if (std::fwrite(&zero, sizeof(Header), 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw SnapshotError(path_, "", "write failed (header slot)");
+  }
+  pos_ = sizeof(Header);
+}
+
+SnapshotWriter::~SnapshotWriter() noexcept {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor best-effort: a failed finish leaves a file open() rejects
+    // (header slot still zeroed — bad magic), never a silently valid one.
+    if (file_) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+}
+
+void SnapshotWriter::add_section(const std::string& name, SectionKind kind, const void* data,
+                                 std::uint64_t size) {
+  if (finished_ || !file_) throw SnapshotError(path_, name, "writer already finished");
+  SectionInfo info{};
+  if (name.size() >= sizeof(info.name)) {
+    throw SnapshotError(path_, name, "section name too long (max 39 characters)");
+  }
+  for (const SectionInfo& s : toc_) {
+    if (name == s.name) throw SnapshotError(path_, name, "duplicate section name");
+  }
+  // Pad to the section alignment so mmap'ed spans are element-aligned.
+  const std::uint64_t aligned = (pos_ + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+  static constexpr char kZeros[kSectionAlign] = {};
+  if (aligned > pos_ &&
+      std::fwrite(kZeros, 1, static_cast<std::size_t>(aligned - pos_), file_) !=
+          static_cast<std::size_t>(aligned - pos_)) {
+    throw SnapshotError(path_, name, "write failed (padding)");
+  }
+  pos_ = aligned;
+  if (size > 0 && std::fwrite(data, 1, static_cast<std::size_t>(size), file_) !=
+                      static_cast<std::size_t>(size)) {
+    throw SnapshotError(path_, name, "write failed (section bytes)");
+  }
+  std::memcpy(info.name, name.data(), name.size());
+  info.kind = static_cast<std::uint32_t>(kind);
+  info.offset = pos_;
+  info.size = size;
+  info.digest = digest_bytes(data, size);
+  toc_.push_back(info);
+  pos_ += size;
+}
+
+void SnapshotWriter::add_matrix_like(const std::string& name, const graph::CrsMatrix& a,
+                                     bool with_values) {
+  const MatrixMeta meta{a.num_rows, a.num_cols, static_cast<std::uint64_t>(a.num_entries()),
+                        with_values ? 1u : 0u, 0u};
+  add_section(name + ".meta", SectionKind::Meta, &meta, sizeof(meta));
+  add_array<offset_t>(name + ".row_map", SectionKind::OffsetArray, a.row_map);
+  add_array<ordinal_t>(name + ".entries", SectionKind::OrdinalArray, a.entries);
+  if (with_values) add_array<scalar_t>(name + ".values", SectionKind::ScalarArray, a.values);
+}
+
+void SnapshotWriter::add_matrix(const std::string& name, const graph::CrsMatrix& a) {
+  add_matrix_like(name, a, /*with_values=*/true);
+}
+
+void SnapshotWriter::add_graph(const std::string& name, const graph::CrsGraph& g) {
+  const MatrixMeta meta{g.num_rows, g.num_cols, static_cast<std::uint64_t>(g.num_entries()),
+                        0u, 0u};
+  add_section(name + ".meta", SectionKind::Meta, &meta, sizeof(meta));
+  add_array<offset_t>(name + ".row_map", SectionKind::OffsetArray, g.row_map);
+  add_array<ordinal_t>(name + ".entries", SectionKind::OrdinalArray, g.entries);
+}
+
+void SnapshotWriter::add_partition(const std::string& name, std::span<const ordinal_t> labels,
+                                   ordinal_t num_parts) {
+  const PartitionMeta meta{static_cast<ordinal_t>(labels.size()), num_parts};
+  add_section(name + ".meta", SectionKind::Meta, &meta, sizeof(meta));
+  add_array<ordinal_t>(name + ".labels", SectionKind::OrdinalArray, labels);
+}
+
+void SnapshotWriter::add_hierarchy(const std::string& name,
+                                   const multilevel::HierarchyHandle& h) {
+  const std::vector<multilevel::OperatorLevel>& ops = h.ops();
+  if (ops.empty()) {
+    throw std::invalid_argument("add_hierarchy: handle has no Galerkin levels");
+  }
+  const std::vector<multilevel::SetupWorkspace::GalerkinLevel>& gws =
+      multilevel::galerkin_workspace(h);
+  const bool with_ws = gws.size() + 1 == ops.size();
+  const HierarchyMeta meta{static_cast<std::int32_t>(ops.size()), with_ws ? 1u : 0u,
+                           static_cast<std::uint32_t>(h.build_stats().stop), 0u};
+  add_section(name + ".meta", SectionKind::Meta, &meta, sizeof(meta));
+  for (std::size_t l = 0; l < ops.size(); ++l) {
+    const std::string p = level_prefix(name, static_cast<int>(l));
+    const multilevel::OperatorLevel& lvl = ops[l];
+    const LevelMeta lmeta{lvl.num_aggregates, 0u};
+    add_section(p + ".meta", SectionKind::Meta, &lmeta, sizeof(lmeta));
+    add_matrix_like(p + ".a", lvl.a, /*with_values=*/true);
+    add_array<scalar_t>(p + ".inv_diag", SectionKind::ScalarArray, lvl.inv_diag);
+    if (l + 1 < ops.size()) {
+      add_matrix_like(p + ".p", lvl.p, /*with_values=*/true);
+      add_matrix_like(p + ".r", lvl.r, /*with_values=*/true);
+      if (with_ws) {
+        const multilevel::SetupWorkspace::GalerkinLevel& gl = gws[l];
+        add_matrix_like(p + ".phat", gl.phat, /*with_values=*/true);
+        add_matrix_like(p + ".ap", gl.ap, /*with_values=*/true);
+        add_matrix_like(p + ".apc", gl.apc, /*with_values=*/true);
+        add_array<offset_t>(p + ".tperm", SectionKind::OffsetArray, gl.tperm);
+      }
+    }
+  }
+}
+
+void SnapshotWriter::finish() {
+  if (finished_) return;
+  if (!file_) throw SnapshotError(path_, "", "writer has no open file");
+  const std::uint64_t toc_offset = pos_;
+  const std::uint64_t toc_bytes = toc_.size() * sizeof(SectionInfo);
+  if (!toc_.empty() && std::fwrite(toc_.data(), 1, static_cast<std::size_t>(toc_bytes),
+                                   file_) != static_cast<std::size_t>(toc_bytes)) {
+    throw SnapshotError(path_, "", "write failed (TOC)");
+  }
+  Header hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.version = kSnapshotVersion;
+  hdr.endian = kEndianTag;
+  hdr.ordinal_bytes = sizeof(ordinal_t);
+  hdr.offset_bytes = sizeof(offset_t);
+  hdr.scalar_bytes = sizeof(scalar_t);
+  hdr.file_size = toc_offset + toc_bytes;
+  hdr.toc_offset = toc_offset;
+  hdr.toc_count = toc_.size();
+  hdr.toc_digest = digest_bytes(toc_.data(), toc_bytes);
+  const bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
+                  std::fwrite(&hdr, sizeof(Header), 1, file_) == 1 &&
+                  std::fflush(file_) == 0;
+  const int close_rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!ok || close_rc != 0) throw SnapshotError(path_, "", "write failed (header)");
+  finished_ = true;
+}
+
+void save_snapshot(const std::string& path, const graph::CrsMatrix& a,
+                   const multilevel::HierarchyHandle* hierarchy) {
+  SnapshotWriter w(path);
+  w.add_matrix("a", a);
+  if (hierarchy) w.add_hierarchy("hierarchy", *hierarchy);
+  w.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+graph::CrsMatrix MatrixView::materialize() const {
+  graph::CrsMatrix a;
+  a.num_rows = num_rows;
+  a.num_cols = num_cols;
+  a.row_map.assign(row_map.begin(), row_map.end());
+  a.entries.assign(entries.begin(), entries.end());
+  a.values.assign(values.begin(), values.end());
+  return a;
+}
+
+SnapshotView::~SnapshotView() noexcept { unmap(); }
+
+SnapshotView::SnapshotView(SnapshotView&& other) noexcept
+    : path_(std::move(other.path_)),
+      map_(other.map_),
+      size_(other.size_),
+      toc_(std::move(other.toc_)) {
+  other.map_ = nullptr;
+  other.size_ = 0;
+}
+
+SnapshotView& SnapshotView::operator=(SnapshotView&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    map_ = other.map_;
+    size_ = other.size_;
+    toc_ = std::move(other.toc_);
+    other.map_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void SnapshotView::unmap() noexcept {
+  if (map_) {
+    ::munmap(map_, static_cast<std::size_t>(size_));
+    map_ = nullptr;
+    size_ = 0;
+  }
+}
+
+SnapshotView SnapshotView::open(const std::string& path, bool verify) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw SnapshotError(path, "", "cannot open for reading");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw SnapshotError(path, "", "cannot stat");
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  if (size < sizeof(Header)) {
+    ::close(fd);
+    throw SnapshotError(path, "", "truncated: " + std::to_string(size) +
+                                      " bytes is smaller than the file header (" +
+                                      std::to_string(sizeof(Header)) + ")");
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) throw SnapshotError(path, "", "mmap failed");
+
+  SnapshotView v;
+  v.path_ = path;
+  v.map_ = map;
+  v.size_ = size;
+  const auto* base = static_cast<const std::byte*>(map);
+
+  Header hdr{};
+  std::memcpy(&hdr, base, sizeof(Header));
+  if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SnapshotError(path, "", "bad magic (not a parmis snapshot)");
+  }
+  if (hdr.version != kSnapshotVersion) {
+    throw SnapshotError(path, "", "format version " + std::to_string(hdr.version) +
+                                      " unsupported (this build reads version " +
+                                      std::to_string(kSnapshotVersion) + ")");
+  }
+  if (hdr.endian != kEndianTag) {
+    throw SnapshotError(path, "", "endianness mismatch (written on an incompatible platform)");
+  }
+  if (hdr.ordinal_bytes != sizeof(ordinal_t) || hdr.offset_bytes != sizeof(offset_t) ||
+      hdr.scalar_bytes != sizeof(scalar_t)) {
+    throw SnapshotError(path, "", "element-width mismatch (written with a different "
+                                  "ordinal/offset/scalar configuration)");
+  }
+  if (hdr.file_size != size) {
+    throw SnapshotError(path, "", "truncated: header records " +
+                                      std::to_string(hdr.file_size) + " bytes, file has " +
+                                      std::to_string(size));
+  }
+  const std::uint64_t toc_bytes = hdr.toc_count * sizeof(SectionInfo);
+  if (hdr.toc_offset > size || toc_bytes > size - hdr.toc_offset) {
+    throw SnapshotError(path, "", "TOC [offset " + std::to_string(hdr.toc_offset) + ", " +
+                                      std::to_string(hdr.toc_count) +
+                                      " entries] exceeds file size " + std::to_string(size));
+  }
+  if (verify && digest_bytes(base + hdr.toc_offset, toc_bytes) != hdr.toc_digest) {
+    throw SnapshotError(path, "", "TOC digest mismatch (corrupted table of contents)");
+  }
+  v.toc_.resize(hdr.toc_count);
+  if (toc_bytes > 0) {
+    std::memcpy(v.toc_.data(), base + hdr.toc_offset, static_cast<std::size_t>(toc_bytes));
+  }
+  for (const SectionInfo& s : v.toc_) {
+    if (s.name[sizeof(s.name) - 1] != '\0') {
+      throw SnapshotError(path, "", "unterminated section name in TOC");
+    }
+    if (s.offset % alignof(std::max_align_t) != 0 || s.offset > size ||
+        s.size > size - s.offset) {
+      throw SnapshotError(path, s.name,
+                          "truncated: section [offset " + std::to_string(s.offset) +
+                              ", size " + std::to_string(s.size) + "] exceeds file size " +
+                              std::to_string(size));
+    }
+    if (verify) {
+      std::uint64_t got = digest_bytes(base + s.offset, s.size);
+      // Injected corruption (check builds): exercises the rejection path
+      // the CI serve job and the fault sweep assert on.
+      if (PARMIS_FAULT_POINT("serve.snapshot.corrupt")) got ^= 1;
+      if (got != s.digest) {
+        throw SnapshotError(path, s.name,
+                            "digest mismatch (stored " + check::digest_hex(s.digest) +
+                                ", computed " + check::digest_hex(got) + ")");
+      }
+    }
+  }
+  return v;
+}
+
+const SectionInfo* SnapshotView::find_opt(const std::string& name) const {
+  for (const SectionInfo& s : toc_) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+const SectionInfo& SnapshotView::find(const std::string& name) const {
+  const SectionInfo* s = find_opt(name);
+  if (!s) throw SnapshotError(path_, name, "no such section");
+  return *s;
+}
+
+const std::byte* SnapshotView::section_data(const SectionInfo& s) const {
+  return static_cast<const std::byte*>(map_) + s.offset;
+}
+
+bool SnapshotView::contains(const std::string& name) const {
+  return find_opt(name + ".meta") != nullptr;
+}
+
+template <typename T>
+std::span<const T> SnapshotView::array(const std::string& name, SectionKind kind) const {
+  const SectionInfo& s = find(name);
+  if (s.kind != static_cast<std::uint32_t>(kind)) {
+    throw SnapshotError(path_, name, "section kind mismatch");
+  }
+  if (s.size % sizeof(T) != 0) {
+    throw SnapshotError(path_, name, "section size is not a multiple of the element size");
+  }
+  return {reinterpret_cast<const T*>(section_data(s)), s.size / sizeof(T)};
+}
+
+namespace {
+
+/// Bounds validation of a bound CRS structure: a snapshot whose arrays
+/// pass the digests can still be *internally* inconsistent if the writer
+/// was buggy; rejecting here keeps "no UB on load" unconditional.
+void check_crs(const std::string& path, const std::string& name, ordinal_t num_rows,
+               ordinal_t num_cols, std::span<const offset_t> row_map,
+               std::span<const ordinal_t> entries) {
+  if (num_rows < 0 || num_cols < 0 ||
+      row_map.size() != static_cast<std::size_t>(num_rows) + 1 || row_map.front() != 0 ||
+      row_map.back() != static_cast<offset_t>(entries.size())) {
+    throw SnapshotError(path, name, "inconsistent CRS shape");
+  }
+  for (std::size_t i = 0; i + 1 < row_map.size(); ++i) {
+    if (row_map[i] > row_map[i + 1]) {
+      throw SnapshotError(path, name, "row_map not monotone at row " + std::to_string(i));
+    }
+  }
+  for (const ordinal_t e : entries) {
+    if (e < 0 || e >= num_cols) {
+      throw SnapshotError(path, name, "column index out of range");
+    }
+  }
+}
+
+}  // namespace
+
+MatrixView SnapshotView::bind_matrix_like(const std::string& name, bool expect_values) const {
+  const SectionInfo& ms = find(name + ".meta");
+  if (ms.kind != static_cast<std::uint32_t>(SectionKind::Meta) ||
+      ms.size != sizeof(MatrixMeta)) {
+    throw SnapshotError(path_, name + ".meta", "not a matrix/graph descriptor");
+  }
+  MatrixMeta meta{};
+  std::memcpy(&meta, section_data(ms), sizeof(meta));
+  MatrixView m;
+  m.num_rows = meta.num_rows;
+  m.num_cols = meta.num_cols;
+  m.row_map = array<offset_t>(name + ".row_map", SectionKind::OffsetArray);
+  m.entries = array<ordinal_t>(name + ".entries", SectionKind::OrdinalArray);
+  if (m.entries.size() != meta.num_entries) {
+    throw SnapshotError(path_, name + ".entries", "entry count differs from the descriptor");
+  }
+  check_crs(path_, name, m.num_rows, m.num_cols, m.row_map, m.entries);
+  if (meta.has_values != 0) {
+    m.values = array<scalar_t>(name + ".values", SectionKind::ScalarArray);
+    if (m.values.size() != m.entries.size()) {
+      throw SnapshotError(path_, name + ".values", "value count differs from the entry count");
+    }
+  } else if (expect_values) {
+    throw SnapshotError(path_, name, "stored without values (a graph, not a matrix)");
+  }
+  return m;
+}
+
+MatrixView SnapshotView::bind_matrix(const std::string& name) const {
+  return bind_matrix_like(name, /*expect_values=*/false);
+}
+
+graph::GraphView SnapshotView::bind_graph(const std::string& name) const {
+  const MatrixView m = bind_matrix_like(name, /*expect_values=*/false);
+  return {m.num_rows, m.num_cols, m.row_map.data(), m.entries.data()};
+}
+
+std::span<const ordinal_t> SnapshotView::bind_partition(const std::string& name,
+                                                        ordinal_t* num_parts) const {
+  const SectionInfo& ms = find(name + ".meta");
+  if (ms.kind != static_cast<std::uint32_t>(SectionKind::Meta) ||
+      ms.size != sizeof(PartitionMeta)) {
+    throw SnapshotError(path_, name + ".meta", "not a partition descriptor");
+  }
+  PartitionMeta meta{};
+  std::memcpy(&meta, section_data(ms), sizeof(meta));
+  const std::span<const ordinal_t> labels =
+      array<ordinal_t>(name + ".labels", SectionKind::OrdinalArray);
+  if (labels.size() != static_cast<std::size_t>(meta.num_vertices)) {
+    throw SnapshotError(path_, name + ".labels", "label count differs from the descriptor");
+  }
+  for (const ordinal_t p : labels) {
+    if (p < 0 || p >= meta.num_parts) {
+      throw SnapshotError(path_, name + ".labels", "part label out of range");
+    }
+  }
+  if (num_parts) *num_parts = meta.num_parts;
+  return labels;
+}
+
+graph::CrsMatrix SnapshotView::materialize_matrix(const std::string& name) const {
+  return bind_matrix_like(name, /*expect_values=*/true).materialize();
+}
+
+namespace {
+
+HierarchyMeta read_hierarchy_meta(const std::string& path, const SectionInfo& ms,
+                                  const std::byte* data) {
+  if (ms.kind != static_cast<std::uint32_t>(SectionKind::Meta) ||
+      ms.size != sizeof(HierarchyMeta)) {
+    throw SnapshotError(path, ms.name, "not a hierarchy descriptor");
+  }
+  HierarchyMeta meta{};
+  std::memcpy(&meta, data, sizeof(meta));
+  if (meta.levels <= 0) throw SnapshotError(path, ms.name, "hierarchy has no levels");
+  if (meta.stop > static_cast<std::uint32_t>(multilevel::StopReason::ComplexityCapped)) {
+    throw SnapshotError(path, ms.name, "unknown stop reason");
+  }
+  return meta;
+}
+
+}  // namespace
+
+int SnapshotView::hierarchy_levels(const std::string& name) const {
+  const SectionInfo& ms = find(name + ".meta");
+  return read_hierarchy_meta(path_, ms, section_data(ms)).levels;
+}
+
+bool SnapshotView::hierarchy_has_workspace(const std::string& name) const {
+  const SectionInfo& ms = find(name + ".meta");
+  return read_hierarchy_meta(path_, ms, section_data(ms)).has_workspace != 0;
+}
+
+std::vector<multilevel::OperatorLevel> SnapshotView::load_levels(
+    const std::string& name) const {
+  const SectionInfo& ms = find(name + ".meta");
+  const HierarchyMeta meta = read_hierarchy_meta(path_, ms, section_data(ms));
+  std::vector<multilevel::OperatorLevel> ops(static_cast<std::size_t>(meta.levels));
+  for (std::int32_t l = 0; l < meta.levels; ++l) {
+    const std::string p = level_prefix(name, l);
+    multilevel::OperatorLevel& lvl = ops[static_cast<std::size_t>(l)];
+    const SectionInfo& ls = find(p + ".meta");
+    if (ls.size != sizeof(LevelMeta)) {
+      throw SnapshotError(path_, p + ".meta", "not a level descriptor");
+    }
+    LevelMeta lmeta{};
+    std::memcpy(&lmeta, section_data(ls), sizeof(lmeta));
+    lvl.num_aggregates = lmeta.num_aggregates;
+    lvl.a = bind_matrix_like(p + ".a", /*expect_values=*/true).materialize();
+    const std::span<const scalar_t> inv_diag =
+        array<scalar_t>(p + ".inv_diag", SectionKind::ScalarArray);
+    if (inv_diag.size() != static_cast<std::size_t>(lvl.a.num_rows)) {
+      throw SnapshotError(path_, p + ".inv_diag", "length differs from the level row count");
+    }
+    lvl.inv_diag.assign(inv_diag.begin(), inv_diag.end());
+    if (l + 1 < meta.levels) {
+      lvl.p = bind_matrix_like(p + ".p", /*expect_values=*/true).materialize();
+      lvl.r = bind_matrix_like(p + ".r", /*expect_values=*/true).materialize();
+    }
+  }
+  return ops;
+}
+
+void SnapshotView::load_hierarchy(const std::string& name,
+                                  multilevel::HierarchyHandle& h) const {
+  const SectionInfo& ms = find(name + ".meta");
+  const HierarchyMeta meta = read_hierarchy_meta(path_, ms, section_data(ms));
+  std::vector<multilevel::OperatorLevel> ops = load_levels(name);
+  std::vector<multilevel::SetupWorkspace::GalerkinLevel> gws;
+  if (meta.has_workspace != 0) {
+    gws.resize(ops.size() - 1);
+    for (std::size_t l = 0; l + 1 < ops.size(); ++l) {
+      const std::string p = level_prefix(name, static_cast<int>(l));
+      multilevel::SetupWorkspace::GalerkinLevel& gl = gws[l];
+      gl.phat = bind_matrix_like(p + ".phat", /*expect_values=*/true).materialize();
+      gl.ap = bind_matrix_like(p + ".ap", /*expect_values=*/true).materialize();
+      gl.apc = bind_matrix_like(p + ".apc", /*expect_values=*/true).materialize();
+      const std::span<const offset_t> tperm =
+          array<offset_t>(p + ".tperm", SectionKind::OffsetArray);
+      if (tperm.size() != static_cast<std::size_t>(ops[l].p.num_entries())) {
+        throw SnapshotError(path_, p + ".tperm",
+                            "length differs from the prolongator entry count");
+      }
+      gl.tperm.assign(tperm.begin(), tperm.end());
+    }
+  }
+  const auto stop = static_cast<multilevel::StopReason>(meta.stop);
+  multilevel::restore_galerkin(h, std::move(ops), std::move(gws), stop);
+}
+
+}  // namespace parmis::serve

@@ -129,6 +129,22 @@ AmgHierarchy AmgHierarchy::build(graph::CrsMatrix a_fine, const AmgOptions& opts
   return h;
 }
 
+AmgHierarchy AmgHierarchy::adopt(
+    std::vector<AmgLevel> levels, const AmgOptions& opts,
+    std::vector<multilevel::SetupWorkspace::GalerkinLevel> workspace,
+    multilevel::StopReason stop) {
+  AmgHierarchy h;
+  h.opts_ = opts;
+  Timer setup_timer;
+  const Context ctx = opts.ctx ? *opts.ctx : Context::default_ctx();
+  Context::Scope scope(ctx);
+  h.builder_ = multilevel::Builder(builder_options(opts));
+  multilevel::restore_galerkin(h.handle_, std::move(levels), std::move(workspace), stop);
+  h.finish_setup();
+  h.setup_seconds_ = setup_timer.seconds();
+  return h;
+}
+
 namespace {
 
 /// Effective direct-solve limit: explicit when set, else 4x the coarse

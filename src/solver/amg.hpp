@@ -104,6 +104,21 @@ class AmgHierarchy final : public Preconditioner {
   /// aggregation-only time and total setup time.
   static AmgHierarchy build(graph::CrsMatrix a_fine, const AmgOptions& opts = {});
 
+  /// Adopt externally produced operator levels — deserialized from a
+  /// `serve::SnapshotView` or copied from a published serving state —
+  /// instead of building them: installs the stack into the handle and runs
+  /// only the value-dependent tail of setup (smoothers, coarse
+  /// factorization, V-cycle workspaces). Skips every aggregation and
+  /// SpGEMM of a cold build — the snapshot economy. The adopted hierarchy
+  /// applies/solves immediately; a later `rebuild()` additionally needs
+  /// `workspace` (the Galerkin rebuild scratch the snapshot format
+  /// preserves) and throws without it. Throws std::invalid_argument on an
+  /// empty or inconsistent level stack.
+  static AmgHierarchy adopt(
+      std::vector<AmgLevel> levels, const AmgOptions& opts = {},
+      std::vector<multilevel::SetupWorkspace::GalerkinLevel> workspace = {},
+      multilevel::StopReason stop = multilevel::StopReason::CoarseEnough);
+
   /// Warm value-only rebuild for a matrix with the same structure the
   /// hierarchy was built from but different values: replays the Galerkin
   /// setup into the existing level structures (zero heap allocations

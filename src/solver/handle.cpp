@@ -62,6 +62,22 @@ void SolveHandle::invalidate() {
   ws_.chebyshev_entries = 0;
 }
 
+std::unique_ptr<Preconditioner> SolveHandle::release_preconditioner() {
+  std::unique_ptr<Preconditioner> out = std::move(prec_);
+  invalidate();
+  return out;
+}
+
+void SolveHandle::adopt_preconditioner(std::unique_ptr<Preconditioner> p,
+                                       const graph::CrsMatrix& a) {
+  invalidate();
+  if (!p) return;
+  prec_ = std::move(p);
+  prec_matrix_ = &a;
+  prec_rows_ = a.num_rows;
+  prec_entries_ = a.num_entries();
+}
+
 void SolveHandle::ensure_solver() {
   if (!solver_) solver_ = make_solver(solver_name_);
 }
@@ -239,6 +255,9 @@ const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const 
     const resilience::SolveStatus s = run_attempt(a, b, x, aopts, sname, pname, used_transient);
     total_iterations += static_cast<std::uint64_t>(result_.attempts.back().iterations);
     if (s == resilience::SolveStatus::Converged) break;
+    // Status-conditional fallback: the entry's on: clause decides whether
+    // this failure class is worth retrying down the chain.
+    if (chained && !fallback_.chain[attempt].allows_retry(s)) break;
   }
 
   const AttemptInfo& last = result_.attempts.back();

@@ -81,10 +81,11 @@ class SolveHandle {
   /// dropped: setup may be context-dependent.
   void set_context(const Context& ctx);
 
-  /// Declare a fallback chain from a `"PREC+SOLVER,..."` spec (e.g.
-  /// `"amg+cg,jacobi+cg,none+gmres"`). While a chain is set it *replaces*
-  /// the handle's solver/preconditioner selection: attempt 1 is the chain's
-  /// first entry; each failed attempt (any status but Converged) restores
+  /// Declare a fallback chain from a `"PREC+SOLVER[ on:STATUS|...],..."`
+  /// spec (e.g. `"amg+cg on:breakdown,jacobi+cg"`). While a chain is set it
+  /// *replaces* the handle's solver/preconditioner selection: attempt 1 is
+  /// the chain's first entry; each failed attempt (any status but
+  /// Converged, filtered by the entry's optional `on:` status set) restores
   /// the original initial guess and tries the next entry, within the
   /// chain's retry budget and the solve's `timeout_ms`. Entries naming the
   /// handle's configured solver/preconditioner reuse its cached state;
@@ -115,6 +116,20 @@ class SolveHandle {
 
   /// Drop cached preconditioner state; the next solve()/setup() rebuilds.
   void invalidate();
+
+  /// Pool hooks (`serve::HandlePool`): move the cached preconditioner
+  /// setup out of the handle — for parking in an LRU keyed by matrix
+  /// identity — leaving the handle cold (next solve rebuilds). Returns
+  /// null when nothing is cached (including the "none" configuration).
+  [[nodiscard]] std::unique_ptr<Preconditioner> release_preconditioner();
+
+  /// Install an externally built (or LRU-parked) setup as the cached
+  /// preconditioner for `a`: the next solve against `a` (same address and
+  /// shape) is warm, no rebuild, no allocation. `p` must be a setup for a
+  /// matrix bit-identical to `a` — the handle can't verify that; the pool
+  /// keys its cache by identity to guarantee it. Does not count as a
+  /// prec_setup in stats(). A null `p` is equivalent to invalidate().
+  void adopt_preconditioner(std::unique_ptr<Preconditioner> p, const graph::CrsMatrix& a);
 
   /// The cached preconditioner (null until the first setup, and always
   /// null for "none").

@@ -45,11 +45,15 @@ void scale(std::span<scalar_t> x, scalar_t alpha) {
 
 std::vector<scalar_t> random_vector(ordinal_t n, std::uint64_t seed) {
   std::vector<scalar_t> v(static_cast<std::size_t>(n));
-  par::parallel_for(n, [&](ordinal_t i) {
+  random_fill(v, seed);
+  return v;
+}
+
+void random_fill(std::span<scalar_t> v, std::uint64_t seed) {
+  par::parallel_for(static_cast<ordinal_t>(v.size()), [&](ordinal_t i) {
     const std::uint64_t z = rng::splitmix64_mix(seed + static_cast<std::uint64_t>(i));
     v[static_cast<std::size_t>(i)] = 2.0 * (static_cast<double>(z >> 11) * 0x1.0p-53) - 1.0;
   });
-  return v;
 }
 
 }  // namespace parmis::solver

@@ -36,4 +36,8 @@ void scale(std::span<scalar_t> x, scalar_t alpha);
 /// right-hand sides and initial guesses in tests/benches.
 [[nodiscard]] std::vector<scalar_t> random_vector(ordinal_t n, std::uint64_t seed);
 
+/// `random_vector` into caller-owned storage — the allocation-free variant
+/// the serving runtime uses for per-request right-hand sides.
+void random_fill(std::span<scalar_t> v, std::uint64_t seed);
+
 }  // namespace parmis::solver

@@ -103,6 +103,39 @@ TEST(ResilienceFallbackPolicy, MalformedSpecThrows) {
   EXPECT_THROW((void)FallbackPolicy::parse("amg+cg+extra"), std::invalid_argument);
 }
 
+TEST(ResilienceFallbackPolicy, OnClauseParsesAndRoundTrips) {
+  const FallbackPolicy p =
+      FallbackPolicy::parse("amg+cg on:breakdown|setup_failed, jacobi+cg ,none+gmres on:timeout");
+  ASSERT_EQ(p.chain.size(), 3u);
+  EXPECT_EQ(p.chain[0].prec, "amg");
+  EXPECT_EQ(p.chain[0].solver, "cg");
+  ASSERT_EQ(p.chain[0].retry_on.size(), 2u);
+  EXPECT_TRUE(p.chain[0].allows_retry(SolveStatus::Breakdown));
+  EXPECT_TRUE(p.chain[0].allows_retry(SolveStatus::SetupFailed));
+  EXPECT_FALSE(p.chain[0].allows_retry(SolveStatus::Stagnated));
+  // No clause = the unconditional historical behavior.
+  EXPECT_TRUE(p.chain[1].retry_on.empty());
+  EXPECT_TRUE(p.chain[1].allows_retry(SolveStatus::Stagnated));
+  ASSERT_EQ(p.chain[2].retry_on.size(), 1u);
+  EXPECT_EQ(p.chain[2].retry_on[0], SolveStatus::Timeout);
+  EXPECT_EQ(p.to_string(), "amg+cg on:breakdown|setup_failed,jacobi+cg,none+gmres on:timeout");
+  // Round trip through parse again: the grammar is closed under to_string.
+  EXPECT_EQ(FallbackPolicy::parse(p.to_string()).to_string(), p.to_string());
+}
+
+TEST(ResilienceFallbackPolicy, OnClauseRejectsUnknownStatus) {
+  EXPECT_THROW((void)FallbackPolicy::parse("amg+cg on:explode"), std::invalid_argument);
+  EXPECT_THROW((void)FallbackPolicy::parse("amg+cg on:"), std::invalid_argument);
+  EXPECT_FALSE(resilience::status_from_string("explode").has_value());
+  ASSERT_TRUE(resilience::status_from_string("breakdown").has_value());
+  EXPECT_EQ(*resilience::status_from_string("breakdown"), SolveStatus::Breakdown);
+  // Every taxonomy spelling round-trips through the inverse.
+  for (SolveStatus s : resilience::all_statuses()) {
+    ASSERT_TRUE(resilience::status_from_string(resilience::to_string(s)).has_value());
+    EXPECT_EQ(*resilience::status_from_string(resilience::to_string(s)), s);
+  }
+}
+
 // ------------------------------------------------------------ iter guard
 
 TEST(ResilienceIterGuard, ClassifiesResidualSequences) {
@@ -258,6 +291,34 @@ TEST(ResilienceFallback, ChainRecoversFromBreakdown) {
   EXPECT_NEAR(x[1], -1.0, 1e-10);
   EXPECT_EQ(h.stats().fallback_attempts, 1u);
   EXPECT_EQ(h.stats().failures, 0u);  // the chain as a whole succeeded
+}
+
+TEST(ResilienceFallback, OnClauseGatesTheChain) {
+  // Same indefinite system as above: CG's status is Breakdown. A chain
+  // whose first entry only falls through on stagnation must STOP after
+  // the breakdown — GMRES never runs and the failure is reported.
+  const graph::CrsMatrix a = graph::matrix_from_coo(2, 2, {{0, 0, 1}, {1, 1, -1}});
+  const std::vector<scalar_t> b{1, 1};
+  {
+    std::vector<scalar_t> x(2, 0);
+    solver::SolveHandle h;
+    h.set_fallback("none+cg on:stagnated,none+gmres");
+    const solver::IterResult& r = h.solve(a, b, x);
+    EXPECT_EQ(r.status, SolveStatus::Breakdown);
+    ASSERT_EQ(r.attempts.size(), 1u);
+    EXPECT_EQ(h.stats().fallback_attempts, 0u);
+  }
+  // The same chain gated on breakdown proceeds and recovers.
+  {
+    std::vector<scalar_t> x(2, 0);
+    solver::SolveHandle h;
+    h.set_fallback("none+cg on:breakdown,none+gmres");
+    const solver::IterResult& r = h.solve(a, b, x);
+    EXPECT_EQ(r.status, SolveStatus::Converged);
+    ASSERT_EQ(r.attempts.size(), 2u);
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[1], -1.0, 1e-10);
+  }
 }
 
 TEST(ResilienceFallback, SpecValidatedAgainstRegistries) {
