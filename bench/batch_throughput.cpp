@@ -1,0 +1,290 @@
+/// \file batch_throughput.cpp
+/// \brief Batched multi-RHS throughput: `solve_batch` through the fused
+/// block-Krylov cores (SpMM + K-wide reductions) versus the same K
+/// right-hand sides solved one at a time.
+///
+/// The claim being priced: a K-wide batch reads the matrix once per
+/// block iteration where the looped baseline reads it once per column
+/// per iteration, so on bandwidth-bound operators the batch should clear
+/// >= 2x solves/sec at K = 8. Every cell also cross-checks per-column
+/// digests — block-CG is per-column CG run in lockstep, so column c of
+/// the batch must equal the single-RHS solve of the same seed *bit for
+/// bit* — and a final serving cell replays a request stream in batched
+/// waves across a live async customize swap, whose combined digest must
+/// match the serial unbatched replay. The bench exits nonzero on any
+/// mismatch, so the JSON doubles as a correctness artifact.
+///
+/// Emits one JSON object per cell (stdout + `--out`, default
+/// BENCH_batch_throughput.json) through `obs::Report`.
+///
+/// Usage: bench_batch_throughput [--scale=F] [--batch=K] [--trials=N]
+///                               [--out=PATH] [--full]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "check/digest.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timer.hpp"
+#include "serve/replay.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "solver/handle.hpp"
+#include "solver/multivector.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace parmis {
+namespace {
+
+struct Options {
+  double scale = 0.25;
+  int batch = 8;
+  int trials = 5;
+  std::string out = "BENCH_batch_throughput.json";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* s = argv[i];
+    if (!std::strncmp(s, "--scale=", 8)) {
+      o.scale = std::atof(s + 8);
+    } else if (!std::strncmp(s, "--batch=", 8)) {
+      o.batch = std::atoi(s + 8);
+    } else if (!std::strncmp(s, "--trials=", 9)) {
+      o.trials = std::atoi(s + 9);
+    } else if (!std::strncmp(s, "--out=", 6)) {
+      o.out = s + 6;
+    } else if (!std::strcmp(s, "--full")) {
+      o.scale = 1.0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale=F] [--batch=K] [--trials=N] [--out=PATH] [--full]\n",
+                   argv[0]);
+      std::exit(1);
+    }
+  }
+  if (o.batch < 1) o.batch = 1;
+  if (o.trials < 1) o.trials = 1;
+  return o;
+}
+
+struct KernelCell {
+  std::string name;
+  graph::CrsMatrix a;
+};
+
+/// One (graph, K) cell: K looped single-RHS solves vs one K-wide
+/// solve_batch, both warm (timed runs reuse the handle's workspace).
+/// Returns false on any per-column digest mismatch.
+bool run_kernel_cell(const KernelCell& cell, const Options& opt, obs::JsonArrayWriter& out) {
+  const graph::CrsMatrix& a = cell.a;
+  const ordinal_t n = a.num_rows;
+  const int k = opt.batch;
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t uk = static_cast<std::size_t>(k);
+  solver::IterOptions iopts;
+  iopts.tolerance = 1e-8;
+  iopts.max_iterations = 2000;
+
+  // --- looped baseline: K independent single-RHS solves through "cg" ----
+  solver::SolveHandle looped;
+  looped.set_solver("cg");
+  looped.set_preconditioner("jacobi");
+  std::vector<scalar_t> b(un);
+  std::vector<scalar_t> x(un);
+  std::vector<std::uint64_t> looped_digests(uk);
+  std::int64_t looped_iters = 0;
+  bool looped_converged = true;
+  auto run_looped = [&] {
+    looped_iters = 0;
+    for (int c = 0; c < k; ++c) {
+      solver::random_fill(b, static_cast<std::uint64_t>(1 + c));
+      solver::fill(x, 0.0);
+      const solver::IterResult& r = looped.solve(a, b, x, iopts);
+      looped_converged = looped_converged && r.converged;
+      looped_iters += r.iterations;
+      looped_digests[static_cast<std::size_t>(c)] = check::digest(x);
+    }
+  };
+  const double looped_s = bench::time_best_s(opt.trials, run_looped);
+
+  // --- batched: one K-wide solve through the fused "block-cg" core ------
+  solver::SolveHandle batched;
+  batched.set_solver("block-cg");
+  batched.set_preconditioner("jacobi");
+  std::vector<scalar_t> bm(un * uk);
+  std::vector<scalar_t> xm(un * uk);
+  for (int c = 0; c < k; ++c) {
+    solver::random_fill(b, static_cast<std::uint64_t>(1 + c));
+    solver::scatter_column(b, n, k, c, bm);
+  }
+  std::int64_t batched_iters = 0;
+  bool batched_converged = true;
+  auto run_batched = [&] {
+    solver::fill(xm, 0.0);
+    const solver::BatchResult& br = batched.solve_batch(a, bm, xm, k, iopts);
+    batched_converged = br.all_converged();
+    batched_iters = 0;
+    for (int c = 0; c < k; ++c) {
+      batched_iters = std::max(
+          batched_iters, static_cast<std::int64_t>(br.results[static_cast<std::size_t>(c)].iterations));
+    }
+  };
+  const double batched_s = bench::time_best_s(opt.trials, run_batched);
+
+  bool digests_match = true;
+  for (int c = 0; c < k; ++c) {
+    solver::gather_column(xm, n, k, c, std::span<scalar_t>(x));
+    const std::uint64_t d = check::digest(x);
+    if (d != looped_digests[static_cast<std::size_t>(c)]) {
+      std::fprintf(stderr, "DIGEST MISMATCH: %s column %d batched %s != looped %s\n",
+                   cell.name.c_str(), c, check::digest_hex(d).c_str(),
+                   check::digest_hex(looped_digests[static_cast<std::size_t>(c)]).c_str());
+      digests_match = false;
+    }
+  }
+
+  const double looped_rate = looped_s > 0.0 ? static_cast<double>(k) / looped_s : 0.0;
+  const double batched_rate = batched_s > 0.0 ? static_cast<double>(k) / batched_s : 0.0;
+  const double speedup = looped_rate > 0.0 ? batched_rate / looped_rate : 0.0;
+
+  obs::Report report;
+  report.set("bench", "batch_throughput");
+  obs::add_graph(report, cell.name, a.num_rows, a.num_entries());
+  report.set("mode", "kernel");
+  report.set("batch", k);
+  report.set("trials", opt.trials);
+  report.set("looped_solver", "cg");
+  report.set("batched_solver", "block-cg");
+  report.set("prec", "jacobi");
+  report.set("looped_seconds", looped_s);
+  report.set("batched_seconds", batched_s);
+  report.set("looped_solves_per_sec", looped_rate);
+  report.set("batched_solves_per_sec", batched_rate);
+  report.set("speedup", speedup);
+  report.set("looped_iterations", looped_iters);
+  report.set("batched_block_iterations", batched_iters);
+  report.set("converged", looped_converged && batched_converged);
+  report.set("digests_match", digests_match);
+  const std::string json = report.to_json();
+  std::printf("%s\n", json.c_str());
+  out.row(json);
+  return digests_match;
+}
+
+/// Serving cell: one request stream replayed three ways — serial
+/// unbatched (the reference digest), serial batched waves, and threaded
+/// batched waves — all across a live customize swap, the batched runs
+/// routing it through the async pipeline. All three combined digests
+/// must be equal.
+bool run_serve_cell(const Options& opt, obs::JsonArrayWriter& out) {
+  const ordinal_t nx = std::max<ordinal_t>(12, static_cast<ordinal_t>(24 * opt.scale));
+  const graph::CrsMatrix a = graph::laplace3d(nx, nx, nx);
+  const std::string snap_path = "bench_batch_throughput.snap";
+  serve::save_snapshot(snap_path, a, nullptr);
+  const serve::SnapshotView snap = serve::SnapshotView::open(snap_path);
+
+  const std::size_t requests = static_cast<std::size_t>(4 * opt.batch);
+  const std::size_t customize_at = requests / 2;
+
+  struct Cell {
+    const char* name;
+    int threads;
+    int batch;
+  };
+  const std::vector<Cell> cells = {
+      {"serve_serial", 1, 1},
+      {"serve_batched", 1, opt.batch},
+      {"serve_batched_threaded", 2, opt.batch},
+  };
+
+  bool ok = true;
+  std::uint64_t expect = 0;
+  for (const Cell& cell : cells) {
+    serve::Service::Options sopts;
+    sopts.pool.solver = cell.batch > 1 ? "block-cg" : "cg";
+    sopts.pool.prec = "jacobi";
+    sopts.pool.size = 4;
+    serve::Service service = serve::Service::from_snapshot(sopts, snap);
+    const std::vector<serve::ServeRequest> reqs =
+        serve::make_requests(requests, 1, service.epoch(), customize_at);
+    serve::ReplayOptions ropts;
+    ropts.threads = cell.threads;
+    ropts.customize_at = customize_at;
+    ropts.batch = cell.batch;
+    const serve::ReplayResult result = serve::replay(service, reqs, ropts);
+    const serve::ReplayStats& st = result.stats;
+
+    if (cell.batch == 1) {
+      expect = st.combined_digest;
+    } else if (st.combined_digest != expect) {
+      std::fprintf(stderr, "DIGEST MISMATCH: %s %s != serial unbatched %s\n", cell.name,
+                   check::digest_hex(st.combined_digest).c_str(),
+                   check::digest_hex(expect).c_str());
+      ok = false;
+    }
+
+    obs::Report report;
+    report.set("bench", "batch_throughput");
+    obs::add_graph(report, "laplace3d", a.num_rows, a.num_entries());
+    report.set("mode", cell.name);
+    report.set("threads", st.threads);
+    report.set("batch", cell.batch);
+    report.set("customize_at", static_cast<std::int64_t>(customize_at));
+    report.set("converged", st.converged);
+    report.set("requests", static_cast<std::int64_t>(st.requests));
+    report.set("solves_per_sec", st.solves_per_sec);
+    report.set("combined_digest", check::digest_hex(st.combined_digest));
+    report.set("final_epoch", st.final_epoch);
+    const std::string json = report.to_json();
+    std::printf("%s\n", json.c_str());
+    out.row(json);
+  }
+  std::remove(snap_path.c_str());
+  return ok;
+}
+
+}  // namespace
+}  // namespace parmis
+
+int main(int argc, char** argv) {
+  using namespace parmis;
+  const Options opt = parse(argc, argv);
+
+  obs::JsonArrayWriter out(opt.out);
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+    return 1;
+  }
+
+  const ordinal_t nx = std::max<ordinal_t>(16, static_cast<ordinal_t>(32 * opt.scale));
+  const ordinal_t npl = std::max<ordinal_t>(4000, static_cast<ordinal_t>(20000 * opt.scale));
+  std::printf("# batch_throughput: K=%d, laplace3d nx=%d, power_law n=%d, trials=%d\n", opt.batch,
+              nx, npl, opt.trials);
+
+  std::vector<KernelCell> cells;
+  cells.push_back({"laplace3d", graph::laplace3d(nx, nx, nx)});
+  {
+    const graph::CrsGraph g =
+        graph::power_law_graph(npl, 2.2, 4, std::max<ordinal_t>(64, npl / 60), 42);
+    cells.push_back({"power_law", graph::laplacian_matrix(g, 1.0)});
+  }
+
+  bool ok = true;
+  for (const KernelCell& cell : cells) ok = run_kernel_cell(cell, opt, out) && ok;
+  ok = run_serve_cell(opt, out) && ok;
+
+  if (!out.close()) {
+    std::fprintf(stderr, "write error on %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s\n", opt.out.c_str());
+  return ok ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,26 @@ double time_mean_s(int trials, F&& f) {
     f();
   }
   return t.seconds() / trials;
+}
+
+/// Minimum wall seconds of `f()` over `trials` runs after one warmup — the
+/// noise-robust estimator for throughput comparisons: on a shared or
+/// frequency-scaled machine a transient slowdown inflates the mean of
+/// whichever arm it lands on, while the fastest observed trial tracks the
+/// code's true cost. Same warmup and span structure as `time_mean_s`.
+template <typename F>
+double time_best_s(int trials, F&& f) {
+  f();  // warmup
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < trials; ++i) {
+    obs::Span trial("bench.trial");
+    trial.arg("trial", i);
+    Timer t;
+    f();
+    const double s = t.seconds();
+    if (s < best) best = s;
+  }
+  return best;
 }
 
 /// Wall seconds of a single `f()` call, recorded as a `name` span when

@@ -13,10 +13,18 @@
 /// Usage:
 ///   linear_solve [--solvers=s,...|all] [--precs=p,...|all]
 ///                [--coarseners=c,...] [--graphs=SPEC,...] [--scale=F]
-///                [--tol=T] [--maxit=N] [--rebuilds=N] [--json]
+///                [--tol=T] [--maxit=N] [--rebuilds=N] [--batch=K] [--json]
 ///                [--fallback=CHAIN] [--timeout-ms=F] [--stagnation-window=N]
 ///                [--fault=SPEC[@N],...] [--trace=FILE] [--trace-sample=N]
 ///                [--list]
+///
+/// `--batch=K` solves K right-hand sides per row in one
+/// `SolveHandle::solve_batch` call (rhs seeds 1..K, so column 0 is the
+/// unbatched run's system): one table row (or `--json` Report) per RHS
+/// carrying that column's taxonomy status and digest, plus an aggregate
+/// row with the batch wall clock and converged count. Pair with
+/// `--solvers=block-cg` to exercise the fused SpMM cores; the per-column
+/// results are bit-identical to `--solvers=cg` one RHS at a time.
 ///
 /// Resilience flags: `--fallback=amg+cg,jacobi+cg,none+gmres` declares a
 /// fallback chain on every row's handle (replacing that row's
@@ -70,6 +78,7 @@
 #include "resilience/status.hpp"
 #include "solver/amg.hpp"
 #include "solver/handle.hpp"
+#include "solver/multivector.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace {
@@ -81,7 +90,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--solvers=s,...|all] [--precs=p,...|all] [--coarseners=c,...]\n"
                "          [--graphs=SPEC,...] [--scale=F] [--tol=T] [--maxit=N] "
-               "[--rebuilds=N] [--json] [--digest]\n"
+               "[--rebuilds=N] [--batch=K] [--json] [--digest]\n"
                "          [--fallback=PREC+SOLVER,...] [--timeout-ms=F] "
                "[--stagnation-window=N] [--fault=NAME[@N],...]\n"
                "          [--trace=FILE] [--trace-sample=N] [--list]\n"
@@ -101,6 +110,7 @@ int main(int argc, char** argv) {
   double tol = 1e-8;
   int maxit = 1000;
   int rebuilds = 0;
+  int batch = 1;
   bool json = false;
   // --digest: print check::digest_hex of each solution vector — one word a
   // user can diff across machines/backends ("same digest = same bits").
@@ -133,6 +143,8 @@ int main(int argc, char** argv) {
       maxit = std::atoi(s + 8);
     } else if (!std::strncmp(s, "--rebuilds=", 11)) {
       rebuilds = std::atoi(s + 11);
+    } else if (!std::strncmp(s, "--batch=", 8)) {
+      batch = std::atoi(s + 8);
     } else if (!std::strcmp(s, "--json")) {
       json = true;
     } else if (!std::strcmp(s, "--digest")) {
@@ -174,6 +186,10 @@ int main(int argc, char** argv) {
   if (graphs.empty()) graphs = {"gen:laplace3d:20"};
   if (tol <= 0 || maxit < 1) {
     std::fprintf(stderr, "--tol must be positive and --maxit >= 1\n");
+    return 1;
+  }
+  if (batch < 1) {
+    std::fprintf(stderr, "--batch must be >= 1\n");
     return 1;
   }
 
@@ -307,6 +323,84 @@ int main(int argc, char** argv) {
 
         for (const std::string& sname : solvers) {
           handle.set_solver(sname);
+          if (batch > 1) {
+            // Batched path: K systems in one solve_batch call. Column c's
+            // rhs is random_vector(n, 1 + c), so column 0 is the unbatched
+            // run's system and the two paths are digest-comparable.
+            const std::size_t un = static_cast<std::size_t>(a.num_rows);
+            const std::size_t uk = static_cast<std::size_t>(batch);
+            std::vector<scalar_t> bmv(un * uk);
+            std::vector<scalar_t> xmv(un * uk, 0);
+            std::vector<scalar_t> col(un);
+            for (int c = 0; c < batch; ++c) {
+              solver::random_fill(col, static_cast<std::uint64_t>(1 + c));
+              solver::scatter_column(col, a.num_rows, batch, c, bmv);
+            }
+            Timer solve_timer;
+            const solver::BatchResult& br = handle.solve_batch(a, bmv, xmv, batch, opts);
+            const double batch_s = solve_timer.seconds();
+            int converged_cols = 0;
+            for (int c = 0; c < batch; ++c) {
+              const solver::IterResult& r = br.results[static_cast<std::size_t>(c)];
+              if (r.converged) {
+                ++converged_cols;
+              } else {
+                any_failed = true;
+              }
+              std::string xdigest;
+              if (digest) {
+                solver::gather_column(xmv, a.num_rows, batch, c, col);
+                xdigest = check::digest_hex(check::digest(col));
+              }
+              if (json) {
+                obs::Report report;
+                obs::add_graph(report, spec, a.num_rows, a.num_entries());
+                report.set("solver", sname);
+                report.set("prec", pname);
+                report.set("coarsener", cname);
+                report.set("batch", batch);
+                report.set("batch_index", c);
+                obs::add_iter_result(report, r);
+                report.set("setup_seconds", setup_s);
+                report.set("batch_seconds", batch_s);
+                if (digest) report.set("solution_digest", xdigest);
+                std::printf("%s\n", report.to_json().c_str());
+              } else {
+                std::string tag;
+                if (!r.converged) {
+                  tag = std::string("  (") + resilience::to_string(r.status) + ")";
+                }
+                const std::string label = sname + '[' + std::to_string(c) + ']';
+                std::printf("  %-10s %-12s %-11s %6d %10.2e %9.4f %9.4f%s%s%s\n",
+                            label.c_str(), pname.c_str(), cname.c_str(), r.iterations,
+                            r.relative_residual, setup_s, batch_s, digest ? "  " : "",
+                            xdigest.c_str(), tag.c_str());
+              }
+            }
+            // Aggregate row: the batch as one unit of work.
+            if (json) {
+              obs::Report report;
+              obs::add_graph(report, spec, a.num_rows, a.num_entries());
+              report.set("solver", sname);
+              report.set("prec", pname);
+              report.set("coarsener", cname);
+              report.set("batch", batch);
+              report.set("aggregate", true);
+              report.set("converged_columns", converged_cols);
+              report.set("setup_seconds", setup_s);
+              report.set("batch_seconds", batch_s);
+              report.set("solves_per_second",
+                         batch_s > 0 ? static_cast<double>(batch) / batch_s : 0.0);
+              std::printf("%s\n", report.to_json().c_str());
+            } else {
+              std::printf("  %-10s %-12s %-11s batch=%d: %d/%d converged, %.4fs"
+                          " (%.1f solves/s)\n",
+                          sname.c_str(), pname.c_str(), cname.c_str(), batch, converged_cols,
+                          batch, batch_s,
+                          batch_s > 0 ? static_cast<double>(batch) / batch_s : 0.0);
+            }
+            continue;
+          }
           std::vector<scalar_t> x(static_cast<std::size_t>(a.num_rows), 0);
           Timer solve_timer;
           const solver::IterResult& r = handle.solve(a, b, x, opts);

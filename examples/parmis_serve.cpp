@@ -18,9 +18,14 @@
 ///   parmis_serve replay --snapshot=FILE [--requests=N] [--threads=N]
 ///                       [--customize-at=K] [--value-scale=F] [--pool=N]
 ///                       [--solver=S] [--prec=P] [--fallback=CHAIN]
-///                       [--tol=T] [--maxit=N] [--seed=N] [--json]
+///                       [--tol=T] [--maxit=N] [--seed=N] [--batch=K] [--json]
 ///                       [--fault=NAME[@N],...]
 ///     Serve N requests across worker threads from a `HandlePool`.
+///     `--batch=K` serves requests in K-wide multi-RHS waves through
+///     `Service::solve_batch` (pair with `--solver=block-cg` for the fused
+///     cores) and routes the customize swap through the async
+///     `CustomizePipeline`; outcomes and the combined digest stay
+///     bit-identical to the unbatched replay.
 ///     `--customize-at=K` publishes refreshed values (scaled by
 ///     `--value-scale`) once request K-1 is dispatched: requests >= K pin
 ///     the new epoch, so the replay's combined digest is bit-identical at
@@ -67,7 +72,8 @@ void usage(const char* argv0) {
       "       %s inspect --snapshot=FILE\n"
       "       %s replay  --snapshot=FILE [--requests=N] [--threads=N] [--customize-at=K]\n"
       "                  [--value-scale=F] [--pool=N] [--solver=S] [--prec=P]\n"
-      "                  [--fallback=CHAIN] [--tol=T] [--maxit=N] [--seed=N] [--json]\n"
+      "                  [--fallback=CHAIN] [--tol=T] [--maxit=N] [--seed=N] [--batch=K]\n"
+      "                  [--json]\n"
       "                  [--fault=NAME[@N],...]\n"
       "  SPEC: file.mtx | gen:laplace2d:NX | gen:laplace3d:NX | gen:elasticity:NX |\n"
       "        gen:rgg:N:DEG | gen:powerlaw:N[:EXP] | reg:NAME\n",
@@ -199,6 +205,7 @@ struct ReplayArgs {
   double tol = 1e-8;
   int maxit = 1000;
   std::uint64_t seed = 1;
+  int batch = 1;
   bool json = false;
 };
 
@@ -227,6 +234,7 @@ int cmd_replay(const ReplayArgs& args) {
   ropts.threads = args.threads;
   ropts.customize_at = args.customize_at;
   ropts.value_scale = args.value_scale;
+  ropts.batch = args.batch;
 
   serve::ReplayResult result;
   try {
@@ -260,6 +268,7 @@ int cmd_replay(const ReplayArgs& args) {
     summary.set("solver", args.solver);
     summary.set("prec", args.prec);
     summary.set("customize_at", static_cast<std::int64_t>(args.customize_at));
+    summary.set("batch", args.batch);
     summary.set("final_epoch", st.final_epoch);
     summary.set("converged", st.converged);
     std::vector<double> lat(result.outcomes.size());
@@ -341,6 +350,8 @@ int main(int argc, char** argv) {
       rargs.maxit = std::atoi(s + 8);
     } else if (!std::strncmp(s, "--seed=", 7)) {
       rargs.seed = static_cast<std::uint64_t>(std::atoll(s + 7));
+    } else if (!std::strncmp(s, "--batch=", 8)) {
+      rargs.batch = std::atoi(s + 8);
     } else if (!std::strcmp(s, "--json")) {
       rargs.json = true;
     } else if (!std::strncmp(s, "--fault=", 8)) {

@@ -15,7 +15,9 @@
 /// bit-reproducible.
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "parallel/execution.hpp"
@@ -26,6 +28,24 @@ namespace parmis::par {
 /// Chunk width for deterministic reductions. Fixed (never derived from the
 /// thread count) so the combine tree is invariant.
 inline constexpr std::int64_t reduce_chunk = 4096;
+
+namespace detail {
+
+/// Thread-local growable buffer for the per-chunk partials of
+/// `parallel_reduce`. Reductions are called from warm solver loops that
+/// promise zero heap allocations per call (`SolveHandle`'s AllocGuard
+/// contract); a per-call `std::vector` would break that promise the first
+/// time n exceeds `reduce_chunk`. The buffer grows monotonically and is
+/// reused by every reduction on the thread; only the calling thread touches
+/// it (the inner `parallel_for` workers write through the pointer, which is
+/// safe: slots are disjoint per chunk).
+inline std::byte* reduce_scratch(std::size_t bytes) {
+  thread_local std::vector<std::byte> buf;
+  if (buf.size() < bytes) buf.resize(bytes);
+  return buf.data();
+}
+
+}  // namespace detail
 
 /// Deterministic reduction of `f(i)` over `i in [0, n)` with a binary
 /// `join` and an `identity` element. `join` need not be commutative; the
@@ -44,19 +64,28 @@ T parallel_reduce(Index n, F&& f, Join&& join, T identity) {
 
   // The chunked combine runs even on the serial backend so the reduction
   // tree — and therefore the floating-point result — is identical for
-  // every backend and thread count.
-  std::vector<T> partial(static_cast<std::size_t>(nchunks), identity);
-  parallel_for(nchunks, [&](std::int64_t c) {
-    const Index lo = static_cast<Index>(c * reduce_chunk);
-    const Index hi = static_cast<Index>(std::min<std::int64_t>(len, (c + 1) * reduce_chunk));
+  // every backend and thread count. Trivial accumulator types (every
+  // solver reduction) stage their partials in the thread-local scratch so
+  // warm reductions allocate nothing; other types fall back to a vector.
+  const auto run = [&](T* partial) {
+    parallel_for(nchunks, [&](std::int64_t c) {
+      const Index lo = static_cast<Index>(c * reduce_chunk);
+      const Index hi = static_cast<Index>(std::min<std::int64_t>(len, (c + 1) * reduce_chunk));
+      T acc = identity;
+      for (Index i = lo; i < hi; ++i) acc = join(acc, f(i));
+      partial[static_cast<std::size_t>(c)] = acc;
+    });
     T acc = identity;
-    for (Index i = lo; i < hi; ++i) acc = join(acc, f(i));
-    partial[static_cast<std::size_t>(c)] = acc;
-  });
-
-  T acc = identity;
-  for (const T& p : partial) acc = join(acc, p);
-  return acc;
+    for (std::int64_t c = 0; c < nchunks; ++c) acc = join(acc, partial[c]);
+    return acc;
+  };
+  if constexpr (std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>) {
+    return run(reinterpret_cast<T*>(
+        detail::reduce_scratch(static_cast<std::size_t>(nchunks) * sizeof(T))));
+  } else {
+    std::vector<T> partial(static_cast<std::size_t>(nchunks), identity);
+    return run(partial.data());
+  }
 }
 
 /// Deterministic sum of `f(i)` over `[0, n)`.

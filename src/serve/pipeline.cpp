@@ -1,0 +1,89 @@
+#include "serve/pipeline.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "serve/service.hpp"
+
+namespace parmis::serve {
+
+CustomizePipeline::CustomizePipeline(Service& service)
+    : service_(service), base_epoch_(service.epoch()) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+CustomizePipeline::~CustomizePipeline() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return completed_ == submitted_; });
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::uint64_t CustomizePipeline::submit(std::span<const scalar_t> values) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Depth-1 backpressure: wait for the worker to take the previous buffer.
+  cv_.wait(lock, [&] { return !pending_.has_value(); });
+  pending_.emplace(values.begin(), values.end());
+  ++submitted_;
+  const std::uint64_t predicted = base_epoch_ + submitted_;
+  cv_.notify_all();
+  return predicted;
+}
+
+void CustomizePipeline::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return completed_ == submitted_; });
+}
+
+std::vector<CustomizePipeline::Failure> CustomizePipeline::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+std::uint64_t CustomizePipeline::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+std::uint64_t CustomizePipeline::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void CustomizePipeline::worker_loop() {
+  for (;;) {
+    std::vector<scalar_t> values;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || pending_.has_value(); });
+      if (!pending_.has_value()) return;
+      values = std::move(*pending_);
+      pending_.reset();
+    }
+    cv_.notify_all();  // the hand-off buffer is free again
+    // Publish exactly one epoch per submission: customize on success,
+    // republish on failure — consumers pinned to the predicted epoch must
+    // never block forever on a refresh that threw.
+    try {
+      (void)service_.customize(values);
+    } catch (const std::exception& e) {
+      const std::uint64_t published = service_.republish();
+      std::lock_guard<std::mutex> lock(mu_);
+      failures_.push_back(Failure{published, e.what()});
+    } catch (...) {
+      const std::uint64_t published = service_.republish();
+      std::lock_guard<std::mutex> lock(mu_);
+      failures_.push_back(Failure{published, "unknown customize failure"});
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace parmis::serve

@@ -1,0 +1,100 @@
+#pragma once
+/// \file pipeline.hpp
+/// \brief `serve::CustomizePipeline` — the async customize path: a
+/// double-buffered background worker that overlaps the Galerkin value
+/// replay of epoch N+1 with batched solves still draining epoch N.
+///
+/// `Service::customize` is synchronous: the caller blocks for the whole
+/// `rebuild_galerkin`. In a serving loop that alternates value refreshes
+/// with solve waves, that rebuild time is dead time — the solves it stalls
+/// are pinned to the *previous* epoch and do not need the new operator at
+/// all. The pipeline moves the rebuild onto one worker thread:
+///
+///   CustomizePipeline pipe(service);
+///   const std::uint64_t next = pipe.submit(values);  // returns immediately
+///   ... solve_batch waves pinned to the current epoch overlap the rebuild
+///   requests pinned to `next` block inside `Service::state` until the
+///   worker publishes it — epoch pinning already serializes exactly right.
+///
+/// Depth is 1 (double buffering): `submit` while a rebuild is in flight
+/// blocks until the worker takes the previous buffer — backpressure, not
+/// an unbounded queue, so a fast producer can never outrun the rebuild by
+/// more than one epoch. Epoch prediction is exact: each submission bumps
+/// the published epoch by exactly one, either through `customize` (success)
+/// or through `republish` (failure recovery — consumers already pinned to
+/// the predicted epoch proceed against the unchanged operator instead of
+/// blocking forever; the error is recorded and readable via `failures()`).
+///
+/// Determinism: the published state for a given submission is a function of
+/// the submitted values only — the worker runs the same `customize` the
+/// synchronous path runs — so solves pinned to predicted epochs are
+/// bit-identical to a serial submit-then-solve sequence regardless of how
+/// the rebuild overlaps the waves.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace parmis::serve {
+
+class Service;
+
+class CustomizePipeline {
+ public:
+  /// One failed submission: which predicted epoch it was, and what the
+  /// customize threw. The epoch was still published (via `republish`).
+  struct Failure {
+    std::uint64_t epoch = 0;
+    std::string what;
+  };
+
+  /// `service` must outlive the pipeline. The worker thread starts
+  /// immediately and idles until the first submit.
+  explicit CustomizePipeline(Service& service);
+  /// Drains pending work, then joins the worker.
+  ~CustomizePipeline();
+
+  CustomizePipeline(const CustomizePipeline&) = delete;
+  CustomizePipeline& operator=(const CustomizePipeline&) = delete;
+
+  /// Hand a value refresh to the worker and return the epoch it will
+  /// publish (current epoch at construction + total submissions). Copies
+  /// `values` into the pending buffer; blocks while a previous submission
+  /// is still pending (depth-1 backpressure). Thread-safe against the
+  /// worker, not against concurrent submitters.
+  std::uint64_t submit(std::span<const scalar_t> values);
+
+  /// Block until every submitted refresh has been published.
+  void drain();
+
+  /// Submissions whose customize threw (each still published its predicted
+  /// epoch via `republish`). Call after `drain()` for a settled view.
+  [[nodiscard]] std::vector<Failure> failures() const;
+
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  void worker_loop();
+
+  Service& service_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Depth-1 hand-off buffer: engaged = a refresh awaiting the worker.
+  std::optional<std::vector<scalar_t>> pending_;
+  std::uint64_t base_epoch_ = 0;  ///< published epoch when constructed
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<Failure> failures_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace parmis::serve

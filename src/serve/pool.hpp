@@ -122,6 +122,8 @@ class HandlePool {
     bool has_current = false;
     std::vector<scalar_t> b;   ///< per-request right-hand side (reused, warm)
     std::vector<scalar_t> x;   ///< per-request solution (reused, warm)
+    std::vector<scalar_t> bm;  ///< batched-wave rhs multi-vector (reused, warm)
+    std::vector<scalar_t> xm;  ///< batched-wave solution multi-vector (reused, warm)
     // Atomic only so `stats()` can aggregate concurrently with a lease;
     // each counter has exactly one writer (the lease holder).
     std::atomic<std::uint64_t> warm_hits{0};

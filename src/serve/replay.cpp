@@ -4,11 +4,15 @@
 #include <atomic>
 #include <exception>
 #include <future>
+#include <optional>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "check/digest.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timer.hpp"
+#include "serve/pipeline.hpp"
 
 namespace parmis::serve {
 
@@ -49,7 +53,15 @@ ReplayResult replay(Service& service, std::span<const ServeRequest> requests,
     if (!fired.exchange(true)) trigger.set_value();
   };
 
+  const std::size_t step = opts.batch > 1 ? static_cast<std::size_t>(opts.batch) : 1;
+
   obs::Timer wall;
+  // Batched replays route the swap through the async pipeline: submit()
+  // returns before the Galerkin replay runs, so the rebuild overlaps the
+  // waves still draining the old epoch (the pipeline republishes on
+  // failure; its errors are collected after drain).
+  std::optional<CustomizePipeline> pipeline;
+  if (swap && step > 1) pipeline.emplace(service);
   std::thread customizer;
   if (swap) {
     customizer = std::thread([&] {
@@ -59,7 +71,11 @@ ReplayResult replay(Service& service, std::span<const ServeRequest> requests,
         std::shared_ptr<const ServingState> base = service.current();
         std::vector<scalar_t> scaled(base->a->values);
         for (scalar_t& v : scaled) v *= opts.value_scale;
-        (void)service.customize(scaled);
+        if (pipeline) {
+          (void)pipeline->submit(scaled);
+        } else {
+          (void)service.customize(scaled);
+        }
       } catch (...) {
         errors.back() = std::current_exception();
         // The failure is surfaced after join; meanwhile requests pinned
@@ -72,10 +88,21 @@ ReplayResult replay(Service& service, std::span<const ServeRequest> requests,
   auto worker = [&](std::size_t wid) {
     try {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t i = next.fetch_add(step, std::memory_order_relaxed);
         if (i >= n) break;
-        if (swap && i + 1 == opts.customize_at) fire();
-        out.outcomes[i] = service.solve(requests[i]);
+        const std::size_t end = std::min(n, i + step);
+        // Fire once the wave holding request customize_at-1 is dispatched
+        // (single mode: i + 1 == customize_at, the historical trigger).
+        if (swap && i < opts.customize_at && opts.customize_at <= end) fire();
+        if (step == 1) {
+          out.outcomes[i] = service.solve(requests[i]);
+        } else {
+          std::vector<RequestOutcome> outs =
+              service.solve_batch(requests.subspan(i, end - i), opts.batch);
+          for (std::size_t j = 0; j < outs.size(); ++j) {
+            out.outcomes[i + j] = std::move(outs[j]);
+          }
+        }
       }
     } catch (...) {
       errors[wid] = std::current_exception();
@@ -101,6 +128,14 @@ ReplayResult replay(Service& service, std::span<const ServeRequest> requests,
       fire();
     }
     customizer.join();
+  }
+  if (pipeline) {
+    pipeline->drain();
+    for (const CustomizePipeline::Failure& f : pipeline->failures()) {
+      errors.back() = std::make_exception_ptr(std::runtime_error(
+          "async customize for epoch " + std::to_string(f.epoch) + " failed: " + f.what));
+    }
+    pipeline.reset();
   }
   const double wall_seconds = wall.seconds();
   for (const std::exception_ptr& e : errors) {

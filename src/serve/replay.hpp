@@ -32,6 +32,15 @@ struct ReplayOptions {
   /// disables the swap.
   std::size_t customize_at = 0;
   double value_scale = 1.25;
+  /// Batched-wave width: when > 1, workers claim runs of `batch`
+  /// consecutive requests and serve each run through
+  /// `Service::solve_batch` (waves close early at epoch boundaries), and
+  /// the mid-replay customize is submitted through the async
+  /// `CustomizePipeline` so the Galerkin replay overlaps the waves still
+  /// draining the old epoch. Outcomes, ordering, and the combined digest
+  /// are bit-identical to the unbatched replay. <= 1 keeps the
+  /// one-request-per-solve path.
+  int batch = 1;
 };
 
 /// Replay aggregates (latency sample lives in `ReplayResult::outcomes`).

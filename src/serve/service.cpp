@@ -8,6 +8,7 @@
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "solver/amg.hpp"
+#include "solver/multivector.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace parmis::serve {
@@ -187,6 +188,84 @@ RequestOutcome Service::solve(const ServeRequest& req, std::span<scalar_t> x_out
   }
   out.seconds = timer.seconds();
   return out;
+}
+
+std::vector<RequestOutcome> Service::solve_batch(std::span<const ServeRequest> reqs,
+                                                int max_k) {
+  if (max_k < 1) {
+    throw std::invalid_argument("serve::solve_batch: max_k must be >= 1");
+  }
+  std::vector<RequestOutcome> out;
+  out.reserve(reqs.size());
+  std::size_t i = 0;
+  while (i < reqs.size()) {
+    // Maximal same-epoch run, capped at the batch width: a wave never
+    // mixes operators, so batching is transparent to epoch pinning.
+    std::size_t j = i + 1;
+    while (j < reqs.size() && j - i < static_cast<std::size_t>(max_k) &&
+           reqs[j].epoch == reqs[i].epoch) {
+      ++j;
+    }
+    solve_wave(reqs.subspan(i, j - i), out);
+    i = j;
+  }
+  return out;
+}
+
+void Service::solve_wave(std::span<const ServeRequest> reqs,
+                         std::vector<RequestOutcome>& out) {
+  obs::Timer timer;
+  PARMIS_SPAN("serve.batch_wave");
+  const int wk = static_cast<int>(reqs.size());
+  std::shared_ptr<const ServingState> st = state(reqs[0].epoch);
+  HandlePool::Lease lease = pool_.acquire();
+  HandlePool::Entry& e = lease.entry();
+  pool_.ensure(e, PrecKey{st->epoch, std::string()}, *st->a,
+               st->levels ? st->levels.get() : nullptr);
+
+  const ordinal_t n = st->a->num_rows;
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t nk = un * static_cast<std::size_t>(wk);
+  if (e.b.size() != un) {
+    e.b.resize(un);
+    e.x.resize(un);
+  }
+  if (e.bm.size() < nk) {
+    e.bm.resize(nk);
+    e.xm.resize(nk);
+  }
+  std::span<scalar_t> bm(e.bm.data(), nk);
+  std::span<scalar_t> xm(e.xm.data(), nk);
+  for (int c = 0; c < wk; ++c) {
+    // Generate column c's rhs exactly as the single path would (same seed,
+    // same generator) and lay it into its lane — the digest-equality
+    // contract starts with bit-identical inputs.
+    solver::random_fill(e.b, reqs[static_cast<std::size_t>(c)].rhs_seed);
+    solver::scatter_column(e.b, n, wk, c, bm);
+  }
+  solver::fill(xm, 0.0);
+  const solver::BatchResult& br = e.handle.solve_batch(*st->a, bm, xm, wk, opts_.iter);
+  const double seconds = timer.seconds();
+
+  const char* bottom = "";
+  if (const auto* amg = dynamic_cast<const solver::AmgHierarchy*>(e.handle.preconditioner())) {
+    bottom = amg->bottom_solve();
+  }
+  for (int c = 0; c < wk; ++c) {
+    const solver::IterResult& r = br.results[static_cast<std::size_t>(c)];
+    RequestOutcome& o = out.emplace_back();
+    o.id = reqs[static_cast<std::size_t>(c)].id;
+    o.epoch = st->epoch;
+    o.status = r.status;
+    o.converged = r.converged;
+    o.iterations = r.iterations;
+    o.relative_residual = r.relative_residual;
+    solver::gather_column(std::span<const scalar_t>(xm), n, wk, c, e.x);
+    o.solution_digest = check::digest(e.x);
+    o.bottom_solve = bottom;
+    if (opts_.record_attempts) o.attempts = r.attempts;
+    o.seconds = seconds / wk;
+  }
 }
 
 }  // namespace parmis::serve

@@ -138,6 +138,20 @@ class Service {
   /// is copied into it.
   RequestOutcome solve(const ServeRequest& req, std::span<scalar_t> x_out = {});
 
+  /// Serve a run of requests in batched waves: consecutive requests pinned
+  /// to the same epoch are grouped into multi-RHS waves of at most `max_k`
+  /// columns, each wave solved in one `SolveHandle::solve_batch` call on a
+  /// single leased entry (one preconditioner warm-up and K fused traversals
+  /// instead of K separate solves). Outcomes are returned in request order,
+  /// and every outcome — status, iterations, solution digest — is
+  /// bit-identical to `solve` on the same request: the rhs is generated
+  /// from the same seed, the pinned epoch selects the same operator, and
+  /// the batched cores are per-column bit-identical. An epoch boundary in
+  /// the run closes the current wave (a wave never mixes operators), so
+  /// batching composes with live customize swaps. `seconds` is the wave
+  /// wall clock divided evenly over its columns.
+  std::vector<RequestOutcome> solve_batch(std::span<const ServeRequest> reqs, int max_k);
+
   [[nodiscard]] const Options& options() const { return opts_; }
   [[nodiscard]] HandlePool& pool() { return pool_; }
   [[nodiscard]] const HandlePool& pool() const { return pool_; }
@@ -146,6 +160,8 @@ class Service {
 
  private:
   void publish(std::shared_ptr<const ServingState> state);
+  /// One same-epoch wave of `solve_batch`, appended to `out`.
+  void solve_wave(std::span<const ServeRequest> reqs, std::vector<RequestOutcome>& out);
 
   Options opts_;
   HandlePool pool_;

@@ -9,11 +9,13 @@
 #include "common/timer.hpp"
 #include "graph/ops.hpp"
 #include "graph/spgemm.hpp"
+#include "graph/spmm.hpp"
 #include "graph/spmv.hpp"
 #include "parallel/parallel_for.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/status.hpp"
 #include "solver/jacobi.hpp"
+#include "solver/multivector.hpp"
 #include "solver/serial_aggregation.hpp"
 #include "solver/vector_ops.hpp"
 
@@ -157,12 +159,25 @@ ordinal_t direct_limit(const AmgOptions& opts) {
 /// (near-null-space aliasing on a singular fine operator, or the injected
 /// `amg.coarse_singular` fault) used to throw a raw runtime_error out of
 /// the whole setup; instead the bottom solve degrades in two steps:
-/// plain LU → LU of a diagonally perturbed copy → smoother-only bottom.
-/// `bottom` names the variant chosen ("lu", "lu-perturbed", "smoother").
-std::unique_ptr<DenseLU> factor_bottom(const graph::CrsMatrix& a, const char*& bottom) {
+/// plain LU → LU with a tiny diagonal shift applied at fill time →
+/// smoother-only bottom. `bottom` names the variant chosen ("lu",
+/// "lu-perturbed", "smoother"). Passing the previous factorization as
+/// `reuse` refactors in place (warm `rebuild`: the dense block is never
+/// re-allocated, even across a failed plain attempt — `refactor` refills
+/// from scratch each try).
+std::unique_ptr<DenseLU> factor_bottom(const graph::CrsMatrix& a, const char*& bottom,
+                                       std::unique_ptr<DenseLU> reuse = nullptr) {
+  std::unique_ptr<DenseLU> lu = std::move(reuse);
+  const auto factor = [&](scalar_t shift) {
+    if (lu) {
+      lu->refactor(a, shift);
+    } else {
+      lu = std::make_unique<DenseLU>(a, shift);
+    }
+  };
   if (!PARMIS_FAULT_POINT("amg.coarse_singular")) {
     try {
-      auto lu = std::make_unique<DenseLU>(a);
+      factor(0);
       bottom = "lu";
       return lu;
     } catch (const resilience::SolveError&) {
@@ -171,19 +186,11 @@ std::unique_ptr<DenseLU> factor_bottom(const graph::CrsMatrix& a, const char*& b
   }
   // Shift the diagonal by a tiny multiple of the largest entry: exact for
   // the well-posed part of the operator, well-posed for the null space.
-  graph::CrsMatrix shifted = a;
   scalar_t amax = 0;
-  for (const scalar_t v : shifted.values) amax = std::max(amax, std::abs(v));
+  for (const scalar_t v : a.values) amax = std::max(amax, std::abs(v));
   const scalar_t shift = (amax > 0 ? amax : scalar_t{1}) * scalar_t{1e-10};
-  for (ordinal_t i = 0; i < shifted.num_rows; ++i) {
-    for (offset_t j = shifted.row_map[i]; j < shifted.row_map[i + 1]; ++j) {
-      if (shifted.entries[static_cast<std::size_t>(j)] == i) {
-        shifted.values[static_cast<std::size_t>(j)] += shift;
-      }
-    }
-  }
   try {
-    auto lu = std::make_unique<DenseLU>(shifted);
+    factor(shift);
     bottom = "lu-perturbed";
     return lu;
   } catch (const resilience::SolveError&) {
@@ -203,14 +210,19 @@ void AmgHierarchy::rebuild(const graph::CrsMatrix& a_fine) {
 
   (void)builder_.rebuild_galerkin(a_fine, handle_);
   // Smoothers and the coarse LU are value-dependent; the V-cycle
-  // workspaces are structure-shaped and already sized.
+  // workspaces are structure-shaped and already sized. Both refresh in
+  // place: Chebyshev re-runs its power iteration into existing scratch
+  // (bit-identical to fresh construction) and the coarse LU refactors its
+  // own dense storage, so a warm rebuild allocates nothing here.
   const std::vector<AmgLevel>& levels = handle_.ops();
   if (opts_.smoother == SmootherType::Chebyshev) {
     for (std::size_t i = 0; i < levels.size(); ++i) {
-      chebyshev_[i] = std::make_unique<ChebyshevSmoother>(levels[i].a, opts_.chebyshev_degree);
+      chebyshev_[i]->reestimate(levels[i].a);
     }
   }
-  if (coarse_lu_) coarse_lu_ = factor_bottom(levels.back().a, bottom_solve_);
+  if (coarse_lu_) {
+    coarse_lu_ = factor_bottom(levels.back().a, bottom_solve_, std::move(coarse_lu_));
+  }
   setup_seconds_ = setup_timer.seconds();
 }
 
@@ -257,6 +269,36 @@ void AmgHierarchy::finish_setup() {
       work_xc_[i].resize(nc);
     }
   }
+  // Multi-vector workspaces are demand-grown by ensure_mwork(); a fresh
+  // setup just resets the width so stale level shapes are never reused.
+  mwork_r_.assign(levels.size(), {});
+  mwork_bc_.assign(levels.size(), {});
+  mwork_xc_.assign(levels.size(), {});
+  mwork_s1_.assign(levels.size(), {});
+  mwork_s2_.assign(levels.size(), {});
+  mwork_s3_.assign(levels.size(), {});
+  mwork_k_ = 0;
+}
+
+void AmgHierarchy::ensure_mwork(int k_count) const {
+  if (k_count <= mwork_k_) return;
+  const std::vector<AmgLevel>& levels = handle_.ops();
+  const std::size_t uk = static_cast<std::size_t>(k_count);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const std::size_t n = static_cast<std::size_t>(levels[i].a.num_rows);
+    mwork_r_[i].resize(n * uk);
+    mwork_s1_[i].resize(n * uk);
+    if (opts_.smoother == SmootherType::Chebyshev) {
+      mwork_s2_[i].resize(n * uk);
+      mwork_s3_[i].resize(n * uk);
+    }
+    if (i + 1 < levels.size()) {
+      const std::size_t nc = static_cast<std::size_t>(levels[i + 1].a.num_rows);
+      mwork_bc_[i].resize(nc * uk);
+      mwork_xc_[i].resize(nc * uk);
+    }
+  }
+  mwork_k_ = k_count;
 }
 
 void AmgHierarchy::smooth_level(std::size_t lvl, std::span<const scalar_t> rhs,
@@ -309,6 +351,62 @@ void AmgHierarchy::cycle_level(std::size_t lvl, std::span<const scalar_t> b,
   smooth(b, x);
 }
 
+void AmgHierarchy::smooth_level_multi(std::size_t lvl, std::span<const scalar_t> rhs,
+                                      std::span<scalar_t> sol, int k_count) const {
+  const AmgLevel& level = handle_.ops()[lvl];
+  const std::size_t nk =
+      static_cast<std::size_t>(level.a.num_rows) * static_cast<std::size_t>(k_count);
+  if (chebyshev_[lvl]) {
+    for (int s = 0; s < opts_.smoother_sweeps; ++s) {
+      chebyshev_[lvl]->smooth_multi(level.a, rhs, sol,
+                                    std::span<scalar_t>(mwork_s1_[lvl].data(), nk),
+                                    std::span<scalar_t>(mwork_s2_[lvl].data(), nk),
+                                    std::span<scalar_t>(mwork_s3_[lvl].data(), nk), k_count);
+    }
+  } else {
+    jacobi_smooth_multi(level.a, level.inv_diag, rhs, sol, opts_.smoother_sweeps,
+                        opts_.jacobi_omega, std::span<scalar_t>(mwork_s1_[lvl].data(), nk),
+                        k_count);
+  }
+}
+
+void AmgHierarchy::cycle_level_multi(std::size_t lvl, std::span<const scalar_t> b,
+                                     std::span<scalar_t> x, int k_count) const {
+  const std::vector<AmgLevel>& levels = handle_.ops();
+  const AmgLevel& level = levels[lvl];
+  const std::size_t uk = static_cast<std::size_t>(k_count);
+  if (lvl + 1 == levels.size()) {
+    if (coarse_lu_) {
+      coarse_lu_->solve_multi(b, x, k_count);
+    } else {
+      smooth_level_multi(lvl, b, x, k_count);
+    }
+    return;
+  }
+
+  // Pre-smooth.
+  smooth_level_multi(lvl, b, x, k_count);
+
+  // Coarse-grid correction — one fused kernel per grid transfer; per
+  // column this is exactly the cycle_level op sequence.
+  const ordinal_t n = level.a.num_rows;
+  std::span<scalar_t> r(mwork_r_[lvl].data(), static_cast<std::size_t>(n) * uk);
+  graph::spmm(level.a, x, r, k_count);
+  mv_axpby(1.0, b, -1.0, r, n, k_count);  // R = B - A X
+  const ordinal_t nc = levels[lvl + 1].a.num_rows;
+  std::span<scalar_t> bc(mwork_bc_[lvl].data(), static_cast<std::size_t>(nc) * uk);
+  graph::spmm(level.r, r, bc, k_count);
+  std::span<scalar_t> xc(mwork_xc_[lvl].data(), static_cast<std::size_t>(nc) * uk);
+  fill(xc, 0.0);
+  cycle_level_multi(lvl + 1, bc, xc, k_count);
+  // X += P Xc
+  graph::spmm(1.0, level.p, xc, 0.0, r, k_count);
+  mv_axpby(1.0, r, 1.0, x, n, k_count);
+
+  // Post-smooth.
+  smooth_level_multi(lvl, b, x, k_count);
+}
+
 void AmgHierarchy::vcycle(std::span<const scalar_t> b, std::span<scalar_t> x) const {
   cycle_level(0, b, x);
 }
@@ -316,6 +414,15 @@ void AmgHierarchy::vcycle(std::span<const scalar_t> b, std::span<scalar_t> x) co
 void AmgHierarchy::apply(std::span<const scalar_t> r, std::span<scalar_t> z) const {
   fill(z, 0.0);
   cycle_level(0, r, z);
+}
+
+void AmgHierarchy::apply_multi(std::span<const scalar_t> r, std::span<scalar_t> z, ordinal_t n,
+                               int k_count, std::span<scalar_t> /*scratch*/) const {
+  assert(n == handle_.ops().front().a.num_rows);
+  ensure_mwork(k_count);
+  const std::size_t nk = static_cast<std::size_t>(n) * static_cast<std::size_t>(k_count);
+  fill(std::span<scalar_t>(z.data(), nk), 0.0);
+  cycle_level_multi(0, r.subspan(0, nk), std::span<scalar_t>(z.data(), nk), k_count);
 }
 
 std::string AmgHierarchy::name() const {

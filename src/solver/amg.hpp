@@ -128,6 +128,24 @@ class AmgHierarchy final : public Preconditioner {
 
   /// One V-cycle on A z = r from z = 0.
   void apply(std::span<const scalar_t> r, std::span<scalar_t> z) const override;
+
+  /// Grows the per-level multi-vector workspaces to batch width `k_count`
+  /// so batched applies up to that width allocate nothing.
+  bool prepare_multi(ordinal_t /*n*/, int k_count) override {
+    const bool growing = k_count > mwork_k_;
+    ensure_mwork(k_count);
+    return growing;
+  }
+
+  /// Batched V-cycle over n x k_count row-major multi-vectors: every grid
+  /// transfer and smoother application is one fused multi-vector kernel,
+  /// and column c of the result is bit-identical to `apply` on the
+  /// gathered column. Multi-vector workspaces are grown lazily the first
+  /// time a given batch width is seen; repeat applications at the same (or
+  /// smaller) width allocate nothing.
+  void apply_multi(std::span<const scalar_t> r, std::span<scalar_t> z, ordinal_t n,
+                   int k_count, std::span<scalar_t> scratch) const override;
+
   [[nodiscard]] std::string name() const override;
 
   /// General V-cycle from an arbitrary initial guess (level 0).
@@ -159,6 +177,12 @@ class AmgHierarchy final : public Preconditioner {
   void cycle_level(std::size_t lvl, std::span<const scalar_t> b, std::span<scalar_t> x) const;
   void smooth_level(std::size_t lvl, std::span<const scalar_t> rhs,
                     std::span<scalar_t> sol) const;
+  void cycle_level_multi(std::size_t lvl, std::span<const scalar_t> b, std::span<scalar_t> x,
+                         int k_count) const;
+  void smooth_level_multi(std::size_t lvl, std::span<const scalar_t> rhs,
+                          std::span<scalar_t> sol, int k_count) const;
+  /// Grow the per-level multi-vector workspaces to batch width `k_count`.
+  void ensure_mwork(int k_count) const;
   /// Smoothers, coarse LU, and V-cycle workspaces for the current levels.
   void finish_setup();
 
@@ -176,6 +200,11 @@ class AmgHierarchy final : public Preconditioner {
   // Per-level smoother scratch: s1 is the Jacobi double-buffer (always
   // sized); s2/s3 complete the Chebyshev triple when that smoother is on.
   mutable std::vector<std::vector<scalar_t>> work_s1_, work_s2_, work_s3_;
+  // Multi-vector twins of the above, grown lazily by ensure_mwork() to the
+  // widest batch seen (apply_multi at width <= mwork_k_ allocates nothing).
+  mutable std::vector<std::vector<scalar_t>> mwork_r_, mwork_bc_, mwork_xc_;
+  mutable std::vector<std::vector<scalar_t>> mwork_s1_, mwork_s2_, mwork_s3_;
+  mutable int mwork_k_ = 0;
 };
 
 /// Dispatch helper shared with benches/tests: run the chosen aggregation

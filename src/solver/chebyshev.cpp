@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "graph/spmm.hpp"
 #include "graph/spmv.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
@@ -11,6 +12,7 @@
 #include "resilience/guard.hpp"
 #include "solver/interface.hpp"
 #include "solver/jacobi.hpp"
+#include "solver/multivector.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace parmis::solver {
@@ -20,11 +22,13 @@ namespace {
 /// Deterministic power iteration estimating λmax(D⁻¹A). A few extra
 /// percent of headroom guard against underestimation (standard practice:
 /// Chebyshev diverges if λmax is under-estimated, only degrades if over-).
-scalar_t estimate_lambda_max(const graph::CrsMatrix& a,
-                             const std::vector<scalar_t>& inv_diag) {
+/// `z`/`az` are caller-owned scratch (`a.num_rows` elements); the iteration
+/// always restarts from the same seeded vector, so re-running it against
+/// rebuilt values is bit-identical to a fresh construction.
+scalar_t estimate_lambda_max(const graph::CrsMatrix& a, std::span<const scalar_t> inv_diag,
+                             std::span<scalar_t> z, std::span<scalar_t> az) {
   const ordinal_t n = a.num_rows;
-  std::vector<scalar_t> z = random_vector(n, 0x9E3779B9u);
-  std::vector<scalar_t> az(static_cast<std::size_t>(n));
+  random_fill(z, 0x9E3779B9u);
   scalar_t lambda = 1.0;
   for (int it = 0; it < 15; ++it) {
     graph::spmv(a, z, az);
@@ -32,7 +36,7 @@ scalar_t estimate_lambda_max(const graph::CrsMatrix& a,
       az[static_cast<std::size_t>(i)] *= inv_diag[static_cast<std::size_t>(i)];
     });
     lambda = norm2(az) / std::max(norm2(z), scalar_t{1e-300});
-    z.swap(az);
+    std::swap(z, az);
     const scalar_t zn = norm2(z);
     if (zn == 0) break;
     scale(z, 1.0 / zn);
@@ -43,10 +47,18 @@ scalar_t estimate_lambda_max(const graph::CrsMatrix& a,
 }  // namespace
 
 ChebyshevSmoother::ChebyshevSmoother(const graph::CrsMatrix& a, int degree, scalar_t eig_ratio)
-    : inv_diag_(inverted_diagonal(a)), degree_(degree) {
+    : inv_diag_(inverted_diagonal(a)), pw_z_(static_cast<std::size_t>(a.num_rows)),
+      pw_az_(static_cast<std::size_t>(a.num_rows)), eig_ratio_cfg_(eig_ratio), degree_(degree) {
   assert(degree >= 1 && eig_ratio > 1.0);
-  lambda_max_ = estimate_lambda_max(a, inv_diag_);
+  lambda_max_ = estimate_lambda_max(a, inv_diag_, pw_z_, pw_az_);
   lambda_min_ = lambda_max_ / eig_ratio;
+}
+
+void ChebyshevSmoother::reestimate(const graph::CrsMatrix& a) {
+  assert(static_cast<std::size_t>(a.num_rows) == inv_diag_.size());
+  inverted_diagonal_into(a, inv_diag_);
+  lambda_max_ = estimate_lambda_max(a, inv_diag_, pw_z_, pw_az_);
+  lambda_min_ = lambda_max_ / eig_ratio_cfg_;
 }
 
 void ChebyshevSmoother::smooth(const graph::CrsMatrix& a, std::span<const scalar_t> b,
@@ -97,6 +109,58 @@ void ChebyshevSmoother::smooth(const graph::CrsMatrix& a, std::span<const scalar
                                        2.0 * rho / delta * r[static_cast<std::size_t>(i)];
     });
     axpby(1.0, d, 1.0, x);
+    rho_prev = rho;
+  }
+}
+
+void ChebyshevSmoother::smooth_multi(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                                     std::span<scalar_t> x, std::span<scalar_t> r,
+                                     std::span<scalar_t> d, std::span<scalar_t> ad,
+                                     int k_count) const {
+  const ordinal_t n = a.num_rows;
+  const std::size_t uk = static_cast<std::size_t>(k_count);
+  [[maybe_unused]] const std::size_t nk = static_cast<std::size_t>(n) * uk;
+  assert(k_count > 0);
+  assert(b.size() >= nk && x.size() >= nk);
+  assert(r.size() >= nk && d.size() >= nk && ad.size() >= nk);
+
+  const scalar_t theta = 0.5 * (lambda_max_ + lambda_min_);
+  const scalar_t delta = 0.5 * (lambda_max_ - lambda_min_);
+  const scalar_t sigma1 = theta / delta;
+
+  // R = D^{-1} (B - A X); D = R / theta; X += D — per lane, so each column
+  // runs exactly the single-vector recurrence.
+  graph::spmm(a, x, r, k_count);
+  par::parallel_for(n, [&](ordinal_t i) {
+    const std::size_t base = static_cast<std::size_t>(i) * uk;
+    for (int c = 0; c < k_count; ++c) {
+      const std::size_t at = base + static_cast<std::size_t>(c);
+      const scalar_t pr = inv_diag_[static_cast<std::size_t>(i)] * (b[at] - r[at]);
+      r[at] = pr;
+      d[at] = pr / theta;
+    }
+  });
+  mv_axpby(1.0, d, 1.0, x, n, k_count);
+
+  scalar_t rho_prev = 1.0 / sigma1;
+  for (int k = 1; k < degree_; ++k) {
+    graph::spmm(a, d, ad, k_count);
+    par::parallel_for(n, [&](ordinal_t i) {
+      const std::size_t base = static_cast<std::size_t>(i) * uk;
+      for (int c = 0; c < k_count; ++c) {
+        const std::size_t at = base + static_cast<std::size_t>(c);
+        r[at] -= inv_diag_[static_cast<std::size_t>(i)] * ad[at];
+      }
+    });
+    const scalar_t rho = 1.0 / (2.0 * sigma1 - rho_prev);
+    par::parallel_for(n, [&](ordinal_t i) {
+      const std::size_t base = static_cast<std::size_t>(i) * uk;
+      for (int c = 0; c < k_count; ++c) {
+        const std::size_t at = base + static_cast<std::size_t>(c);
+        d[at] = rho * rho_prev * d[at] + 2.0 * rho / delta * r[at];
+      }
+    });
+    mv_axpby(1.0, d, 1.0, x, n, k_count);
     rho_prev = rho;
   }
 }

@@ -37,14 +37,32 @@ class ChebyshevSmoother {
   void smooth(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
               std::span<scalar_t> r, std::span<scalar_t> d, std::span<scalar_t> ad) const;
 
+  /// Batched application over n x k_count row-major multi-vectors: every
+  /// matrix application is one `spmm` and the recurrence runs per lane, so
+  /// column c is bit-identical to `smooth` on the gathered column. Scratch
+  /// spans need `a.num_rows * k_count` elements each.
+  void smooth_multi(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                    std::span<scalar_t> x, std::span<scalar_t> r, std::span<scalar_t> d,
+                    std::span<scalar_t> ad, int k_count) const;
+
+  /// Warm-rebuild hook: refresh the inverted diagonal and re-run the power
+  /// iteration against `a` (same shape, new values) without allocating.
+  /// Produces exactly the state a freshly constructed smoother would —
+  /// the power iteration restarts from the same seeded vector — so warm
+  /// `AmgHierarchy::rebuild` is bit-identical to rebuilding from scratch.
+  void reestimate(const graph::CrsMatrix& a);
+
   [[nodiscard]] scalar_t lambda_max() const { return lambda_max_; }
   [[nodiscard]] int degree() const { return degree_; }
   [[nodiscard]] scalar_t eig_ratio() const { return lambda_max_ / lambda_min_; }
 
  private:
   std::vector<scalar_t> inv_diag_;
+  /// Power-iteration scratch, kept so `reestimate` is allocation-free.
+  std::vector<scalar_t> pw_z_, pw_az_;
   scalar_t lambda_max_{0};
   scalar_t lambda_min_{0};
+  scalar_t eig_ratio_cfg_{20.0};
   int degree_;
 };
 

@@ -9,17 +9,25 @@
 
 namespace parmis::solver {
 
-DenseLU::DenseLU(const graph::CrsMatrix& a) : n_(a.num_rows) {
+DenseLU::DenseLU(const graph::CrsMatrix& a, scalar_t diag_shift) : n_(0) {
+  refactor(a, diag_shift);
+}
+
+void DenseLU::refactor(const graph::CrsMatrix& a, scalar_t diag_shift) {
   assert(a.num_rows == a.num_cols);
+  n_ = a.num_rows;
   const std::size_t n = static_cast<std::size_t>(n_);
+  // assign() reuses the existing buffer when the size is unchanged, so a
+  // warm refactor of the same-shape coarse block allocates nothing.
   lu_.assign(n * n, 0);
   perm_.resize(n);
   for (ordinal_t i = 0; i < n_; ++i) {
     perm_[static_cast<std::size_t>(i)] = i;
     for (offset_t j = a.row_map[i]; j < a.row_map[i + 1]; ++j) {
-      lu_[static_cast<std::size_t>(i) * n +
-          static_cast<std::size_t>(a.entries[static_cast<std::size_t>(j)])] =
-          a.values[static_cast<std::size_t>(j)];
+      const ordinal_t col = a.entries[static_cast<std::size_t>(j)];
+      scalar_t v = a.values[static_cast<std::size_t>(j)];
+      if (col == i) v += diag_shift;
+      lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(col)] = v;
     }
   }
 
@@ -85,6 +93,35 @@ void DenseLU::solve(std::span<const scalar_t> b, std::span<scalar_t> x) const {
     }
     x[static_cast<std::size_t>(i)] =
         acc / lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)];
+  }
+}
+
+void DenseLU::solve_multi(std::span<const scalar_t> b, std::span<scalar_t> x,
+                          int k_count) const {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t uk = static_cast<std::size_t>(k_count);
+  assert(k_count > 0);
+  assert(b.size() >= n * uk && x.size() >= n * uk);
+
+  for (std::size_t c = 0; c < uk; ++c) {
+    for (ordinal_t i = 0; i < n_; ++i) {
+      scalar_t acc =
+          b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]) * uk + c];
+      for (ordinal_t j = 0; j < i; ++j) {
+        acc -= lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] *
+               x[static_cast<std::size_t>(j) * uk + c];
+      }
+      x[static_cast<std::size_t>(i) * uk + c] = acc;
+    }
+    for (ordinal_t i = n_ - 1; i >= 0; --i) {
+      scalar_t acc = x[static_cast<std::size_t>(i) * uk + c];
+      for (ordinal_t j = i + 1; j < n_; ++j) {
+        acc -= lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] *
+               x[static_cast<std::size_t>(j) * uk + c];
+      }
+      x[static_cast<std::size_t>(i) * uk + c] =
+          acc / lu_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)];
+    }
   }
 }
 

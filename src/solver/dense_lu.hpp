@@ -13,12 +13,27 @@ namespace parmis::solver {
 /// levels (a few hundred rows); O(n^3) factor, O(n^2) solve.
 class DenseLU {
  public:
-  /// Factor a sparse matrix densely. Throws std::runtime_error when a zero
-  /// pivot makes the matrix numerically singular.
-  explicit DenseLU(const graph::CrsMatrix& a);
+  /// Factor a sparse matrix densely. `diag_shift` is added to every stored
+  /// diagonal entry before factoring (the AMG near-singular perturbation —
+  /// applied at fill time, so no shifted matrix copy is ever made). Throws
+  /// std::runtime_error when a zero pivot makes the matrix numerically
+  /// singular.
+  explicit DenseLU(const graph::CrsMatrix& a, scalar_t diag_shift = 0);
+
+  /// Re-factor in place for new matrix values (warm `rebuild_galerkin`):
+  /// reuses the dense storage whenever the size matches, so warm rebuilds
+  /// never re-allocate the coarsest block. A failed refactor (singular
+  /// pivot) throws and leaves the factorization unusable until the next
+  /// successful refactor.
+  void refactor(const graph::CrsMatrix& a, scalar_t diag_shift = 0);
 
   /// Solve A x = b.
   void solve(std::span<const scalar_t> b, std::span<scalar_t> x) const;
+
+  /// Batched solve over n x k_count row-major multi-vectors: column c runs
+  /// exactly the substitution sequence of `solve` on the gathered column
+  /// (bit-identical), with no scratch.
+  void solve_multi(std::span<const scalar_t> b, std::span<scalar_t> x, int k_count) const;
 
   [[nodiscard]] ordinal_t size() const { return n_; }
 

@@ -1,5 +1,6 @@
 #include "solver/handle.hpp"
 
+#include <cmath>
 #include <new>
 #include <stdexcept>
 
@@ -295,9 +296,153 @@ const IterResult& SolveHandle::solve(const graph::CrsMatrix& a, std::span<const 
   return result_;
 }
 
+const BatchResult& SolveHandle::solve_batch(const graph::CrsMatrix& a,
+                                            std::span<const scalar_t> b, std::span<scalar_t> x,
+                                            int k_count, const IterOptions& opts) {
+  const Context ctx = opts.ctx ? *opts.ctx : ctx_;
+  Context::Scope scope(ctx);
+  PARMIS_CHECK_OK(check::validate(a, {.structure = {}, .require_finite = true,
+                                      .require_square = true}));
+  PARMIS_CHECK(k_count > 0);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows);
+  const std::size_t uk = static_cast<std::size_t>(k_count);
+  PARMIS_CHECK(b.size() == n * uk);
+  PARMIS_CHECK(x.size() == n * uk);
+
+  batch_result_.reset(k_count);
+  for (int c = 0; c < k_count; ++c) {
+    batch_result_.results[static_cast<std::size_t>(c)].attempts.clear();
+  }
+
+  // Per-column input validation: a poisoned column is excluded — finalized
+  // here with NonFiniteInput, lanes left untouched — while its batchmates
+  // solve normally (the per-RHS isolation contract).
+  for (int c = 0; c < k_count; ++c) {
+    const std::size_t sc = static_cast<std::size_t>(c);
+    std::int64_t bad = -1;
+    const char* reason = "input.b.nonfinite";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(b[i * uk + sc])) {
+        bad = static_cast<std::int64_t>(i);
+        break;
+      }
+    }
+    if (bad < 0) {
+      reason = "input.x0.nonfinite";
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(x[i * uk + sc])) {
+          bad = static_cast<std::int64_t>(i);
+          break;
+        }
+      }
+    }
+    if (bad < 0) continue;
+    batch_result_.excluded[sc] = 1;
+    IterResult& r = batch_result_.results[sc];
+    r.iterations = 0;
+    r.relative_residual = 0.0;
+    r.converged = false;
+    r.history.clear();
+    r.status = resilience::SolveStatus::NonFiniteInput;
+    r.failure = resilience::FailureInfo{"input", reason, -1, bad};
+  }
+
+  const std::size_t bytes_before = scratch_bytes();
+  const std::uint64_t grows_before = ws_.grow_events;
+  const std::uint64_t setups_before = stats_.prec_setups;
+  obs::Span span("solver.solve_batch");
+  span.arg("rows", a.num_rows);
+  span.arg("batch", k_count);
+
+  obs::Timer timer;
+  check::AllocGuard guard;
+  ensure_solver();
+  bool prec_primed = false;
+  if (solver_->uses_preconditioner() && prec_name_ != "none") {
+    ensure_preconditioner(a);
+    // Pre-size the preconditioner's internal multi-vector scratch for this
+    // batch width. A freshly built preconditioner (epoch swap, values
+    // refresh) grows it here on its first batch — growth, like the
+    // workspace pool's, is exempt from the warm zero-allocation contract.
+    if (prec_) prec_primed = prec_->prepare_multi(a.num_rows, k_count);
+  }
+  try {
+    solver_->solve_batch(a, b, x, k_count, opts, prec_.get(), ws_, batch_result_);
+  } catch (const check::CheckError&) {
+    throw;  // invariant violations are bugs, not solve outcomes
+  } catch (const resilience::SolveError& e) {
+    // A batch-wide throw (setup/workspace, not per-column iteration) lands
+    // on every live column: none of them produced a usable iterate.
+    for (int c = 0; c < k_count; ++c) {
+      if (batch_result_.excluded[static_cast<std::size_t>(c)]) continue;
+      IterResult& r = batch_result_.results[static_cast<std::size_t>(c)];
+      r.converged = false;
+      r.status = e.status();
+      r.failure = e.info();
+    }
+  } catch (const std::bad_alloc&) {
+    for (int c = 0; c < k_count; ++c) {
+      if (batch_result_.excluded[static_cast<std::size_t>(c)]) continue;
+      IterResult& r = batch_result_.results[static_cast<std::size_t>(c)];
+      r.converged = false;
+      r.status = resilience::SolveStatus::SetupFailed;
+      r.failure = resilience::FailureInfo{"setup", "setup.allocation", -1, -1};
+    }
+  }
+  const double seconds = timer.seconds();
+
+  bool any_failure = false;
+  std::uint64_t total_iterations = 0;
+  for (int c = 0; c < k_count; ++c) {
+    const std::size_t sc = static_cast<std::size_t>(c);
+    const IterResult& r = batch_result_.results[sc];
+    if (resilience::is_failure(r.status)) any_failure = true;
+    if (r.converged) {
+      ++stats_.converged;
+    } else {
+      ++stats_.failures;
+    }
+    if (batch_result_.excluded[sc]) continue;
+    total_iterations += static_cast<std::uint64_t>(r.iterations);
+    AttemptInfo& rec = batch_result_.results[sc].attempts.emplace_back();
+    rec.solver = solver_name_;
+    rec.prec = prec_name_;
+    rec.status = r.status;
+    rec.failure = r.failure;
+    rec.iterations = r.iterations;
+    rec.relative_residual = r.relative_residual;
+    rec.seconds = seconds;  // whole-batch wall clock: columns solve together
+  }
+  stats_.solves += static_cast<std::uint64_t>(k_count);
+  stats_.iterations += total_iterations;
+  span.arg("iterations", static_cast<std::int64_t>(total_iterations));
+
+  const bool grew = scratch_bytes() > bytes_before || ws_.grow_events > grows_before;
+  if (grew) ++stats_.scratch_grows;
+  // The warm zero-allocation contract of solve(), batched: a repeat batch
+  // at a warm width must not allocate. The first batch at a wider K grows
+  // the workspace pool (and, for AMG, its multi-vector V-cycle scratch),
+  // which `grew` exempts; `prec_primed` exempts the first batch through a
+  // freshly built preconditioner, whose internal scratch grows in
+  // prepare_multi() above.
+  PARMIS_CHECK_MSG(grew || prec_primed || stats_.prec_setups > setups_before ||
+                       obs::tracing_enabled() || any_failure || guard.allocations() == 0,
+                   "warm batched solve allocated");
+  PARMIS_CHECK_MSG(!batch_result_.all_converged() || check::all_finite(x),
+                   "converged batched solve produced non-finite solution entries");
+  return batch_result_;
+}
+
 std::size_t SolveHandle::scratch_bytes() const {
+  std::size_t batch_bytes =
+      batch_result_.results.capacity() * sizeof(IterResult) + batch_result_.excluded.capacity();
+  for (const IterResult& r : batch_result_.results) {
+    batch_bytes += r.history.capacity() * sizeof(double) +
+                   r.attempts.capacity() * sizeof(AttemptInfo);
+  }
   return ws_.capacity_bytes() + result_.history.capacity() * sizeof(double) +
-         x0_.capacity() * sizeof(scalar_t) + result_.attempts.capacity() * sizeof(AttemptInfo);
+         x0_.capacity() * sizeof(scalar_t) + result_.attempts.capacity() * sizeof(AttemptInfo) +
+         batch_bytes;
 }
 
 }  // namespace parmis::solver

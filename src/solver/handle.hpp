@@ -110,6 +110,27 @@ class SolveHandle {
   const IterResult& solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
                           std::span<scalar_t> x, const IterOptions& opts = {});
 
+  /// Batched multi-RHS solve: `b`/`x` are n x k_count row-major
+  /// multi-vectors (element (i, c) at `i * k_count + c`). Runs the
+  /// configured solver's `solve_batch` — the fused block core for
+  /// "block-cg"/"block-gmres", the looped per-column default otherwise —
+  /// under the same context pinning and warm zero-allocation contract as
+  /// `solve`: once scratch and preconditioner are warm, a repeat batch of
+  /// the same width allocates nothing. Column c of the result is
+  /// bit-identical to `solve` on the gathered column.
+  ///
+  /// Resilience contract: every column is validated for finiteness up
+  /// front; a poisoned column is excluded (its `IterResult` carries
+  /// NonFiniteInput and its lanes are left untouched) while its batchmates
+  /// solve normally. Mid-batch failures are likewise per column — the
+  /// block cores deflate a broken column and keep iterating the rest.
+  /// Fallback chains are not walked for batches (a chain retry is a
+  /// per-column decision; gather the column and call `solve` for that).
+  /// The returned reference stays valid until the next batched solve.
+  const BatchResult& solve_batch(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                                 std::span<scalar_t> x, int k_count,
+                                 const IterOptions& opts = {});
+
   /// Build the preconditioner for `a` now (idempotent while `a` is
   /// unchanged). Useful to separate setup cost from solve cost.
   void setup(const graph::CrsMatrix& a);
@@ -136,6 +157,7 @@ class SolveHandle {
   [[nodiscard]] const Preconditioner* preconditioner() const { return prec_.get(); }
 
   [[nodiscard]] const IterResult& result() const { return result_; }
+  [[nodiscard]] const BatchResult& batch_result() const { return batch_result_; }
   [[nodiscard]] const SolveStats& stats() const { return stats_; }
 
   /// Heap capacity held by the iteration scratch (workspace pool, GMRES
@@ -168,6 +190,7 @@ class SolveHandle {
 
   SolveWorkspace ws_;
   IterResult result_;
+  BatchResult batch_result_;
   SolveStats stats_;
 };
 

@@ -7,6 +7,7 @@
 #include "solver/cluster_gs.hpp"
 #include "solver/gauss_seidel.hpp"
 #include "solver/jacobi.hpp"
+#include "solver/multivector.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace parmis::solver {
@@ -38,13 +39,53 @@ void SolveWorkspace::ensure_small(std::vector<scalar_t>& v, std::size_t n) {
   v.resize(n);
 }
 
+void SolveWorkspace::ensure_small(std::vector<int>& v, std::size_t n) {
+  if (v.capacity() < n) {
+    v.reserve(n);
+    ++grow_events;
+  }
+  v.resize(n);
+}
+
 std::size_t SolveWorkspace::capacity_bytes() const {
   std::size_t bytes = pool.capacity() * sizeof(std::vector<scalar_t>);
   for (const std::vector<scalar_t>& v : pool) bytes += v.capacity() * sizeof(scalar_t);
   bytes += (hess.capacity() + cs.capacity() + sn.capacity() + g.capacity() + y.capacity()) *
            sizeof(scalar_t);
+  bytes += (bcol.capacity() + xcol.capacity() + batch_scalars.capacity()) * sizeof(scalar_t);
+  bytes += batch_ints.capacity() * sizeof(int);
+  bytes += batch_active.capacity() * sizeof(char);
+  bytes += batch_guards.capacity() * sizeof(resilience::IterGuard);
   return bytes;
 }
+
+// ----------------------------------------------------------- batch result
+
+void BatchResult::reset(int k_count) {
+  k = k_count;
+  if (results.size() < static_cast<std::size_t>(k_count)) {
+    results.resize(static_cast<std::size_t>(k_count));
+  }
+  excluded.assign(static_cast<std::size_t>(k_count), 0);
+}
+
+void BatchResult::ensure(int k_count) {
+  k = k_count;
+  if (results.size() < static_cast<std::size_t>(k_count)) {
+    results.resize(static_cast<std::size_t>(k_count));
+  }
+  if (excluded.size() != static_cast<std::size_t>(k_count)) {
+    excluded.assign(static_cast<std::size_t>(k_count), 0);
+  }
+}
+
+int BatchResult::converged_count() const {
+  int count = 0;
+  for (int c = 0; c < k; ++c) count += results[static_cast<std::size_t>(c)].converged ? 1 : 0;
+  return count;
+}
+
+bool BatchResult::all_converged() const { return converged_count() == k; }
 
 bool begin_solve(const IterOptions& opts, std::span<const scalar_t> b, std::span<scalar_t> x,
                  SolveWorkspace& ws, IterResult& result, scalar_t& bnorm) {
@@ -73,6 +114,23 @@ bool begin_solve(const IterOptions& opts, std::span<const scalar_t> b, std::span
 }
 
 // ---------------------------------------------------------------- solvers
+
+void Solver::solve_batch(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                         std::span<scalar_t> x, int k_count, const IterOptions& opts,
+                         const Preconditioner* prec, SolveWorkspace& ws,
+                         BatchResult& result) const {
+  result.ensure(k_count);
+  const ordinal_t n = a.num_rows;
+  ws.ensure_small(ws.bcol, static_cast<std::size_t>(n));
+  ws.ensure_small(ws.xcol, static_cast<std::size_t>(n));
+  for (int c = 0; c < k_count; ++c) {
+    if (result.excluded[static_cast<std::size_t>(c)]) continue;
+    gather_column(b, n, k_count, c, ws.bcol);
+    gather_column(x, n, k_count, c, ws.xcol);
+    solve(a, ws.bcol, ws.xcol, opts, prec, ws, result.results[static_cast<std::size_t>(c)]);
+    scatter_column(ws.xcol, n, k_count, c, x);
+  }
+}
 
 namespace {
 
@@ -109,6 +167,38 @@ class ChebyshevSolver final : public Solver {
   }
 };
 
+class BlockCgSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "block-cg"; }
+  void solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+             const IterOptions& opts, const Preconditioner* prec, SolveWorkspace& ws,
+             IterResult& result) const override {
+    cg_solve(a, b, x, opts, prec, ws, result);
+  }
+  void solve_batch(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                   std::span<scalar_t> x, int k_count, const IterOptions& opts,
+                   const Preconditioner* prec, SolveWorkspace& ws,
+                   BatchResult& result) const override {
+    block_cg_solve(a, b, x, k_count, opts, prec, ws, result);
+  }
+};
+
+class BlockGmresSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "block-gmres"; }
+  void solve(const graph::CrsMatrix& a, std::span<const scalar_t> b, std::span<scalar_t> x,
+             const IterOptions& opts, const Preconditioner* prec, SolveWorkspace& ws,
+             IterResult& result) const override {
+    gmres_solve(a, b, x, opts, prec, ws, result);
+  }
+  void solve_batch(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                   std::span<scalar_t> x, int k_count, const IterOptions& opts,
+                   const Preconditioner* prec, SolveWorkspace& ws,
+                   BatchResult& result) const override {
+    block_gmres_solve(a, b, x, k_count, opts, prec, ws, result);
+  }
+};
+
 }  // namespace
 
 const std::vector<SolverSpec>& solver_registry() {
@@ -122,6 +212,14 @@ const std::vector<SolverSpec>& solver_registry() {
        "Chebyshev polynomial relaxation (SPD; ignores the preconditioner — "
        "carries its own diagonal scaling)",
        [] { return std::unique_ptr<Solver>(std::make_unique<ChebyshevSolver>()); }},
+      {"block-cg",
+       "block conjugate gradient: K RHS in lockstep over fused SpMM, "
+       "bit-identical per column to \"cg\"",
+       [] { return std::unique_ptr<Solver>(std::make_unique<BlockCgSolver>()); }},
+      {"block-gmres",
+       "block restarted GMRES: K RHS over fused SpMM with per-column restart "
+       "phases, bit-identical per column to \"gmres\"",
+       [] { return std::unique_ptr<Solver>(std::make_unique<BlockGmresSolver>()); }},
   };
   return registry;
 }

@@ -56,6 +56,19 @@ struct SolveWorkspace {
   int chebyshev_degree = 0;
   double chebyshev_eig_ratio = 0;
 
+  // --- batched-solve state (block solvers and the looped fallback) -------
+  /// Column gather/scatter scratch for the looped default `solve_batch`.
+  std::vector<scalar_t> bcol, xcol;
+  /// Per-column small state of the block solvers (O(k), solver-partitioned).
+  std::vector<scalar_t> batch_scalars;
+  /// Per-column integer state (phase machine positions, stop codes).
+  std::vector<int> batch_ints;
+  /// Per-column active mask handed to the masked multi-vector kernels.
+  std::vector<char> batch_active;
+  /// Per-column iteration guards (`IterGuard` holds no heap state, so
+  /// clearing and refilling this vector is allocation-free once grown).
+  std::vector<resilience::IterGuard> batch_guards;
+
   /// Cumulative allocation-event count: capacity growths of the pool and
   /// small arrays, plus Chebyshev smoother (re)builds (whose memory is
   /// excluded from capacity_bytes()). `SolveHandle` folds any in-solve
@@ -69,6 +82,7 @@ struct SolveWorkspace {
 
   /// Capacity-preserving resize for the small dense arrays.
   void ensure_small(std::vector<scalar_t>& v, std::size_t n);
+  void ensure_small(std::vector<int>& v, std::size_t n);
 
   /// Total heap capacity (bytes) currently held, excluding the Chebyshev
   /// smoother state. Stable across warm solves.
@@ -97,6 +111,18 @@ class Solver {
                      std::span<scalar_t> x, const IterOptions& opts,
                      const Preconditioner* prec, SolveWorkspace& ws,
                      IterResult& result) const = 0;
+
+  /// Batched multi-RHS solve: `b` and `x` are n x k_count row-major
+  /// multi-vectors, `result` carries one `IterResult` per column. Columns
+  /// flagged `result.excluded[c]` are skipped entirely (their result and
+  /// their lanes of `x` are left untouched). The default loops `solve`
+  /// over gathered columns through workspace scratch — trivially
+  /// bit-identical to k single solves; the block solvers override it with
+  /// fused SpMM-based cores that preserve that bit-identity per column.
+  virtual void solve_batch(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                           std::span<scalar_t> x, int k_count, const IterOptions& opts,
+                           const Preconditioner* prec, SolveWorkspace& ws,
+                           BatchResult& result) const;
 };
 
 /// Registry entry: a name, a one-line description, and a factory.
@@ -185,5 +211,18 @@ void gmres_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
 void chebyshev_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
                      std::span<scalar_t> x, const IterOptions& opts, SolveWorkspace& ws,
                      IterResult& result);
+
+/// Fused block Krylov cores behind the "block-cg" / "block-gmres" registry
+/// entries (block_krylov.cpp): K right-hand sides advance in lockstep over
+/// one SpMM per iteration, each column running its own scalar recurrence so
+/// its iterates match the single-RHS core bit for bit. Converged or failed
+/// columns are deflated (frozen via the masked multi-vector kernels) and
+/// carry per-column status/failure in `result`.
+void block_cg_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                    std::span<scalar_t> x, int k_count, const IterOptions& opts,
+                    const Preconditioner* prec, SolveWorkspace& ws, BatchResult& result);
+void block_gmres_solve(const graph::CrsMatrix& a, std::span<const scalar_t> b,
+                       std::span<scalar_t> x, int k_count, const IterOptions& opts,
+                       const Preconditioner* prec, SolveWorkspace& ws, BatchResult& result);
 
 }  // namespace parmis::solver

@@ -98,4 +98,25 @@ struct IterResult {
   std::vector<AttemptInfo> attempts;
 };
 
+/// Outcome of one batched multi-RHS solve: one `IterResult` per column, so
+/// a diverging or poisoned right-hand side carries its own taxonomy status
+/// without touching its batchmates. Storage is grow-only (capacities kept
+/// across batches) so warm batched solves stay allocation-free.
+struct BatchResult {
+  int k = 0;                        ///< live column count of the last batch
+  std::vector<IterResult> results;  ///< first `k` entries are live
+  /// Per-column input-isolation flags (size `k`), set by the caller before
+  /// the solver runs: an excluded column's result is already final (e.g.
+  /// NonFiniteInput) and solvers must leave its lanes untouched.
+  std::vector<char> excluded;
+
+  /// Full per-batch reset: sizes to `k_count`, clears every exclusion.
+  void reset(int k_count);
+  /// Size without clearing exclusions (used by solver cores, which must
+  /// honor flags the caller set between reset() and the solve).
+  void ensure(int k_count);
+  [[nodiscard]] int converged_count() const;
+  [[nodiscard]] bool all_converged() const;
+};
+
 }  // namespace parmis::solver

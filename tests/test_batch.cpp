@@ -1,0 +1,358 @@
+/// \file test_batch.cpp
+/// \brief Batched multi-RHS solving tests: block-Krylov vs looped
+/// bit-identity across backends and schedules, the zero-allocation warm
+/// `solve_batch` contract, per-column fault/input isolation, and the
+/// batched serving path including the async customize pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/alloc_guard.hpp"
+#include "check/digest.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "parallel/context.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/status.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/replay.hpp"
+#include "serve/service.hpp"
+#include "solver/handle.hpp"
+#include "solver/multivector.hpp"
+#include "solver/options.hpp"
+#include "solver/vector_ops.hpp"
+#include "test_utils.hpp"
+
+namespace parmis {
+namespace {
+
+solver::IterOptions tight_opts() {
+  solver::IterOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 500;
+  return o;
+}
+
+/// Per-column reference: K independent single-RHS solves through
+/// `solver_name`, rhs seeds 1..K, x0 = 0. Returns (digest, iterations)
+/// per column.
+std::vector<std::pair<std::uint64_t, int>> looped_reference(const graph::CrsMatrix& a,
+                                                            const std::string& solver_name,
+                                                            const std::string& prec, int k,
+                                                            const solver::IterOptions& opts) {
+  solver::SolveHandle h(solver_name, prec);
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  std::vector<scalar_t> b(un);
+  std::vector<scalar_t> x(un);
+  std::vector<std::pair<std::uint64_t, int>> out;
+  for (int c = 0; c < k; ++c) {
+    solver::random_fill(b, static_cast<std::uint64_t>(1 + c));
+    solver::fill(x, 0.0);
+    const solver::IterResult& r = h.solve(a, b, x, opts);
+    EXPECT_TRUE(r.converged) << solver_name << " column " << c;
+    out.emplace_back(check::digest(x), r.iterations);
+  }
+  return out;
+}
+
+/// The batched rhs multi-vector matching `looped_reference`'s seeds.
+std::vector<scalar_t> batched_rhs(const graph::CrsMatrix& a, int k) {
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  std::vector<scalar_t> bm(un * static_cast<std::size_t>(k));
+  std::vector<scalar_t> col(un);
+  for (int c = 0; c < k; ++c) {
+    solver::random_fill(col, static_cast<std::uint64_t>(1 + c));
+    solver::scatter_column(col, a.num_rows, k, c, bm);
+  }
+  return bm;
+}
+
+TEST(Batch, BlockCgMatchesLoopedAcrossBackendsAndSchedules) {
+  // The tentpole contract: column c of a fused block-CG batch is
+  // bit-identical to single-RHS CG on the same seed — same iteration
+  // count, same solution bits — for every backend × schedule cell. The
+  // matrix crosses reduce_chunk (17^3 = 4913 rows) so the chunked
+  // reduction tree in mv_dot is exercised, not just the serial path.
+  const graph::CrsMatrix a = graph::laplace3d(17, 17, 17);
+  const int k = 4;
+  const solver::IterOptions opts = tight_opts();
+  const std::vector<std::pair<std::uint64_t, int>> ref =
+      looped_reference(a, "cg", "jacobi", k, opts);
+
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  const std::vector<scalar_t> bm = batched_rhs(a, k);
+  std::vector<scalar_t> xm(un * k);
+  std::vector<scalar_t> xc(un);
+
+  for (const par::Schedule s : {par::Schedule::Static, par::Schedule::EdgeBalanced}) {
+    for (const auto& [backend, threads] :
+         std::vector<std::pair<par::Backend, int>>{{par::Backend::Serial, 1},
+                                                   {par::Backend::OpenMP, 1},
+                                                   {par::Backend::OpenMP, 3},
+                                                   {par::Backend::OpenMP, 8}}) {
+      solver::IterOptions o = opts;
+      Context ctx;
+      ctx.backend = backend;
+      ctx.num_threads = threads;
+      ctx.schedule = s;
+      o.ctx = ctx;
+      solver::SolveHandle h("block-cg", "jacobi");
+      solver::fill(xm, 0.0);
+      const solver::BatchResult& br = h.solve_batch(a, bm, xm, k, o);
+      ASSERT_EQ(k, br.k);
+      for (int c = 0; c < k; ++c) {
+        const std::size_t uc = static_cast<std::size_t>(c);
+        EXPECT_TRUE(br.results[uc].converged) << "col " << c;
+        EXPECT_EQ(ref[uc].second, br.results[uc].iterations)
+            << "col " << c << " backend=" << static_cast<int>(backend) << " threads=" << threads
+            << " schedule=" << static_cast<int>(s);
+        solver::gather_column(xm, a.num_rows, k, c, std::span<scalar_t>(xc));
+        EXPECT_EQ(check::digest_hex(ref[uc].first), check::digest_hex(check::digest(xc)))
+            << "col " << c << " backend=" << static_cast<int>(backend) << " threads=" << threads
+            << " schedule=" << static_cast<int>(s);
+      }
+    }
+  }
+}
+
+TEST(Batch, BlockGmresMatchesLooped) {
+  const graph::CrsMatrix a = graph::laplace3d(8, 8, 8);
+  const int k = 3;
+  const solver::IterOptions opts = tight_opts();
+  const std::vector<std::pair<std::uint64_t, int>> ref =
+      looped_reference(a, "gmres", "jacobi", k, opts);
+
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  solver::SolveHandle h("block-gmres", "jacobi");
+  std::vector<scalar_t> xm(un * k, 0.0);
+  const solver::BatchResult& br = h.solve_batch(a, batched_rhs(a, k), xm, k, opts);
+  std::vector<scalar_t> xc(un);
+  for (int c = 0; c < k; ++c) {
+    const std::size_t uc = static_cast<std::size_t>(c);
+    EXPECT_TRUE(br.results[uc].converged) << "col " << c;
+    EXPECT_EQ(ref[uc].second, br.results[uc].iterations) << "col " << c;
+    solver::gather_column(xm, a.num_rows, k, c, std::span<scalar_t>(xc));
+    EXPECT_EQ(check::digest_hex(ref[uc].first), check::digest_hex(check::digest(xc)))
+        << "col " << c;
+  }
+}
+
+TEST(Batch, DefaultLoopedBatchMatchesSolve) {
+  // Solvers without a fused core fall back to gather/solve/scatter per
+  // column — trivially bit-identical to K separate solve() calls.
+  const graph::CrsMatrix a = graph::laplace2d(14, 11);
+  const int k = 3;
+  const solver::IterOptions opts = tight_opts();
+  const std::vector<std::pair<std::uint64_t, int>> ref =
+      looped_reference(a, "cg", "jacobi", k, opts);
+
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  solver::SolveHandle h("cg", "jacobi");
+  std::vector<scalar_t> xm(un * k, 0.0);
+  const solver::BatchResult& br = h.solve_batch(a, batched_rhs(a, k), xm, k, opts);
+  std::vector<scalar_t> xc(un);
+  for (int c = 0; c < k; ++c) {
+    const std::size_t uc = static_cast<std::size_t>(c);
+    EXPECT_EQ(ref[uc].second, br.results[uc].iterations) << "col " << c;
+    solver::gather_column(xm, a.num_rows, k, c, std::span<scalar_t>(xc));
+    EXPECT_EQ(ref[uc].first, check::digest(xc)) << "col " << c;
+  }
+}
+
+TEST(Batch, WarmBatchedSolveIsAllocationFree) {
+  // n = 1000 <= reduce_chunk so the fused reductions take the
+  // no-partials path; after the cold solve sizes every pool, a warm
+  // solve_batch must perform zero heap allocations (enforced by the
+  // handle's own AllocGuard in check builds, and asserted directly here).
+  const graph::CrsMatrix a = graph::laplace3d(10, 10, 10);
+  const int k = 4;
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  const std::vector<scalar_t> bm = batched_rhs(a, k);
+  std::vector<scalar_t> xm(un * k);
+  const solver::IterOptions opts = tight_opts();
+
+  for (const char* sname : {"block-cg", "block-gmres"}) {
+    solver::SolveHandle h(sname, "jacobi");
+    solver::fill(xm, 0.0);
+    const solver::BatchResult& cold = h.solve_batch(a, bm, xm, k, opts);
+    EXPECT_TRUE(cold.all_converged()) << sname;
+    const std::uint64_t digest0 = check::digest(xm);
+
+    solver::fill(xm, 0.0);
+    check::AllocGuard guard;
+    (void)h.solve_batch(a, bm, xm, k, opts);
+    if (check::counting_available()) {
+      EXPECT_EQ(0u, guard.allocations()) << sname << ": warm batched solve allocated";
+    }
+    EXPECT_EQ(digest0, check::digest(xm)) << sname << ": warm rerun changed bits";
+  }
+}
+
+TEST(Batch, NonFiniteColumnIsExcludedAndIsolated) {
+  // A NaN in one column's rhs must not leak into its batchmates: the
+  // column is excluded up front with NonFiniteInput, its x lanes stay
+  // untouched, and the other columns converge to exactly the bits they
+  // produce in a clean batch.
+  const graph::CrsMatrix a = graph::laplace2d(12, 12);
+  const int k = 3;
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  const solver::IterOptions opts = tight_opts();
+  const std::vector<std::pair<std::uint64_t, int>> ref =
+      looped_reference(a, "cg", "jacobi", k, opts);
+
+  std::vector<scalar_t> bm = batched_rhs(a, k);
+  bm[5 * k + 1] = std::numeric_limits<scalar_t>::quiet_NaN();  // poison column 1
+  solver::SolveHandle h("block-cg", "jacobi");
+  std::vector<scalar_t> xm(un * k, 0.0);
+  const solver::BatchResult& br = h.solve_batch(a, bm, xm, k, opts);
+
+  EXPECT_EQ(resilience::SolveStatus::NonFiniteInput, br.results[1].status);
+  EXPECT_FALSE(br.results[1].converged);
+  EXPECT_NE(0, br.excluded[1]);
+  EXPECT_FALSE(br.all_converged());
+  EXPECT_EQ(2, br.converged_count());
+
+  std::vector<scalar_t> xc(un);
+  for (const int c : {0, 2}) {
+    const std::size_t uc = static_cast<std::size_t>(c);
+    EXPECT_TRUE(br.results[uc].converged) << "col " << c;
+    solver::gather_column(xm, a.num_rows, k, c, std::span<scalar_t>(xc));
+    EXPECT_EQ(ref[uc].first, check::digest(xc)) << "col " << c;
+  }
+  // The excluded column's lanes were never written: still exactly x0 = 0.
+  solver::gather_column(xm, a.num_rows, k, 1, std::span<scalar_t>(xc));
+  for (std::size_t i = 0; i < un; ++i) {
+    ASSERT_EQ(0.0, xc[i]) << "excluded lane written at row " << i;
+  }
+}
+
+#if PARMIS_FAULT_ENABLED
+TEST(Batch, FaultPoisonsOnlyItsColumn) {
+  // The injected CG breakdown hits column 0's recurrence; its batchmates
+  // must converge with their own clean statuses — per-RHS taxonomy, not
+  // batch-wide failure.
+  const graph::CrsMatrix a = graph::laplace2d(10, 10);
+  const int k = 3;
+  const std::size_t un = static_cast<std::size_t>(a.num_rows);
+  solver::SolveHandle h("block-cg", "jacobi");
+  std::vector<scalar_t> xm(un * k, 0.0);
+  resilience::arm_faults_spec("cg.pap");
+  const solver::BatchResult& br = h.solve_batch(a, batched_rhs(a, k), xm, k, tight_opts());
+  resilience::disarm_faults();
+
+  EXPECT_EQ(resilience::SolveStatus::Breakdown, br.results[0].status);
+  EXPECT_FALSE(br.results[0].converged);
+  for (const int c : {1, 2}) {
+    EXPECT_EQ(resilience::SolveStatus::Converged, br.results[static_cast<std::size_t>(c)].status)
+        << "col " << c;
+  }
+}
+#endif
+
+// ------------------------------------------------------------- serving
+
+serve::Service::Options block_service_options() {
+  serve::Service::Options o;
+  o.pool.solver = "block-cg";
+  o.pool.prec = "jacobi";
+  o.pool.size = 2;
+  return o;
+}
+
+TEST(Batch, ServiceSolveBatchMatchesSolve) {
+  // A batched wave through the service must produce, per request, the
+  // identical outcome the one-at-a-time path produces: same digest, same
+  // iteration count, same epoch.
+  const graph::CrsMatrix a = graph::laplace2d(16, 16);
+  const std::size_t nreq = 10;
+
+  serve::Service looped(block_service_options(), a);
+  const std::vector<serve::ServeRequest> reqs =
+      serve::make_requests(nreq, 7, looped.epoch(), 0);
+  std::vector<serve::RequestOutcome> ref;
+  for (const serve::ServeRequest& r : reqs) ref.push_back(looped.solve(r));
+
+  serve::Service batched(block_service_options(), a);
+  const std::vector<serve::RequestOutcome> got = batched.solve_batch(reqs, 4);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].id, got[i].id);
+    EXPECT_EQ(ref[i].epoch, got[i].epoch);
+    EXPECT_EQ(ref[i].converged, got[i].converged) << "request " << i;
+    EXPECT_EQ(ref[i].iterations, got[i].iterations) << "request " << i;
+    EXPECT_EQ(check::digest_hex(ref[i].solution_digest),
+              check::digest_hex(got[i].solution_digest))
+        << "request " << i;
+  }
+}
+
+TEST(Batch, PipelinePredictsEpochsAndRecoversFailures) {
+  const graph::CrsMatrix a = graph::laplace2d(12, 12);
+  serve::Service service(block_service_options(), a);
+  const std::uint64_t epoch0 = service.epoch();
+
+  serve::CustomizePipeline pipeline(service);
+  std::vector<scalar_t> values(service.current()->a->values);
+  for (scalar_t& v : values) v *= 1.5;
+  const std::uint64_t e1 = pipeline.submit(values);
+  EXPECT_EQ(epoch0 + 1, e1);
+  pipeline.drain();
+  EXPECT_EQ(e1, service.epoch());
+  EXPECT_TRUE(pipeline.failures().empty());
+
+  // A submission whose replay throws must still publish its predicted
+  // epoch (via republish) so consumers pinned to it never block.
+  const std::vector<scalar_t> bad(3, 1.0);  // wrong length -> customize throws
+  const std::uint64_t e2 = pipeline.submit(bad);
+  EXPECT_EQ(epoch0 + 2, e2);
+  pipeline.drain();
+  EXPECT_EQ(e2, service.epoch());
+  const std::vector<serve::CustomizePipeline::Failure> failures = pipeline.failures();
+  ASSERT_EQ(1u, failures.size());
+  EXPECT_EQ(e2, failures[0].epoch);
+  EXPECT_FALSE(failures[0].what.empty());
+}
+
+TEST(Batch, BatchedReplayDeterministicAcrossSwap) {
+  // The end-to-end epoch-determinism check: a threaded batched replay
+  // with a live async customize swap must reproduce the serial unbatched
+  // replay's combined digest bit for bit.
+  const graph::CrsMatrix a = graph::laplace2d(16, 16);
+  const std::size_t nreq = 16;
+  const std::size_t customize_at = 8;
+
+  std::uint64_t reference = 0;
+  {
+    serve::Service service(block_service_options(), a);
+    const std::vector<serve::ServeRequest> reqs =
+        serve::make_requests(nreq, 1, service.epoch(), customize_at);
+    serve::ReplayOptions ropts;
+    ropts.threads = 1;
+    ropts.customize_at = customize_at;
+    const serve::ReplayResult r = serve::replay(service, reqs, ropts);
+    EXPECT_EQ(nreq, r.stats.converged);
+    reference = r.stats.combined_digest;
+  }
+
+  for (const int threads : {1, 2}) {
+    serve::Service service(block_service_options(), a);
+    const std::vector<serve::ServeRequest> reqs =
+        serve::make_requests(nreq, 1, service.epoch(), customize_at);
+    serve::ReplayOptions ropts;
+    ropts.threads = threads;
+    ropts.customize_at = customize_at;
+    ropts.batch = 4;
+    const serve::ReplayResult r = serve::replay(service, reqs, ropts);
+    EXPECT_EQ(nreq, r.stats.converged) << "threads=" << threads;
+    EXPECT_EQ(check::digest_hex(reference), check::digest_hex(r.stats.combined_digest))
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace parmis

@@ -1,0 +1,229 @@
+/// \file test_spmm.cpp
+/// \brief SpMM and multi-vector kernel tests: per-column bit-identity to
+/// the single-vector kernels (the contract every block solver leans on),
+/// schedule/backend determinism, and the masked-freeze semantics of the
+/// deflation ops.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "check/digest.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/spmm.hpp"
+#include "graph/spmv.hpp"
+#include "parallel/context.hpp"
+#include "solver/multivector.hpp"
+#include "solver/vector_ops.hpp"
+#include "test_utils.hpp"
+
+namespace parmis {
+namespace {
+
+std::uint64_t bits(scalar_t v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Matrices the SpMM tests sweep: stencils plus a hub-skewed Laplacian,
+/// so both regular and adversarial row-length distributions are covered.
+std::vector<graph::CrsMatrix> spmm_matrices() {
+  std::vector<graph::CrsMatrix> ms;
+  ms.push_back(graph::laplace3d(7, 7, 7));
+  ms.push_back(graph::laplace2d(15, 13));
+  ms.push_back(graph::laplacian_matrix(graph::power_law_graph(500, 2.2, 4, 80, 42), 1.0));
+  return ms;
+}
+
+TEST(Spmm, MatchesSpmvPerColumn) {
+  // Column c of spmm must be bit-identical to spmv on the gathered column
+  // — each row accumulates serially in entry order per column, exactly
+  // like the single-vector kernel. K values cross the register-block
+  // width so both the full-group and remainder lanes are exercised.
+  for (const graph::CrsMatrix& a : spmm_matrices()) {
+    const ordinal_t n = a.num_rows;
+    const std::size_t un = static_cast<std::size_t>(n);
+    for (const int k : {1, 3, 8, 16, 17}) {
+      const std::size_t uk = static_cast<std::size_t>(k);
+      std::vector<scalar_t> x(un * uk);
+      std::vector<scalar_t> y(un * uk);
+      solver::random_fill(x, 7);
+      graph::spmm(a, x, y, k);
+
+      std::vector<scalar_t> xc(un);
+      std::vector<scalar_t> yc(un);
+      std::vector<scalar_t> ref(un);
+      for (int c = 0; c < k; ++c) {
+        solver::gather_column(x, n, k, c, std::span<scalar_t>(xc));
+        solver::gather_column(y, n, k, c, std::span<scalar_t>(yc));
+        graph::spmv(a, xc, ref);
+        for (std::size_t i = 0; i < un; ++i) {
+          ASSERT_EQ(bits(ref[i]), bits(yc[i])) << "rows=" << n << " k=" << k << " col=" << c
+                                               << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Spmm, AlphaBetaMatchesSpmvPerColumn) {
+  // The accumulate overload: y = alpha*A*x + beta*y, per column equal to
+  // the spmv overload bit for bit (same fma-free combine order).
+  const graph::CrsMatrix a = graph::laplace3d(6, 5, 7);
+  const ordinal_t n = a.num_rows;
+  const std::size_t un = static_cast<std::size_t>(n);
+  const int k = 5;
+  const std::size_t uk = static_cast<std::size_t>(k);
+  std::vector<scalar_t> x(un * uk);
+  std::vector<scalar_t> y(un * uk);
+  solver::random_fill(x, 11);
+  solver::random_fill(y, 13);
+
+  std::vector<scalar_t> xc(un);
+  std::vector<scalar_t> ref(un);
+  std::vector<std::vector<scalar_t>> refs;
+  for (int c = 0; c < k; ++c) {
+    solver::gather_column(x, n, k, c, std::span<scalar_t>(xc));
+    solver::gather_column(y, n, k, c, std::span<scalar_t>(ref));
+    graph::spmv(0.75, a, xc, -1.25, ref);
+    refs.push_back(ref);
+  }
+
+  graph::spmm(0.75, a, x, -1.25, y, k);
+  std::vector<scalar_t> yc(un);
+  for (int c = 0; c < k; ++c) {
+    solver::gather_column(y, n, k, c, std::span<scalar_t>(yc));
+    for (std::size_t i = 0; i < un; ++i) {
+      ASSERT_EQ(bits(refs[static_cast<std::size_t>(c)][i]), bits(yc[i]))
+          << "col=" << c << " row=" << i;
+    }
+  }
+}
+
+TEST(Spmm, DeterministicAcrossBackendsAndSchedules) {
+  // One digest per (backend, threads, schedule) cell; all must be equal —
+  // the same contract spmv carries, extended to the K-wide kernel.
+  const graph::CrsMatrix a =
+      graph::laplacian_matrix(graph::power_law_graph(3000, 2.2, 3, 300, 5), 1.0);
+  const ordinal_t n = a.num_rows;
+  const int k = 8;
+  std::vector<scalar_t> x(static_cast<std::size_t>(n) * k);
+  std::vector<scalar_t> y(static_cast<std::size_t>(n) * k);
+  solver::random_fill(x, 3);
+
+  std::uint64_t reference = 0;
+  bool first = true;
+  for (const par::Schedule s : {par::Schedule::Static, par::Schedule::EdgeBalanced}) {
+    for (const auto& [backend, threads] :
+         std::vector<std::pair<par::Backend, int>>{{par::Backend::Serial, 1},
+                                                   {par::Backend::OpenMP, 1},
+                                                   {par::Backend::OpenMP, 3},
+                                                   {par::Backend::OpenMP, 8}}) {
+      Context ctx;
+      ctx.backend = backend;
+      ctx.num_threads = threads;
+      ctx.schedule = s;
+      Context::Scope scope(ctx);
+      solver::fill(y, 0.0);
+      graph::spmm(a, x, y, k);
+      const std::uint64_t d = check::digest(y);
+      if (first) {
+        reference = d;
+        first = false;
+      } else {
+        EXPECT_EQ(check::digest_hex(reference), check::digest_hex(d))
+            << "backend=" << static_cast<int>(backend) << " threads=" << threads
+            << " schedule=" << static_cast<int>(s);
+      }
+    }
+  }
+}
+
+TEST(SpmmMultivector, DotAndNormsBitIdenticalToScalarKernels) {
+  // n > reduce_chunk so the chunked tree is exercised: mv_dot must mirror
+  // parallel_reduce's chunk boundaries and combine order per column.
+  const ordinal_t n = 6000;
+  const std::size_t un = static_cast<std::size_t>(n);
+  const int k = 5;
+  std::vector<scalar_t> a(un * k);
+  std::vector<scalar_t> b(un * k);
+  solver::random_fill(a, 17);
+  solver::random_fill(b, 19);
+
+  std::vector<scalar_t> dots(k);
+  std::vector<scalar_t> norms(k);
+  solver::mv_dot(a, b, n, k, dots);
+  solver::mv_norms(a, n, k, norms);
+
+  std::vector<scalar_t> ac(un);
+  std::vector<scalar_t> bc(un);
+  for (int c = 0; c < k; ++c) {
+    solver::gather_column(a, n, k, c, std::span<scalar_t>(ac));
+    solver::gather_column(b, n, k, c, std::span<scalar_t>(bc));
+    EXPECT_EQ(bits(solver::dot(ac, bc)), bits(dots[static_cast<std::size_t>(c)])) << "col " << c;
+    EXPECT_EQ(bits(solver::norm2(ac)), bits(norms[static_cast<std::size_t>(c)])) << "col " << c;
+  }
+}
+
+TEST(SpmmMultivector, MaskedOpsLeaveFrozenLanesUntouched) {
+  // Deflation semantics: a frozen column's lanes must keep their exact
+  // bits — including negative zero and NaN — because freezing is an
+  // explicit branch, not a zero coefficient.
+  const ordinal_t n = 32;
+  const int k = 3;
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<scalar_t> x(un * k);
+  std::vector<scalar_t> y(un * k);
+  solver::random_fill(x, 23);
+  solver::random_fill(y, 29);
+  // Poison the frozen column (index 1) with the adversarial bit patterns.
+  y[0 * k + 1] = -0.0;
+  y[1 * k + 1] = std::numeric_limits<scalar_t>::quiet_NaN();
+  const std::vector<scalar_t> y0 = y;
+
+  const std::vector<char> active = {1, 0, 1};
+  solver::mv_axpby_masked(2.0, x, -0.5, y, n, k, active);
+  for (std::size_t i = 0; i < un; ++i) {
+    EXPECT_EQ(bits(y0[i * k + 1]), bits(y[i * k + 1])) << "frozen lane, row " << i;
+    EXPECT_EQ(bits(2.0 * x[i * k + 0] + -0.5 * y0[i * k + 0]), bits(y[i * k + 0])) << "row " << i;
+    EXPECT_EQ(bits(2.0 * x[i * k + 2] + -0.5 * y0[i * k + 2]), bits(y[i * k + 2])) << "row " << i;
+  }
+
+  // Per-column-coefficient variants honor the same mask.
+  std::vector<scalar_t> y2 = y0;
+  const std::vector<scalar_t> alpha = {0.25, 123.0, -4.0};
+  solver::mv_axpy_cols(alpha, x, y2, n, k, active);
+  for (std::size_t i = 0; i < un; ++i) {
+    EXPECT_EQ(bits(y0[i * k + 1]), bits(y2[i * k + 1])) << "frozen lane, row " << i;
+    EXPECT_EQ(bits(0.25 * x[i * k + 0] + y0[i * k + 0]), bits(y2[i * k + 0])) << "row " << i;
+  }
+
+  std::vector<scalar_t> y3 = y0;
+  solver::mv_xpay_cols(x, alpha, y3, n, k, active);
+  for (std::size_t i = 0; i < un; ++i) {
+    EXPECT_EQ(bits(y0[i * k + 1]), bits(y3[i * k + 1])) << "frozen lane, row " << i;
+    EXPECT_EQ(bits(x[i * k + 0] + 0.25 * y0[i * k + 0]), bits(y3[i * k + 0])) << "row " << i;
+  }
+}
+
+TEST(SpmmMultivector, GatherScatterRoundTrip) {
+  const ordinal_t n = 50;
+  const int k = 4;
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<scalar_t> mv(un * k, 0.0);
+  std::vector<scalar_t> col(un);
+  std::vector<scalar_t> back(un);
+  for (int c = 0; c < k; ++c) {
+    solver::random_fill(col, static_cast<std::uint64_t>(100 + c));
+    solver::scatter_column(col, n, k, c, mv);
+    solver::gather_column(mv, n, k, c, std::span<scalar_t>(back));
+    for (std::size_t i = 0; i < un; ++i) {
+      ASSERT_EQ(bits(col[i]), bits(back[i])) << "col " << c << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parmis
